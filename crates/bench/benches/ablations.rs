@@ -1,0 +1,112 @@
+//! Design-choice ablations beyond the paper (DESIGN.md §4):
+//! rendezvous vs eager sends, max-min vs equal-share fairness, fat-tree
+//! thinning sweep, and barrier-per-step lowering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cm5_bench::runners::exchange_time_with;
+use cm5_core::prelude::*;
+use cm5_sim::{FairnessModel, MachineParams, SendMode, Simulation};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    // 1. The synchronous-communication constraint (LEX rendezvous vs eager).
+    for (name, mode) in [("rendezvous", SendMode::Rendezvous), ("eager", SendMode::Eager)] {
+        let mut params = MachineParams::cm5_1992();
+        params.send_mode = mode;
+        g.bench_with_input(BenchmarkId::new("lex_send_mode", name), &params, |b, p| {
+            b.iter(|| black_box(exchange_time_with(ExchangeAlg::Lex, 32, 256, p)))
+        });
+    }
+
+    // 2. Fairness model under root contention (PEX).
+    for (name, fairness) in [
+        ("maxmin", FairnessModel::MaxMin),
+        ("equal_share", FairnessModel::EqualShare),
+    ] {
+        let mut params = MachineParams::cm5_1992();
+        params.fairness = fairness;
+        g.bench_with_input(BenchmarkId::new("pex_fairness", name), &params, |b, p| {
+            b.iter(|| black_box(exchange_time_with(ExchangeAlg::Pex, 32, 1920, p)))
+        });
+    }
+
+    // 3. Fat-tree thinning: BEX's edge disappears on an unthinned tree.
+    for (name, upper) in [("thinned_5MBps", 5.0e6), ("unthinned_20MBps", 20.0e6)] {
+        let mut params = MachineParams::cm5_1992();
+        params.upper_bandwidth = upper;
+        params.level1_bandwidth = upper.max(10.0e6);
+        g.bench_with_input(BenchmarkId::new("bex_thinning", name), &params, |b, p| {
+            b.iter(|| black_box(exchange_time_with(ExchangeAlg::Bex, 32, 1920, p)))
+        });
+    }
+
+    // 4. Crystal router (the paper's cited prior art) vs greedy, either
+    //    side of the aggregation crossover.
+    for (name, bytes) in [("tiny_8B", 8u64), ("fat_512B", 512)] {
+        let pattern = Pattern::seeded_random(32, 0.5, bytes, 42);
+        for (label, which) in [("crystal", true), ("greedy", false)] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("crystal_vs_greedy_{label}"), name),
+                &pattern,
+                |b, pattern| {
+                    let params = MachineParams::cm5_1992();
+                    b.iter(|| {
+                        let schedule = if which {
+                            cm5_core::irregular::crystal(pattern)
+                        } else {
+                            gs(pattern)
+                        };
+                        black_box(run_schedule(&schedule, &params).unwrap().makespan)
+                    })
+                },
+            );
+        }
+    }
+
+    // 5. Topology counterfactual: the same PEX schedule on fat tree vs
+    //    hypercube.
+    {
+        use cm5_sim::{FatTree, Hypercube, Topology};
+        for (name, topo) in [
+            ("fat_tree", Topology::FatTree(FatTree::new(32))),
+            ("hypercube", Topology::Hypercube(Hypercube::new(32))),
+        ] {
+            let programs = lower(&pex(32, 1920));
+            g.bench_with_input(
+                BenchmarkId::new("pex_topology", name),
+                &programs,
+                |b, programs| {
+                    let sim = Simulation::new_on(topo.clone(), MachineParams::cm5_1992());
+                    b.iter(|| black_box(sim.run_ops(programs).unwrap().makespan))
+                },
+            );
+        }
+    }
+
+    // 6. Barrier-per-step lowering vs the paper's loose synchronization.
+    for (name, barrier) in [("loose", false), ("barriered", true)] {
+        let schedule = pex(32, 512);
+        let programs = lower_with(
+            &schedule,
+            &LowerOptions {
+                barrier_between_steps: barrier,
+                ..Default::default()
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("pex_step_sync", name),
+            &programs,
+            |b, programs| {
+                let sim = Simulation::new(32, MachineParams::cm5_1992());
+                b.iter(|| black_box(sim.run_ops(programs).unwrap().makespan))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figures 10–11 benchmark: broadcast algorithms across message and machine
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cm5_bench::runners::{broadcast_time, MACHINE_SIZES};
+use cm5_core::broadcast::BroadcastAlg;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_broadcast_32");
+    g.sample_size(10);
+    for alg in BroadcastAlg::ALL {
+        for bytes in [256u64, 2048, 16384] {
+            g.bench_with_input(
+                BenchmarkId::new(alg.name(), bytes),
+                &bytes,
+                |b, &bytes| b.iter(|| black_box(broadcast_time(alg, 32, bytes))),
+            );
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig11_broadcast_scaling_2048B");
+    g.sample_size(10);
+    for alg in [BroadcastAlg::Recursive, BroadcastAlg::System] {
+        for &n in &MACHINE_SIZES {
+            g.bench_with_input(BenchmarkId::new(alg.name(), n), &n, |b, &n| {
+                b.iter(|| black_box(broadcast_time(alg, n, 2048)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

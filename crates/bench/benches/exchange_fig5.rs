@@ -1,0 +1,27 @@
+//! Figure 5 benchmark: complete exchange on 32 nodes across message sizes.
+//! Criterion measures the simulator's wall-clock; the simulated times are
+//! what `report fig5` prints.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cm5_bench::runners::exchange_time;
+use cm5_core::regular::ExchangeAlg;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_exchange_32");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
+    for alg in ExchangeAlg::ALL {
+        for bytes in [0u64, 256, 2048] {
+            g.bench_with_input(
+                BenchmarkId::new(alg.name(), bytes),
+                &bytes,
+                |b, &bytes| b.iter(|| black_box(exchange_time(alg, 32, bytes))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

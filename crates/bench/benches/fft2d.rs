@@ -1,0 +1,36 @@
+//! Table 5 benchmark: the 2-D FFT cost model across array sizes, exchange
+//! algorithms and machine sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cm5_bench::runners::fft_time;
+use cm5_core::regular::ExchangeAlg;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_fft2d");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
+    // 32 processors: all four algorithms. 256 processors: only the pairwise
+    // family (Linear at 256 nodes serializes 65k rendezvous and would
+    // dominate the bench's wall clock; `report table5` still measures it).
+    for side in [256usize, 1024] {
+        for alg in ExchangeAlg::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{}_p32", alg.name()), side),
+                &side,
+                |b, &side| b.iter(|| black_box(fft_time(alg, 32, side))),
+            );
+        }
+        for alg in [ExchangeAlg::Pex, ExchangeAlg::Bex] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{}_p256", alg.name()), side),
+                &side,
+                |b, &side| b.iter(|| black_box(fft_time(alg, 256, side))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 12 benchmark: the four schedulers on the real workload patterns
+//! (CG 16K + the four Euler meshes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cm5_bench::runners::{irregular_time, table12_patterns};
+use cm5_core::irregular::IrregularAlg;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let patterns = table12_patterns(32);
+    let mut g = c.benchmark_group("table12_irregular_real");
+    g.sample_size(10);
+    for (name, pattern) in &patterns {
+        for alg in IrregularAlg::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(alg.name(), name),
+                pattern,
+                |b, pattern| b.iter(|| black_box(irregular_time(alg, pattern))),
+            );
+        }
+    }
+    g.finish();
+
+    // End-to-end pattern extraction (mesh → partition → halo → pattern).
+    let mut g = c.benchmark_group("table12_pattern_extraction");
+    g.sample_size(10);
+    g.bench_function("euler_2k", |b| {
+        b.iter(|| black_box(cm5_workloads::euler_pattern(2048, 32)))
+    });
+    g.bench_function("cg_16k", |b| {
+        b.iter(|| black_box(cm5_workloads::cg_pattern(32)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

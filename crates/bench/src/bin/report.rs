@@ -1,0 +1,369 @@
+//! Regenerate every table and figure of the paper's evaluation on the
+//! simulated CM-5 and print them side by side with the published numbers.
+//!
+//! ```sh
+//! cargo run --release -p cm5-bench --bin report            # everything
+//! cargo run --release -p cm5-bench --bin report -- fig5 table11
+//! ```
+//!
+//! Sections: `fig5 fig6 fig7 fig8 table5 fig10 fig11 table11 table12`.
+//! Absolute times are not expected to match 1992 hardware; orderings,
+//! ratios and crossover locations are the reproduction targets (see
+//! EXPERIMENTS.md).
+
+use cm5_bench::paper::{TABLE_11, TABLE_12, TABLE_5};
+use cm5_bench::runners::*;
+use cm5_core::prelude::*;
+use cm5_sim::{MachineParams, Simulation};
+
+/// When `--csv <dir>` is given, every section also writes its data there.
+static CSV_DIR: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
+
+fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let Some(Some(dir)) = CSV_DIR.get().map(|d| d.as_ref()) else {
+        return;
+    };
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    let path = dir.join(format!("{name}.csv"));
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut csv_dir = None;
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--csv" {
+            let dir = it.next().unwrap_or_else(|| "report_csv".to_string());
+            std::fs::create_dir_all(&dir).expect("create csv dir");
+            csv_dir = Some(std::path::PathBuf::from(dir));
+        } else {
+            args.push(a);
+        }
+    }
+    CSV_DIR.set(csv_dir).expect("set once");
+    let want = |s: &str| {
+        args.is_empty() && s != "beyond" || args.iter().any(|a| a == s || a == "all")
+    };
+
+    if want("fig5") {
+        fig5();
+    }
+    if want("fig6") {
+        fig_scaling("Figure 6", &[0, 256]);
+    }
+    if want("fig7") {
+        fig_scaling("Figure 7", &[512]);
+    }
+    if want("fig8") {
+        fig_scaling("Figure 8", &[1920]);
+    }
+    if want("table5") {
+        table5();
+    }
+    if want("fig10") {
+        fig10();
+    }
+    if want("fig11") {
+        fig11();
+    }
+    if want("table11") {
+        table11();
+    }
+    if want("table12") {
+        table12();
+    }
+    if want("beyond") {
+        beyond();
+    }
+}
+
+fn header(title: &str, claim: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("paper's claim: {claim}");
+    println!("================================================================");
+}
+
+fn fig5() {
+    header(
+        "Figure 5 — Complete exchange on 32 nodes vs message size (ms)",
+        "LEX far worst; PEX/REX/BEX indistinguishable when small; for large \
+         messages PEX beats REX and BEX beats PEX",
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "bytes", "Linear", "Pairwise", "Recursive", "Balanced"
+    );
+    let mut rows = Vec::new();
+    for &bytes in &FIG5_MSG_SIZES {
+        print!("{bytes:>8}");
+        let mut row = vec![bytes.to_string()];
+        for alg in ExchangeAlg::ALL {
+            let ms = exchange_time(alg, 32, bytes).as_millis_f64();
+            print!(" {ms:>12.3}");
+            row.push(format!("{ms:.4}"));
+        }
+        println!();
+        rows.push(row);
+    }
+    write_csv(
+        "fig5",
+        &["bytes", "linear_ms", "pairwise_ms", "recursive_ms", "balanced_ms"],
+        &rows,
+    );
+}
+
+fn fig_scaling(title: &str, msg_sizes: &[u64]) {
+    header(
+        &format!("{title} — Complete exchange vs machine size (ms), msg ∈ {msg_sizes:?} B"),
+        "0 B: REX best at every size (lg N steps). Larger messages: BEX/PEX \
+         lead; the paper's prose has REX overtaking at 256 nodes, though its \
+         own Table 5 at 256 procs shows REX slightly behind — our model \
+         follows the Table 5 shape (see EXPERIMENTS.md)",
+    );
+    for &bytes in msg_sizes {
+        println!("message size {bytes} B:");
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>12}",
+            "nodes", "Linear", "Pairwise", "Recursive", "Balanced"
+        );
+        for &n in &MACHINE_SIZES {
+            print!("{n:>8}");
+            for alg in ExchangeAlg::ALL {
+                print!(" {:>12.3}", exchange_time(alg, n, bytes).as_millis_f64());
+            }
+            println!();
+        }
+    }
+}
+
+fn table5() {
+    header(
+        "Table 5 — 2-D FFT (seconds); measured | paper",
+        "Linear worst by far (catastrophic at 256 procs); the other three \
+         close, Balanced best for the largest arrays",
+    );
+    for &(procs, pick) in &[(32usize, 0usize), (256, 1)] {
+        println!("processors = {procs}:");
+        println!(
+            "{:>10} {:>17} {:>17} {:>17} {:>17}",
+            "array", "Linear", "Pairwise", "Recursive", "Balanced"
+        );
+        for row in &TABLE_5 {
+            print!("{:>7}^2 ", row.side);
+            let paper = if pick == 0 { &row.p32 } else { &row.p256 };
+            for (i, alg) in ExchangeAlg::ALL.iter().enumerate() {
+                let t = fft_time(*alg, procs, row.side).as_secs_f64();
+                print!(" {:>8.3}|{:<8.3}", t, paper[i]);
+            }
+            println!();
+        }
+    }
+}
+
+fn fig10() {
+    header(
+        "Figure 10 — Broadcast on 32 nodes vs message size (ms)",
+        "LIB far worst; system broadcast wins below ~1 KB, REB wins above",
+    );
+    println!("{:>8} {:>12} {:>12} {:>12}", "bytes", "LIB", "REB", "System");
+    for &bytes in &FIG10_MSG_SIZES {
+        print!("{bytes:>8}");
+        for alg in BroadcastAlg::ALL {
+            print!(" {:>12.3}", broadcast_time(alg, 32, bytes).as_millis_f64());
+        }
+        println!();
+    }
+}
+
+fn fig11() {
+    header(
+        "Figure 11 — REB vs system broadcast vs machine size (ms)",
+        "System broadcast nearly flat in N; REB grows with lg N; the \
+         crossover message size moves up to ~2 KB at 256 nodes",
+    );
+    for &bytes in &[256u64, 1024, 2048, 8192] {
+        println!("message size {bytes} B:");
+        println!("{:>8} {:>12} {:>12}", "nodes", "REB", "System");
+        for &n in &MACHINE_SIZES {
+            println!(
+                "{n:>8} {:>12.3} {:>12.3}",
+                broadcast_time(BroadcastAlg::Recursive, n, bytes).as_millis_f64(),
+                broadcast_time(BroadcastAlg::System, n, bytes).as_millis_f64()
+            );
+        }
+    }
+}
+
+fn table11() {
+    header(
+        "Table 11 — Synthetic irregular patterns, 32 nodes (ms); measured | paper",
+        "Linear worst everywhere; Greedy best below 50 % density; \
+         Balanced best above",
+    );
+    println!(
+        "{:>9} {:>6} {:>17} {:>17} {:>17} {:>17}",
+        "density", "msg", "Linear", "Pairwise", "Balanced", "Greedy"
+    );
+    for row in &TABLE_11 {
+        print!("{:>8.0}% {:>6}", row.density * 100.0, row.msg);
+        for (i, alg) in IrregularAlg::ALL.iter().enumerate() {
+            // Both the paper's columns and IrregularAlg::ALL run
+            // (Linear, Pairwise, Balanced, Greedy).
+            let t = table11_cell(*alg, row.density, row.msg);
+            print!(" {:>8.3}|{:<8.3}", t, row.times_ms[i]);
+        }
+        println!();
+    }
+}
+
+fn table12() {
+    header(
+        "Table 12 — Real irregular patterns, 32 nodes (ms); measured | paper",
+        "Greedy best on every real problem (all densities < 50 %); \
+         Linear far worst",
+    );
+    let patterns = table12_patterns(32);
+    println!(
+        "{:>16} {:>14} {:>17} {:>17} {:>17} {:>17}",
+        "workload", "dens/avgB", "Linear", "Pairwise", "Balanced", "Greedy"
+    );
+    for (row, (name, pattern)) in TABLE_12.iter().zip(&patterns) {
+        assert_eq!(row.name, *name);
+        print!(
+            "{:>16} {:>6.0}%/{:<6.0}",
+            name,
+            pattern.density() * 100.0,
+            pattern.avg_msg_bytes()
+        );
+        for (i, alg) in IrregularAlg::ALL.iter().enumerate() {
+            let t = irregular_time(*alg, pattern).as_millis_f64();
+            print!(" {:>8.3}|{:<8.3}", t, row.times_ms[i]);
+        }
+        println!();
+        println!(
+            "{:>16} {:>6.0}%/{:<6.0}   (paper's pattern statistics)",
+            "",
+            row.density * 100.0,
+            row.avg_bytes
+        );
+    }
+}
+
+/// Extensions beyond the paper (opt-in: `report beyond`).
+fn beyond() {
+    header(
+        "Beyond the paper — what-if machines and the crystal-router baseline",
+        "not in the paper; extensions DESIGN.md motivates",
+    );
+
+    // 1. Asynchronous CMMD: the §3.1 hypothetical per algorithm.
+    println!("(a) blocking vs non-blocking sends, 32 nodes, 256 B/pair (ms):");
+    println!("{:>12} {:>12} {:>12} {:>8}", "algorithm", "blocking", "isend", "gain");
+    let mut rows = Vec::new();
+    for alg in ExchangeAlg::ALL {
+        let schedule = alg.schedule(32, 256);
+        let params = MachineParams::cm5_1992();
+        let sim = Simulation::new(32, params);
+        let sync = sim
+            .run_ops(&lower(&schedule))
+            .expect("sync run")
+            .makespan
+            .as_millis_f64();
+        let asy = sim
+            .run_ops(&lower_with(
+                &schedule,
+                &LowerOptions {
+                    async_sends: true,
+                    ..Default::default()
+                },
+            ))
+            .expect("async run")
+            .makespan
+            .as_millis_f64();
+        println!("{:>12} {sync:>12.3} {asy:>12.3} {:>7.2}x", alg.name(), sync / asy);
+        rows.push(vec![
+            alg.name().to_string(),
+            format!("{sync:.4}"),
+            format!("{asy:.4}"),
+        ]);
+    }
+    write_csv("beyond_async", &["algorithm", "blocking_ms", "isend_ms"], &rows);
+
+    // 2. The 1993 vector-unit upgrade: Table 5's 2048² row recomputed.
+    println!("\n(b) Table 5, 2048² on 32 procs, scalar 1992 vs vector 1993 (s):");
+    println!("{:>12} {:>12} {:>12}", "algorithm", "scalar", "vector");
+    for alg in ExchangeAlg::ALL {
+        let programs = cm5_workloads::fft2d_programs(alg, 32, 2048, 8);
+        let scalar = Simulation::new(32, MachineParams::cm5_1992())
+            .run_ops(&programs)
+            .expect("scalar run")
+            .makespan
+            .as_secs_f64();
+        let vector = Simulation::new(32, MachineParams::cm5_vector_1993())
+            .run_ops(&programs)
+            .expect("vector run")
+            .makespan
+            .as_secs_f64();
+        println!("{:>12} {scalar:>12.3} {vector:>12.3}", alg.name());
+    }
+    println!(
+        "vector units shrink compute ~12x; the exchange algorithm choice \n\
+         becomes the dominant term — scheduling matters more, not less."
+    );
+
+    // 3. Crystal router vs greedy across message sizes.
+    println!("\n(c) crystal router (Fox et al.) vs greedy, 32 nodes, 50% density (ms):");
+    println!("{:>10} {:>12} {:>12}", "msg bytes", "greedy", "crystal");
+    let mut rows = Vec::new();
+    for &bytes in &[4u64, 16, 64, 256, 1024] {
+        let pattern = Pattern::seeded_random(32, 0.5, bytes, 42);
+        let params = MachineParams::cm5_1992();
+        let g = run_schedule(&gs(&pattern), &params)
+            .expect("gs run")
+            .makespan
+            .as_millis_f64();
+        let c = run_schedule(&cm5_core::irregular::crystal(&pattern), &params)
+            .expect("crystal run")
+            .makespan
+            .as_millis_f64();
+        println!("{bytes:>10} {g:>12.3} {c:>12.3}");
+        rows.push(vec![bytes.to_string(), format!("{g:.4}"), format!("{c:.4}")]);
+    }
+    write_csv("beyond_crystal", &["bytes", "greedy_ms", "crystal_ms"], &rows);
+
+    // 4. The architectural counterfactual: the same schedules on the
+    //    hypercube PEX was designed for.
+    use cm5_sim::{Hypercube, Topology};
+    println!("\n(d) PEX vs BEX on the fat tree vs on a hypercube, 32 nodes, 1920 B (ms):");
+    println!("{:>12} {:>12} {:>12}", "topology", "Pairwise", "Balanced");
+    for (name, topo) in [
+        ("fat tree", Topology::FatTree(cm5_sim::FatTree::new(32))),
+        ("hypercube", Topology::Hypercube(Hypercube::new(32))),
+    ] {
+        print!("{name:>12}");
+        for alg in [ExchangeAlg::Pex, ExchangeAlg::Bex] {
+            let t = Simulation::new_on(topo.clone(), MachineParams::cm5_1992())
+                .run_ops(&lower(&alg.schedule(32, 1920)))
+                .expect("topology run")
+                .makespan
+                .as_millis_f64();
+            print!(" {t:>12.3}");
+        }
+        println!();
+    }
+    println!(
+        "on the hypercube, PEX's XOR steps are congestion-free and BEX's \n\
+         rotation only hurts — the paper's §3.4 result is a fat-tree fact."
+    );
+}

@@ -1,0 +1,140 @@
+//! The paper's published numbers, transcribed for side-by-side comparison.
+//!
+//! Only Tables 5, 11 and 12 print absolute values in the text; the figures
+//! (5–8, 10, 11) are curves, so for those the report prints our measured
+//! series together with the paper's *qualitative* claims.
+
+/// Table 5 — "Performance of Scheduling Algorithms on 2D FFT (Time in
+/// Secs.)". Rows: array side ∈ {256, 512, 1024, 2048}; per row, the times
+/// for (Linear, Pairwise, Recursive, Balanced) on 32 and on 256 processors.
+pub struct Table5Row {
+    /// Array side (the array is side × side complex).
+    pub side: usize,
+    /// 32-processor times, seconds: (LEX, PEX, REX, BEX).
+    pub p32: [f64; 4],
+    /// 256-processor times, seconds.
+    pub p256: [f64; 4],
+}
+
+/// Table 5 of the paper.
+pub const TABLE_5: [Table5Row; 4] = [
+    Table5Row {
+        side: 256,
+        p32: [0.215, 0.152, 0.112, 0.114],
+        p256: [4.340, 0.076, 0.077, 0.076],
+    },
+    Table5Row {
+        side: 512,
+        p32: [0.845, 0.470, 0.467, 0.470],
+        p256: [4.750, 0.120, 0.120, 0.120],
+    },
+    Table5Row {
+        side: 1024,
+        p32: [3.135, 2.007, 2.480, 2.005],
+        p256: [5.968, 0.314, 0.313, 0.312],
+    },
+    Table5Row {
+        side: 2048,
+        p32: [14.780, 9.032, 9.245, 8.509],
+        p256: [18.087, 1.738, 2.160, 1.668],
+    },
+];
+
+/// Table 11 — synthetic irregular patterns on 32 processors, times in ms.
+/// Rows: (density %, msg bytes) → (Linear, Pairwise, Balanced, Greedy).
+pub struct Table11Row {
+    /// Pattern density as a fraction of complete exchange.
+    pub density: f64,
+    /// Message size in bytes.
+    pub msg: u64,
+    /// Times in milliseconds: (LS, PS, BS, GS).
+    pub times_ms: [f64; 4],
+}
+
+/// Table 11 of the paper.
+pub const TABLE_11: [Table11Row; 8] = [
+    Table11Row { density: 0.10, msg: 256, times_ms: [4.723, 1.766, 1.933, 1.597] },
+    Table11Row { density: 0.10, msg: 512, times_ms: [6.116, 2.275, 2.494, 2.044] },
+    Table11Row { density: 0.25, msg: 256, times_ms: [11.67, 3.977, 3.724, 3.266] },
+    Table11Row { density: 0.25, msg: 512, times_ms: [15.34, 5.193, 4.861, 4.192] },
+    Table11Row { density: 0.50, msg: 256, times_ms: [29.01, 6.324, 6.034, 6.009] },
+    Table11Row { density: 0.50, msg: 512, times_ms: [38.27, 8.360, 8.013, 7.934] },
+    Table11Row { density: 0.75, msg: 256, times_ms: [50.14, 7.882, 7.856, 9.241] },
+    Table11Row { density: 0.75, msg: 512, times_ms: [66.63, 10.52, 10.50, 12.29] },
+];
+
+/// Table 12 — real irregular patterns on 32 processors, times in ms.
+pub struct Table12Row {
+    /// Workload name as printed in the paper.
+    pub name: &'static str,
+    /// The paper's reported pattern density (fraction of complete exchange).
+    pub density: f64,
+    /// The paper's reported mean bytes per message.
+    pub avg_bytes: f64,
+    /// Times in milliseconds: (LS, PS, BS, GS).
+    pub times_ms: [f64; 4],
+}
+
+/// Table 12 of the paper.
+pub const TABLE_12: [Table12Row; 5] = [
+    Table12Row {
+        name: "Conj. Grad. 16K",
+        density: 0.09,
+        avg_bytes: 643.0,
+        times_ms: [8.046, 6.623, 7.188, 5.799],
+    },
+    Table12Row {
+        name: "Euler 545",
+        density: 0.37,
+        avg_bytes: 85.0,
+        times_ms: [25.87, 7.374, 7.386, 5.656],
+    },
+    Table12Row {
+        name: "Euler 2K",
+        density: 0.44,
+        avg_bytes: 226.0,
+        times_ms: [48.88, 15.04, 15.07, 12.30],
+    },
+    Table12Row {
+        name: "Euler 3K",
+        density: 0.29,
+        avg_bytes: 612.0,
+        times_ms: [50.78, 19.98, 17.57, 14.34],
+    },
+    Table12Row {
+        name: "Euler 9K",
+        density: 0.44,
+        avg_bytes: 505.0,
+        times_ms: [77.13, 21.91, 20.19, 17.01],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transcription_sanity() {
+        // Linear is the worst column in every transcribed row.
+        for row in &TABLE_11 {
+            assert!(row.times_ms[0] > row.times_ms[1]);
+            assert!(row.times_ms[0] > row.times_ms[3]);
+        }
+        for row in &TABLE_12 {
+            assert!(row.times_ms[0] > row.times_ms[3]);
+            // All real densities are below the 50 % crossover, so greedy is
+            // the paper's winner in every row.
+            assert!(row.density < 0.5);
+            let min = row
+                .times_ms
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(min, row.times_ms[3]);
+        }
+        for row in &TABLE_5 {
+            assert!(row.p32[0] > row.p32[1]);
+            assert!(row.p256[0] > row.p256[1]);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Shared experiment runners: one function per experiment family, used by
+//! both the Criterion benches and the `report` binary.
+
+use cm5_core::prelude::*;
+use cm5_sim::{MachineParams, Op, SimDuration, Simulation};
+use cm5_workloads::fft::fft2d_programs;
+use cm5_workloads::synthetic::synthetic_pattern_exact;
+
+/// Machine-size sweep used by Figures 6–8 and 11.
+pub const MACHINE_SIZES: [usize; 4] = [32, 64, 128, 256];
+/// Message-size sweep of Figure 5 (bytes).
+pub const FIG5_MSG_SIZES: [u64; 9] = [0, 16, 64, 128, 256, 512, 1024, 1920, 2048];
+/// Message-size sweep of Figure 10 (bytes).
+pub const FIG10_MSG_SIZES: [u64; 8] = [0, 256, 512, 1024, 2048, 4096, 8192, 16384];
+/// Number of synthetic-pattern seeds averaged per Table 11 cell.
+pub const TABLE11_SEEDS: u64 = 5;
+
+/// Simulated time of one complete exchange.
+pub fn exchange_time(alg: ExchangeAlg, n: usize, bytes: u64) -> SimDuration {
+    run_schedule(&alg.schedule(n, bytes), &MachineParams::cm5_1992())
+        .unwrap_or_else(|e| panic!("{} n={n} bytes={bytes}: {e}", alg.name()))
+        .makespan
+}
+
+/// Simulated time of one complete exchange under explicit parameters
+/// (ablations).
+pub fn exchange_time_with(
+    alg: ExchangeAlg,
+    n: usize,
+    bytes: u64,
+    params: &MachineParams,
+) -> SimDuration {
+    run_schedule(&alg.schedule(n, bytes), params)
+        .unwrap_or_else(|e| panic!("{} n={n} bytes={bytes}: {e}", alg.name()))
+        .makespan
+}
+
+/// Simulated time of one one-to-all broadcast from node 0.
+pub fn broadcast_time(alg: BroadcastAlg, n: usize, bytes: u64) -> SimDuration {
+    let programs = broadcast_programs(alg, n, 0, bytes);
+    Simulation::new(n, MachineParams::cm5_1992())
+        .run_ops(&programs)
+        .unwrap_or_else(|e| panic!("{} n={n} bytes={bytes}: {e}", alg.name()))
+        .makespan
+}
+
+/// Simulated time of the 2-D FFT cost model (Table 5): `side × side`
+/// single-precision complex array on `procs` processors.
+pub fn fft_time(alg: ExchangeAlg, procs: usize, side: usize) -> SimDuration {
+    let programs = fft2d_programs(alg, procs, side, 8);
+    Simulation::new(procs, MachineParams::cm5_1992())
+        .run_ops(&programs)
+        .unwrap_or_else(|e| panic!("{} p={procs} side={side}: {e}", alg.name()))
+        .makespan
+}
+
+/// Simulated time of one irregular schedule execution.
+pub fn irregular_time(alg: IrregularAlg, pattern: &Pattern) -> SimDuration {
+    run_schedule(&alg.schedule(pattern), &MachineParams::cm5_1992())
+        .unwrap_or_else(|e| panic!("{}: {e}", alg.name()))
+        .makespan
+}
+
+/// Mean simulated milliseconds over [`TABLE11_SEEDS`] synthetic patterns
+/// (Table 11 cell).
+pub fn table11_cell(alg: IrregularAlg, density: f64, msg: u64) -> f64 {
+    let mut total = 0.0;
+    for seed in 0..TABLE11_SEEDS {
+        let pattern = synthetic_pattern_exact(32, density, msg, 0x7AB1E + seed);
+        total += irregular_time(alg, &pattern).as_millis_f64();
+    }
+    total / TABLE11_SEEDS as f64
+}
+
+/// The five Table 12 workload patterns on `parts` processors, with names.
+pub fn table12_patterns(parts: usize) -> Vec<(&'static str, Pattern)> {
+    vec![
+        ("Conj. Grad. 16K", cm5_workloads::cg_pattern(parts)),
+        ("Euler 545", cm5_workloads::euler_pattern(545, parts)),
+        ("Euler 2K", cm5_workloads::euler_pattern(2048, parts)),
+        ("Euler 3K", cm5_workloads::euler_pattern(3072, parts)),
+        ("Euler 9K", cm5_workloads::euler_pattern(9216, parts)),
+    ]
+}
+
+/// A quick engine micro-workload: `msgs` back-to-back ping-pongs between
+/// two nodes (for benchmarking the event core itself).
+pub fn pingpong_programs(msgs: usize, bytes: u64) -> Vec<cm5_sim::OpProgram> {
+    let mut a = Vec::with_capacity(msgs * 2);
+    let mut b = Vec::with_capacity(msgs * 2);
+    for k in 0..msgs as u32 {
+        a.push(Op::Send { to: 1, bytes, tag: k });
+        a.push(Op::Recv { from: 1, tag: k });
+        b.push(Op::Recv { from: 0, tag: k });
+        b.push(Op::Send { to: 0, bytes, tag: k });
+    }
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runners_produce_positive_times() {
+        assert!(exchange_time(ExchangeAlg::Pex, 8, 64).as_nanos() > 0);
+        assert!(broadcast_time(BroadcastAlg::Recursive, 8, 64).as_nanos() > 0);
+        assert!(fft_time(ExchangeAlg::Bex, 8, 64).as_nanos() > 0);
+        assert!(table11_cell(IrregularAlg::Gs, 0.1, 256) > 0.0);
+    }
+
+    #[test]
+    fn pingpong_runs() {
+        let r = Simulation::new(2, MachineParams::cm5_1992())
+            .run_ops(&pingpong_programs(10, 16))
+            .unwrap();
+        assert_eq!(r.messages, 20);
+    }
+
+    #[test]
+    fn table12_patterns_have_paper_shape() {
+        let pats = table12_patterns(32);
+        assert_eq!(pats.len(), 5);
+        for (name, p) in &pats {
+            assert!(p.density() < 0.5, "{name}: density {}", p.density());
+            assert!(p.nonzero_pairs() > 0, "{name}");
+        }
+    }
+}

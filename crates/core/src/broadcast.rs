@@ -1,0 +1,177 @@
+//! One-to-all broadcast algorithms (paper §3.6).
+//!
+//! * [`lib_linear`] — Linear Broadcast (LIB): the source sends the message
+//!   to every other processor one by one; N−1 serialized steps.
+//! * [`reb`] — Recursive Broadcast (REB, Figure 9): lg N doubling steps; the
+//!   set of informed processors doubles each step. Unlike the system
+//!   broadcast, REB can target any subset ("selective broadcast"), e.g. one
+//!   mesh row.
+//! * The *system* broadcast is not a schedule — it is a machine primitive
+//!   (the whole partition participates); see
+//!   [`cm5_sim::Op::SystemBcast`] and [`crate::exec::broadcast_programs`].
+
+use crate::schedule::{CommOp, Schedule, Step};
+
+/// Which broadcast implementation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BroadcastAlg {
+    /// Linear Broadcast (LIB).
+    Linear,
+    /// Recursive Broadcast (REB).
+    Recursive,
+    /// The CMMD system broadcast primitive.
+    System,
+}
+
+impl BroadcastAlg {
+    /// All three, in the paper's order.
+    pub const ALL: [BroadcastAlg; 3] = [
+        BroadcastAlg::Linear,
+        BroadcastAlg::Recursive,
+        BroadcastAlg::System,
+    ];
+
+    /// The paper's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BroadcastAlg::Linear => "LIB",
+            BroadcastAlg::Recursive => "REB",
+            BroadcastAlg::System => "System",
+        }
+    }
+}
+
+/// Linear Broadcast: `root` sends `bytes` to every other node in ascending
+/// order, one step per destination (N−1 steps).
+pub fn lib_linear(n: usize, root: usize, bytes: u64) -> Schedule {
+    assert!(n >= 2 && root < n, "need n>=2 and root<n");
+    let mut schedule = Schedule::new(n);
+    for dst in 0..n {
+        if dst == root {
+            continue;
+        }
+        schedule.push_step(Step {
+            ops: vec![CommOp::Send {
+                from: root,
+                to: dst,
+                bytes,
+            }],
+        });
+    }
+    schedule
+}
+
+/// REB partner relationship at a step: with virtual numbering `v = me ^
+/// root`, at step `j ∈ 1..=lg N` (`distance = N/2^j`) every informed node
+/// `v ≡ 0 (mod 2·distance)` sends to `v + distance`.
+///
+/// Returns the schedule of lg N steps.
+pub fn reb(n: usize, root: usize, bytes: u64) -> Schedule {
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "REB requires a power-of-two node count, got {n}"
+    );
+    assert!(root < n, "root {root} out of range");
+    let mut schedule = Schedule::new(n);
+    let mut distance = n / 2;
+    while distance >= 1 {
+        let mut step = Step::default();
+        let mut v = 0;
+        while v + distance < n {
+            // Virtual sender v (a multiple of 2·distance) informs
+            // v + distance; physical ids are XOR-relabelled by the root.
+            step.ops.push(CommOp::Send {
+                from: v ^ root,
+                to: (v + distance) ^ root,
+                bytes,
+            });
+            v += 2 * distance;
+        }
+        schedule.push_step(step);
+        distance /= 2;
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lib_has_n_minus_1_serial_steps() {
+        let s = lib_linear(8, 0, 1024);
+        assert_eq!(s.num_steps(), 7);
+        for (i, step) in s.steps().iter().enumerate() {
+            assert_eq!(step.ops.len(), 1);
+            assert_eq!(step.ops[0].endpoints(), (0, i + 1));
+        }
+    }
+
+    #[test]
+    fn lib_from_nonzero_root() {
+        let s = lib_linear(4, 2, 10);
+        let dsts: Vec<usize> = s
+            .steps()
+            .iter()
+            .map(|st| st.ops[0].endpoints().1)
+            .collect();
+        assert_eq!(dsts, vec![0, 1, 3]);
+    }
+
+    /// Figure 9's doubling pattern from root 0 on 8 nodes:
+    /// step 1: 0→4; step 2: 0→2, 4→6; step 3: 0→1, 2→3, 4→5, 6→7.
+    #[test]
+    fn reb_doubling_from_zero() {
+        let s = reb(8, 0, 64);
+        assert_eq!(s.num_steps(), 3);
+        let expect: [&[(usize, usize)]; 3] = [
+            &[(0, 4)],
+            &[(0, 2), (4, 6)],
+            &[(0, 1), (2, 3), (4, 5), (6, 7)],
+        ];
+        for (i, step) in s.steps().iter().enumerate() {
+            let pairs: Vec<(usize, usize)> =
+                step.ops.iter().map(|op| op.endpoints()).collect();
+            assert_eq!(pairs, expect[i], "step {}", i + 1);
+        }
+    }
+
+    /// Every node must receive exactly once, senders must already be
+    /// informed, and the informed set doubles.
+    #[test]
+    fn reb_correct_for_any_root() {
+        for n in [2usize, 4, 8, 16, 64] {
+            for root in [0, 1, n / 2, n - 1] {
+                let s = reb(n, root, 1);
+                let mut informed = vec![false; n];
+                informed[root] = true;
+                for step in s.steps() {
+                    let mut newly = Vec::new();
+                    for op in &step.ops {
+                        let (from, to) = op.endpoints();
+                        assert!(informed[from], "n={n} root={root}: {from} sent before informed");
+                        assert!(!informed[to], "n={n} root={root}: {to} informed twice");
+                        newly.push(to);
+                    }
+                    for t in newly {
+                        informed[t] = true;
+                    }
+                }
+                assert!(informed.iter().all(|&i| i), "n={n} root={root}: someone missed");
+            }
+        }
+    }
+
+    #[test]
+    fn reb_steps_disjoint() {
+        for n in [4usize, 32, 256] {
+            reb(n, 3 % n, 1).check_pairwise_disjoint().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn reb_rejects_non_power_of_two() {
+        reb(6, 0, 1);
+    }
+}

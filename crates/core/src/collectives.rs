@@ -1,0 +1,296 @@
+//! The other regular communication patterns the paper's §3 names.
+//!
+//! "A regular communication pattern is one in which the pattern of data
+//! access is regular and can be detected at compile time; for example
+//! **shift**, complete exchange, broadcast etc." — this module supplies the
+//! rest of that family (shift, gather, scatter, all-gather), scheduled on
+//! the same machinery as the paper's headline algorithms. They round out
+//! the library the way the CrOS III system the paper cites did for
+//! hypercubes.
+
+use bytes::{Bytes, BytesMut};
+use cm5_sim::CmmdNode;
+
+use crate::schedule::{CommOp, Schedule, Step};
+
+/// Circular shift: every node sends `bytes` to `(i + offset) mod n`.
+/// One step of n concurrent sends; `offset` is reduced mod n and must not
+/// be ≡ 0.
+pub fn shift(n: usize, offset: usize, bytes: u64) -> Schedule {
+    assert!(n >= 2, "shift needs at least 2 nodes");
+    let offset = offset % n;
+    assert!(offset != 0, "shift offset must be nonzero mod n");
+    let mut schedule = Schedule::new(n);
+    let mut step = Step::default();
+    for i in 0..n {
+        step.ops.push(CommOp::Send {
+            from: i,
+            to: (i + offset) % n,
+            bytes,
+        });
+    }
+    schedule.push_step(step);
+    schedule
+}
+
+/// Gather: every node sends `bytes` to `root` (one fan-in step — the same
+/// serialization LEX suffers, which is why gathers on the CM-5 were slow).
+pub fn gather(n: usize, root: usize, bytes: u64) -> Schedule {
+    assert!(n >= 2 && root < n);
+    let mut schedule = Schedule::new(n);
+    let mut step = Step::default();
+    for i in 0..n {
+        if i != root {
+            step.ops.push(CommOp::Send {
+                from: i,
+                to: root,
+                bytes,
+            });
+        }
+    }
+    schedule.push_step(step);
+    schedule
+}
+
+/// Scatter: `root` sends a distinct `bytes`-byte block to every other node
+/// (serial, LIB-style).
+pub fn scatter(n: usize, root: usize, bytes: u64) -> Schedule {
+    assert!(n >= 2 && root < n);
+    let mut schedule = Schedule::new(n);
+    for i in 0..n {
+        if i != root {
+            schedule.push_step(Step {
+                ops: vec![CommOp::Send {
+                    from: root,
+                    to: i,
+                    bytes,
+                }],
+            });
+        }
+    }
+    schedule
+}
+
+/// All-gather (all-to-all broadcast) by recursive doubling: lg N exchange
+/// steps in which each node's accumulated buffer doubles — step `s`
+/// exchanges `bytes · 2^s`. Store-and-forward (pack/unpack charged).
+pub fn allgather(n: usize, bytes: u64) -> Schedule {
+    crate::regular::assert_power_of_two(n, "allgather");
+    let mut schedule = Schedule::new(n);
+    schedule.store_and_forward = true;
+    let steps = n.trailing_zeros();
+    for s in 0..steps {
+        let dist = 1usize << s;
+        let block = bytes << s;
+        let mut step = Step::default();
+        for i in 0..n {
+            let partner = i ^ dist;
+            if i < partner {
+                step.ops.push(CommOp::Exchange {
+                    a: i,
+                    b: partner,
+                    bytes_ab: block,
+                    bytes_ba: block,
+                });
+            }
+        }
+        schedule.push_step(step);
+    }
+    schedule
+}
+
+/// Payload-carrying all-gather over the CMMD thread API: every node
+/// contributes `mine`; returns all contributions indexed by node id.
+/// Recursive doubling with real buffer concatenation — blocks are
+/// fixed-size, so reassembly is positional.
+pub fn allgather_payload(node: &CmmdNode, mine: Bytes) -> Vec<Bytes> {
+    let n = node.nodes();
+    let me = node.id();
+    assert!(n.is_power_of_two(), "allgather requires a power-of-two count");
+    let block = mine.len();
+    // have[j] = Some(block) once known.
+    let mut have: Vec<Option<Bytes>> = vec![None; n];
+    have[me] = Some(mine);
+    // Group of known ids at step s: ids agreeing with me above bit s.
+    for s in 0..n.trailing_zeros() {
+        let dist = 1usize << s;
+        let partner = me ^ dist;
+        // Send everything I currently know: my aligned group of 2^s blocks.
+        let my_half: Vec<usize> = (0..dist).map(|k| (me & !(dist - 1)) + k).collect();
+        let mut buf = BytesMut::with_capacity(dist * block);
+        for &j in &my_half {
+            buf.extend_from_slice(
+                have[j].as_ref().expect("doubling invariant: block known"),
+            );
+        }
+        node.memcpy(buf.len() as u64);
+        let got = node.swap(partner, s, buf.freeze());
+        node.memcpy(got.len() as u64);
+        assert_eq!(got.len(), dist * block, "step {s}: partner sent wrong size");
+        let their_base = partner & !(dist - 1);
+        for k in 0..dist {
+            have[their_base + k] = Some(got.slice(k * block..(k + 1) * block));
+        }
+    }
+    have.into_iter()
+        .map(|b| b.expect("allgather must fill every slot"))
+        .collect()
+}
+
+/// Payload-carrying circular shift.
+pub fn shift_payload(node: &CmmdNode, offset: usize, data: Bytes) -> Bytes {
+    let n = node.nodes();
+    let me = node.id();
+    let offset = offset % n;
+    assert!(offset != 0, "shift offset must be nonzero mod n");
+    let to = (me + offset) % n;
+    let from = (me + n - offset) % n;
+    // Deadlock-free ordering mirroring the schedule lowering: nodes whose
+    // sender-of-record comes earlier receive first.
+    if from < me {
+        let got = node.recv_block(from, 0);
+        node.send_block(to, 0, data);
+        got
+    } else {
+        node.send_block(to, 0, data);
+        node.recv_block(from, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{lower, run_schedule};
+    use cm5_sim::{MachineParams, Simulation};
+
+    #[test]
+    fn shift_schedule_shape() {
+        let s = shift(8, 3, 100);
+        assert_eq!(s.num_steps(), 1);
+        assert_eq!(s.steps()[0].ops.len(), 8);
+        assert_eq!(s.total_bytes(), 800);
+        // Every node sends once and receives once.
+        let mut sends = vec![0; 8];
+        let mut recvs = vec![0; 8];
+        for op in &s.steps()[0].ops {
+            let (f, t) = op.endpoints();
+            sends[f] += 1;
+            recvs[t] += 1;
+        }
+        assert!(sends.iter().all(|&c| c == 1));
+        assert!(recvs.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn shift_runs_without_deadlock_all_offsets() {
+        // Shift cycles are the classic rendezvous deadlock trap; the
+        // lowering's append order must break every cycle, including the
+        // even-offset multi-cycle cases.
+        let params = MachineParams::cm5_1992();
+        for n in [4usize, 8, 12, 16] {
+            for offset in 1..n {
+                let r = run_schedule(&shift(n, offset, 64), &params)
+                    .unwrap_or_else(|e| panic!("n={n} offset={offset}: {e}"));
+                assert_eq!(r.messages, n as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn shift_payload_rotates_data() {
+        let n = 8;
+        let sim = Simulation::new(n, MachineParams::cm5_1992());
+        for offset in [1usize, 2, 5] {
+            let (_, got) = sim
+                .run_nodes_collect(|node| {
+                    let data = Bytes::from(vec![node.id() as u8; 4]);
+                    shift_payload(node, offset, data)
+                })
+                .unwrap();
+            for (me, data) in got.iter().enumerate() {
+                let expect = (me + n - offset) % n;
+                assert_eq!(data[0] as usize, expect, "offset {offset} node {me}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_fans_into_root() {
+        let s = gather(8, 3, 50);
+        assert_eq!(s.num_steps(), 1);
+        let r = run_schedule(&s, &MachineParams::cm5_1992()).unwrap();
+        assert_eq!(r.messages, 7);
+        // Fan-in serializes through the root's per-receive software
+        // overhead (40 µs) + transfer + delivery latency per message.
+        assert!(r.makespan.as_micros_f64() > 7.0 * 50.0);
+    }
+
+    #[test]
+    fn scatter_is_serial_from_root() {
+        let s = scatter(8, 0, 50);
+        assert_eq!(s.num_steps(), 7);
+        let r = run_schedule(&s, &MachineParams::cm5_1992()).unwrap();
+        assert_eq!(r.messages, 7);
+    }
+
+    #[test]
+    fn allgather_doubles_block_sizes() {
+        let s = allgather(8, 100);
+        assert_eq!(s.num_steps(), 3);
+        let sizes: Vec<u64> = s
+            .steps()
+            .iter()
+            .map(|st| match st.ops[0] {
+                CommOp::Exchange { bytes_ab, .. } => bytes_ab,
+                _ => panic!("allgather emits exchanges"),
+            })
+            .collect();
+        assert_eq!(sizes, vec![100, 200, 400]);
+        assert!(s.store_and_forward);
+        let progs = lower(&s);
+        assert_eq!(progs.len(), 8);
+    }
+
+    #[test]
+    fn allgather_payload_collects_everything() {
+        let n = 16;
+        let sim = Simulation::new(n, MachineParams::cm5_1992());
+        let (report, results) = sim
+            .run_nodes_collect(|node| {
+                let mine = Bytes::from(vec![node.id() as u8, 0xA5, node.id() as u8]);
+                allgather_payload(node, mine)
+            })
+            .unwrap();
+        for (me, all) in results.iter().enumerate() {
+            assert_eq!(all.len(), n, "node {me}");
+            for (j, block) in all.iter().enumerate() {
+                assert_eq!(block.as_ref(), &[j as u8, 0xA5, j as u8], "node {me} from {j}");
+            }
+        }
+        // lg 16 = 4 rounds of n/2 pairs × 2 messages.
+        assert_eq!(report.messages, 4 * (n as u64 / 2) * 2);
+    }
+
+    #[test]
+    fn allgather_beats_linear_gather_broadcast() {
+        // The doubling all-gather should easily beat gather-then-LIB.
+        let params = MachineParams::cm5_1992();
+        let n = 32;
+        let bytes = 256;
+        let ag = run_schedule(&allgather(n, bytes), &params).unwrap().makespan;
+        let g = run_schedule(&gather(n, 0, bytes), &params).unwrap().makespan;
+        let b = run_schedule(&crate::broadcast::lib_linear(n, 0, bytes * n as u64), &params)
+            .unwrap()
+            .makespan;
+        assert!(
+            ag.as_nanos() < (g.as_nanos() + b.as_nanos()) / 2,
+            "allgather {ag} vs gather {g} + linear bcast {b}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn shift_rejects_zero_offset() {
+        shift(8, 8, 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Balanced Scheduling (BS, paper §4.3).
+//!
+//! The BEX pairing (XOR over rotated virtual numbers) applied to an
+//! irregular pattern. Like PS it exchanges/sends/idles per the matrix and
+//! drops empty steps; unlike PS its active pairs inherit BEX's balanced
+//! local/remote mix, which is why BS wins once the pattern is dense enough
+//! (> 50 %) for root contention to matter.
+
+use super::pair_op;
+use crate::pattern::Pattern;
+use crate::regular::bex_partner;
+use crate::schedule::{Schedule, Step};
+
+/// Generate the BS schedule for `pattern` (node count must be a power of
+/// two for the virtual-number XOR pairing).
+pub fn bs(pattern: &Pattern) -> Schedule {
+    let n = pattern.n();
+    crate::regular::assert_power_of_two(n, "BS");
+    let mut schedule = Schedule::new(n);
+    for j in 1..n {
+        let mut step = Step::default();
+        for i in 0..n {
+            let k = bex_partner(i, j, n);
+            if i < k {
+                if let Some(op) = pair_op(pattern, i, k) {
+                    step.ops.push(op);
+                }
+            }
+        }
+        schedule.push_step_nonempty(step);
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 9: BS completes pattern P in 7 steps — every BEX step of the
+    /// 8-node machine touches at least one entry of P.
+    #[test]
+    fn paper_table_9() {
+        let p = Pattern::paper_pattern_p(1);
+        let s = bs(&p);
+        assert_eq!(s.num_steps(), 7);
+        s.check_coverage(&p).unwrap();
+        s.check_pairwise_disjoint().unwrap();
+    }
+
+    #[test]
+    fn full_pattern_reduces_to_bex() {
+        let p = Pattern::complete_exchange(8, 32);
+        assert_eq!(bs(&p).steps(), crate::regular::bex(8, 32).steps());
+    }
+
+    #[test]
+    fn coverage_on_random_patterns() {
+        // Deterministic pseudo-random fill without pulling in `rand` here.
+        for n in [4usize, 8, 16, 32] {
+            let mut p = Pattern::new(n);
+            let mut state = 0x9e3779b97f4a7c15u64;
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        if state >> 62 == 0 {
+                            p.set(i, j, 1 + (state & 0xff));
+                        }
+                    }
+                }
+            }
+            bs(&p).check_coverage(&p).unwrap();
+        }
+    }
+}

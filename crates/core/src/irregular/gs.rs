@@ -1,0 +1,214 @@
+//! Greedy Scheduling (GS, paper §4.4, Figure 12).
+//!
+//! Where PS/BS leave a processor idle when its *assigned* partner has
+//! nothing for it, the greedy scheduler lets every processor grab "the next
+//! available processor it has to communicate with". Iterations of the
+//! greedy loop become schedule steps. For sparse patterns (< 50 % density)
+//! this minimizes steps and wins; past ~50 % its ad-hoc pairings can need
+//! *more* steps than the structured schedules, which is the crossover the
+//! paper reports.
+//!
+//! Availability is per direction: a processor that has issued its send for
+//! the step can still *receive* from someone else (visible in Table 10,
+//! step 3, where node 0 sends to 5 and receives from 7 in the same step).
+//! An exchange occupies both directions on both nodes.
+
+use crate::pattern::Pattern;
+use crate::schedule::{CommOp, Schedule, Step};
+
+/// Generate the GS schedule for `pattern` (any node count ≥ 2).
+pub fn gs(pattern: &Pattern) -> Schedule {
+    let n = pattern.n();
+    let mut schedule = Schedule::new(n);
+    // remaining[i] = pending targets of i, kept sorted ascending.
+    let mut remaining: Vec<Vec<usize>> = (0..n)
+        .map(|i| (0..n).filter(|&j| j != i && pattern.get(i, j) > 0).collect())
+        .collect();
+    let mut pending: usize = remaining.iter().map(|r| r.len()).sum();
+    let mut send_busy = vec![false; n];
+    let mut recv_busy = vec![false; n];
+    while pending > 0 {
+        send_busy.fill(false);
+        recv_busy.fill(false);
+        let mut step = Step::default();
+        for i in 0..n {
+            if send_busy[i] || remaining[i].is_empty() {
+                continue;
+            }
+            // The next available target: smallest pending j whose receive
+            // side is free this iteration. A target whose reverse direction
+            // is also pending is *deferred* (not demoted to a one-way send)
+            // when the exchange is infeasible right now — pairing the two
+            // directions later saves a step, and this is the behaviour
+            // Table 10 exhibits.
+            let mut chosen: Option<(usize, bool)> = None; // (position, exchange?)
+            for (pos, &j) in remaining[i].iter().enumerate() {
+                if recv_busy[j] {
+                    continue;
+                }
+                let reverse_pending = remaining[j].binary_search(&i).is_ok();
+                if reverse_pending {
+                    if !send_busy[j] && !recv_busy[i] {
+                        chosen = Some((pos, true));
+                        break;
+                    }
+                    // Exchange blocked this iteration: defer this target.
+                    continue;
+                }
+                chosen = Some((pos, false));
+                break;
+            }
+            let Some((pos, exchange)) = chosen else {
+                continue;
+            };
+            let j = remaining[i][pos];
+            if exchange {
+                let (a, b) = (i.min(j), i.max(j));
+                step.ops.push(CommOp::Exchange {
+                    a,
+                    b,
+                    bytes_ab: pattern.get(a, b),
+                    bytes_ba: pattern.get(b, a),
+                });
+                send_busy[i] = true;
+                recv_busy[i] = true;
+                send_busy[j] = true;
+                recv_busy[j] = true;
+                remaining[i].remove(pos);
+                let rpos = remaining[j]
+                    .binary_search(&i)
+                    .expect("reverse entry present");
+                remaining[j].remove(rpos);
+                pending -= 2;
+            } else {
+                step.ops.push(CommOp::Send {
+                    from: i,
+                    to: j,
+                    bytes: pattern.get(i, j),
+                });
+                send_busy[i] = true;
+                recv_busy[j] = true;
+                remaining[i].remove(pos);
+                pending -= 1;
+            }
+        }
+        debug_assert!(!step.ops.is_empty(), "greedy iteration made no progress");
+        schedule.push_step(step);
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(a: usize, b: usize, p: &Pattern) -> CommOp {
+        CommOp::Exchange {
+            a,
+            b,
+            bytes_ab: p.get(a, b),
+            bytes_ba: p.get(b, a),
+        }
+    }
+
+    fn s(from: usize, to: usize, p: &Pattern) -> CommOp {
+        CommOp::Send {
+            from,
+            to,
+            bytes: p.get(from, to),
+        }
+    }
+
+    /// Table 10 of the paper: the greedy schedule for pattern P, six steps,
+    /// including the step-3 subtlety where node 0 sends to 5 *and* receives
+    /// from 7.
+    #[test]
+    fn paper_table_10() {
+        let p = Pattern::paper_pattern_p(1);
+        let sched = gs(&p);
+        assert_eq!(sched.num_steps(), 6);
+        sched.check_coverage(&p).unwrap();
+        let expect: Vec<Vec<CommOp>> = vec![
+            vec![x(0, 1, &p), x(2, 3, &p), x(4, 5, &p), x(6, 7, &p)],
+            vec![x(0, 3, &p), x(1, 2, &p), x(4, 7, &p), x(5, 6, &p)],
+            vec![s(0, 5, &p), x(1, 4, &p), x(3, 6, &p), s(7, 0, &p)],
+            vec![x(0, 6, &p), x(1, 5, &p), x(3, 4, &p)],
+            vec![s(1, 6, &p), s(3, 5, &p), s(4, 2, &p)],
+            vec![x(1, 7, &p), s(6, 2, &p)],
+        ];
+        for (i, step) in sched.steps().iter().enumerate() {
+            assert_eq!(step.ops, expect[i], "step {}", i + 1);
+        }
+    }
+
+    /// §4.4: "For a complete exchange operation this algorithm creates the
+    /// same communication schedule as pairwise exchange."
+    #[test]
+    fn complete_exchange_reduces_to_pex() {
+        for n in [4usize, 8, 16] {
+            let p = Pattern::complete_exchange(n, 100);
+            assert_eq!(
+                gs(&p).steps(),
+                crate::regular::pex(n, 100).steps(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn directional_availability_respected() {
+        let p = Pattern::paper_pattern_p(1);
+        let sched = gs(&p);
+        // In every step, each node sends at most once and receives at most
+        // once.
+        for (si, step) in sched.steps().iter().enumerate() {
+            let n = p.n();
+            let mut sends = vec![0; n];
+            let mut recvs = vec![0; n];
+            for op in &step.ops {
+                match *op {
+                    CommOp::Exchange { a, b, .. } => {
+                        sends[a] += 1;
+                        recvs[a] += 1;
+                        sends[b] += 1;
+                        recvs[b] += 1;
+                    }
+                    CommOp::Send { from, to, .. } => {
+                        sends[from] += 1;
+                        recvs[to] += 1;
+                    }
+                }
+            }
+            for i in 0..n {
+                assert!(sends[i] <= 1, "step {si}: node {i} sends twice");
+                assert!(recvs[i] <= 1, "step {si}: node {i} receives twice");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_pattern_uses_fewer_steps_than_pairwise() {
+        // A 10%-ish pattern: greedy should need no more steps than PS.
+        let mut p = Pattern::new(16);
+        let picks = [(0, 5), (1, 9), (2, 14), (3, 7), (10, 4), (12, 6), (13, 0)];
+        for &(i, j) in &picks {
+            p.set(i, j, 256);
+        }
+        let g = gs(&p);
+        let ps = crate::irregular::ps(&p);
+        assert!(g.num_steps() <= ps.num_steps());
+        g.check_coverage(&p).unwrap();
+    }
+
+    #[test]
+    fn works_for_non_power_of_two() {
+        let mut p = Pattern::new(6);
+        p.set(0, 3, 10);
+        p.set(3, 0, 20);
+        p.set(1, 4, 5);
+        p.set(5, 2, 7);
+        let g = gs(&p);
+        g.check_coverage(&p).unwrap();
+        assert_eq!(g.num_steps(), 1, "everything fits one greedy iteration");
+    }
+}

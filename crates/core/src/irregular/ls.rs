@@ -1,0 +1,80 @@
+//! Linear Scheduling (LS, paper §4.1).
+//!
+//! The linear-exchange pairing applied to an irregular pattern: step *i*
+//! fans whatever messages the pattern holds for column *i* into processor
+//! *i*; processors with nothing to send that step idle. Under synchronous
+//! communication the single receiver serializes its step, so LS inherits
+//! LEX's pathology — "the linear scheduling algorithm performs the worst in
+//! all cases".
+
+use crate::pattern::Pattern;
+use crate::schedule::{CommOp, Schedule, Step};
+
+/// Generate the LS schedule for `pattern`: step `i` sends every nonzero
+/// `pattern[j][i]` into processor `i` (ascending `j`); steps with no
+/// communication at all are dropped.
+pub fn ls(pattern: &Pattern) -> Schedule {
+    let n = pattern.n();
+    let mut schedule = Schedule::new(n);
+    for receiver in 0..n {
+        let mut step = Step::default();
+        for sender in 0..n {
+            if sender == receiver {
+                continue;
+            }
+            let bytes = pattern.get(sender, receiver);
+            if bytes > 0 {
+                step.ops.push(CommOp::Send {
+                    from: sender,
+                    to: receiver,
+                    bytes,
+                });
+            }
+        }
+        schedule.push_step_nonempty(step);
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 7: LS on the paper's pattern P finishes in 8 steps (every
+    /// column of P is nonempty).
+    #[test]
+    fn paper_table_7_step_count() {
+        let p = Pattern::paper_pattern_p(1);
+        let s = ls(&p);
+        assert_eq!(s.num_steps(), 8);
+        s.check_coverage(&p).unwrap();
+        // Step 0 receives into processor 0 from exactly {1, 3, 6, 7}
+        // (column 0 of Table 6), in ascending order.
+        let senders: Vec<usize> = s.steps()[0]
+            .ops
+            .iter()
+            .map(|op| op.endpoints().0)
+            .collect();
+        assert_eq!(senders, vec![1, 3, 6, 7]);
+    }
+
+    #[test]
+    fn skips_empty_columns() {
+        let mut p = Pattern::new(4);
+        p.set(0, 1, 10);
+        p.set(2, 1, 20);
+        p.set(1, 3, 30);
+        let s = ls(&p);
+        // Only columns 1 and 3 receive anything.
+        assert_eq!(s.num_steps(), 2);
+        s.check_coverage(&p).unwrap();
+    }
+
+    #[test]
+    fn full_pattern_reduces_to_lex() {
+        let p = Pattern::complete_exchange(8, 64);
+        let s = ls(&p);
+        let lex = crate::regular::lex(8, 64);
+        assert_eq!(s.steps(), lex.steps());
+    }
+}

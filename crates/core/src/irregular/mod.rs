@@ -1,0 +1,106 @@
+//! Runtime schedulers for irregular communication patterns (paper §4).
+//!
+//! An irregular problem's communication matrix is only known at runtime.
+//! Each scheduler here takes a [`Pattern`] matrix and
+//! produces a [`Schedule`]; "the communication
+//! schedule needs to be created only once and can be used thereafter … for
+//! as many iterations as required", so schedule *quality* (steps, idle
+//! slots) is what matters.
+//!
+//! | Scheduler | Basis | Behaviour on pattern entries that are zero |
+//! |---|---|---|
+//! | [`ls`](fn@ls) Linear   | LEX pairing  | the processor idles that step |
+//! | [`ps`](fn@ps) Pairwise | PEX pairing  | pair idles; empty steps vanish |
+//! | [`bs`](fn@bs) Balanced | BEX pairing  | pair idles; empty steps vanish |
+//! | [`gs`](fn@gs) Greedy   | Figure 12    | picks the *next available* partner instead of idling |
+
+pub mod bs;
+pub mod crystal;
+pub mod gs;
+pub mod ls;
+pub mod ps;
+
+pub use bs::bs;
+pub use crystal::{crystal, crystal_route_payload};
+pub use gs::gs;
+pub use ls::ls;
+pub use ps::ps;
+
+use crate::pattern::Pattern;
+use crate::schedule::Schedule;
+
+/// Which irregular scheduler to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IrregularAlg {
+    /// Linear Scheduling.
+    Ls,
+    /// Pairwise Scheduling.
+    Ps,
+    /// Balanced Scheduling.
+    Bs,
+    /// Greedy Scheduling.
+    Gs,
+}
+
+impl IrregularAlg {
+    /// All four, in the paper's order.
+    pub const ALL: [IrregularAlg; 4] = [
+        IrregularAlg::Ls,
+        IrregularAlg::Ps,
+        IrregularAlg::Bs,
+        IrregularAlg::Gs,
+    ];
+
+    /// The paper's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IrregularAlg::Ls => "Linear",
+            IrregularAlg::Ps => "Pairwise",
+            IrregularAlg::Bs => "Balanced",
+            IrregularAlg::Gs => "Greedy",
+        }
+    }
+
+    /// Schedule `pattern` with this algorithm.
+    pub fn schedule(&self, pattern: &Pattern) -> Schedule {
+        match self {
+            IrregularAlg::Ls => ls(pattern),
+            IrregularAlg::Ps => ps(pattern),
+            IrregularAlg::Bs => bs(pattern),
+            IrregularAlg::Gs => gs(pattern),
+        }
+    }
+}
+
+/// Shared helper for the pairing-based schedulers (PS and BS): given the
+/// pairing for a step, emit an exchange when both directions are nonzero, a
+/// send when only one is, nothing when the pair does not communicate.
+pub(crate) fn pair_op(
+    pattern: &Pattern,
+    a: usize,
+    b: usize,
+) -> Option<crate::schedule::CommOp> {
+    use crate::schedule::CommOp;
+    debug_assert!(a < b);
+    let ab = pattern.get(a, b);
+    let ba = pattern.get(b, a);
+    match (ab > 0, ba > 0) {
+        (true, true) => Some(CommOp::Exchange {
+            a,
+            b,
+            bytes_ab: ab,
+            bytes_ba: ba,
+        }),
+        (true, false) => Some(CommOp::Send {
+            from: a,
+            to: b,
+            bytes: ab,
+        }),
+        (false, true) => Some(CommOp::Send {
+            from: b,
+            to: a,
+            bytes: ba,
+        }),
+        (false, false) => None,
+    }
+}

@@ -1,0 +1,95 @@
+//! Pairwise Scheduling (PS, paper §4.2).
+//!
+//! The PEX pairing (`me XOR j`) applied to an irregular pattern: each step's
+//! pairs consult the matrix and perform an exchange, a single send, or
+//! nothing. Steps where *nobody* communicates disappear entirely, which is
+//! how PS finishes the paper's pattern P in 6 steps instead of PEX's 7.
+
+use super::pair_op;
+use crate::pattern::Pattern;
+use crate::schedule::{Schedule, Step};
+
+/// Generate the PS schedule for `pattern` (node count must be a power of
+/// two for the XOR pairing).
+pub fn ps(pattern: &Pattern) -> Schedule {
+    let n = pattern.n();
+    crate::regular::assert_power_of_two(n, "PS");
+    let mut schedule = Schedule::new(n);
+    for j in 1..n {
+        let mut step = Step::default();
+        for i in 0..n {
+            let k = i ^ j;
+            if i < k {
+                if let Some(op) = pair_op(pattern, i, k) {
+                    step.ops.push(op);
+                }
+            }
+        }
+        schedule.push_step_nonempty(step);
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::CommOp;
+
+    /// Table 8: PS completes pattern P in 6 steps — the XOR-distance-2 step
+    /// matches no entry of P and vanishes.
+    #[test]
+    fn paper_table_8() {
+        let p = Pattern::paper_pattern_p(1);
+        let s = ps(&p);
+        assert_eq!(s.num_steps(), 6);
+        s.check_coverage(&p).unwrap();
+        s.check_pairwise_disjoint().unwrap();
+        // First step pairs at XOR distance 1: (0,1) exchange, (2,3)
+        // exchange, (4,5) exchange, (6,7) exchange — all four pairs of P's
+        // distance-1 entries are bidirectional.
+        let kinds: Vec<(usize, usize, bool)> = s.steps()[0]
+            .ops
+            .iter()
+            .map(|op| {
+                let (a, b) = op.endpoints();
+                (a, b, matches!(op, CommOp::Exchange { .. }))
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![(0, 1, true), (2, 3, true), (4, 5, true), (6, 7, true)]
+        );
+    }
+
+    /// The empty step is exactly XOR distance 2: pairs (0,2),(1,3),(4,6),
+    /// (5,7) have no entries in P in either direction.
+    #[test]
+    fn distance_two_step_vanishes() {
+        let p = Pattern::paper_pattern_p(1);
+        for (a, b) in [(0usize, 2usize), (1, 3), (4, 6), (5, 7)] {
+            assert!(!p.pair_active(a, b), "({a},{b}) unexpectedly active");
+        }
+    }
+
+    #[test]
+    fn full_pattern_reduces_to_pex() {
+        let p = Pattern::complete_exchange(16, 128);
+        assert_eq!(ps(&p).steps(), crate::regular::pex(16, 128).steps());
+    }
+
+    #[test]
+    fn asymmetric_entries_become_sends() {
+        let mut p = Pattern::new(4);
+        p.set(0, 1, 99); // only one direction
+        let s = ps(&p);
+        assert_eq!(s.num_steps(), 1);
+        assert_eq!(
+            s.steps()[0].ops,
+            vec![CommOp::Send {
+                from: 0,
+                to: 1,
+                bytes: 99
+            }]
+        );
+    }
+}

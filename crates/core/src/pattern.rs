@@ -1,0 +1,247 @@
+//! Communication patterns.
+//!
+//! The paper represents a communication pattern "as a two-dimensional array
+//! called 'Pattern'. The element Pattern\[i\]\[j\] indicates the number of
+//! bytes to be sent from processor i to processor j" (§4). [`Pattern`] is
+//! that matrix, plus the builders and statistics the evaluation needs.
+
+use std::fmt;
+
+/// A dense N×N matrix of bytes-to-send. `get(i, j)` is how many bytes node
+/// `i` must send to node `j`; the diagonal is always zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    n: usize,
+    data: Vec<u64>,
+}
+
+impl Pattern {
+    /// An all-zero pattern over `n` nodes.
+    pub fn new(n: usize) -> Pattern {
+        assert!(n >= 2, "pattern needs at least 2 nodes");
+        Pattern {
+            n,
+            data: vec![0; n * n],
+        }
+    }
+
+    /// The complete-exchange pattern: every ordered pair exchanges `bytes`.
+    pub fn complete_exchange(n: usize, bytes: u64) -> Pattern {
+        let mut p = Pattern::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    p.set(i, j, bytes);
+                }
+            }
+        }
+        p
+    }
+
+    /// Build from explicit rows (row `i` = bytes from `i` to each `j`).
+    /// Panics if the matrix is not square or the diagonal is nonzero.
+    pub fn from_rows(rows: &[Vec<u64>]) -> Pattern {
+        let n = rows.len();
+        let mut p = Pattern::new(n);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "row {i} has wrong length");
+            for (j, &b) in row.iter().enumerate() {
+                if i == j {
+                    assert_eq!(b, 0, "diagonal entry ({i},{i}) must be zero");
+                } else {
+                    p.set(i, j, b);
+                }
+            }
+        }
+        p
+    }
+
+    /// The paper's 8-processor example pattern **P** (Table 6), with each
+    /// unit entry scaled to `bytes` bytes.
+    pub fn paper_pattern_p(bytes: u64) -> Pattern {
+        const P: [[u64; 8]; 8] = [
+            [0, 1, 0, 1, 0, 1, 1, 0],
+            [1, 0, 1, 0, 1, 1, 1, 1],
+            [0, 1, 0, 1, 0, 0, 0, 0],
+            [1, 0, 1, 0, 1, 1, 1, 0],
+            [0, 1, 1, 1, 0, 1, 0, 1],
+            [0, 1, 0, 0, 1, 0, 1, 0],
+            [1, 0, 1, 1, 0, 1, 0, 1],
+            [1, 1, 0, 0, 1, 0, 1, 0],
+        ];
+        let rows: Vec<Vec<u64>> = P
+            .iter()
+            .map(|row| row.iter().map(|&u| u * bytes).collect())
+            .collect();
+        Pattern::from_rows(&rows)
+    }
+
+    /// A deterministic pseudo-random pattern: each ordered pair carries
+    /// `bytes` with probability `density`. Uses a self-contained xorshift
+    /// generator so `cm5-core` needs no RNG dependency (the richer seeded
+    /// generators live in `cm5-workloads::synthetic`).
+    pub fn seeded_random(n: usize, density: f64, bytes: u64, seed: u64) -> Pattern {
+        assert!((0.0..=1.0).contains(&density), "density out of range");
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut p = Pattern::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && next() < density {
+                    p.set(i, j, bytes);
+                }
+            }
+        }
+        p
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes from `i` to `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Set bytes from `i` to `j`. Panics on the diagonal.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, bytes: u64) {
+        assert!(i != j, "cannot send to self ({i})");
+        self.data[i * self.n + j] = bytes;
+    }
+
+    /// Ordered pairs with a nonzero entry.
+    pub fn nonzero_pairs(&self) -> usize {
+        self.data.iter().filter(|&&b| b > 0).count()
+    }
+
+    /// Fraction of the `n(n-1)` possible ordered pairs that communicate —
+    /// the paper's "communication density as a percentage of complete
+    /// exchange".
+    pub fn density(&self) -> f64 {
+        self.nonzero_pairs() as f64 / (self.n * (self.n - 1)) as f64
+    }
+
+    /// Total bytes across all pairs.
+    pub fn total_bytes(&self) -> u64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean bytes per communicating pair (the "average number of bytes
+    /// transferred per communication operation" of Table 12).
+    pub fn avg_msg_bytes(&self) -> f64 {
+        let pairs = self.nonzero_pairs();
+        if pairs == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / pairs as f64
+        }
+    }
+
+    /// Whether `i` talks to `j` in at least one direction.
+    #[inline]
+    pub fn pair_active(&self, i: usize, j: usize) -> bool {
+        self.get(i, j) > 0 || self.get(j, i) > 0
+    }
+
+    /// Whether the *support* is symmetric (`i→j` nonzero ⇔ `j→i` nonzero).
+    pub fn symmetric_support(&self) -> bool {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if (self.get(i, j) > 0) != (self.get(j, i) > 0) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Per-row out-bytes (how much each node must send in total).
+    pub fn row_totals(&self) -> Vec<u64> {
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| self.get(i, j)).sum())
+            .collect()
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                write!(f, "{:>6} ", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_exchange_density_is_one() {
+        let p = Pattern::complete_exchange(8, 256);
+        assert_eq!(p.density(), 1.0);
+        assert_eq!(p.nonzero_pairs(), 56);
+        assert_eq!(p.total_bytes(), 56 * 256);
+        assert!(p.symmetric_support());
+    }
+
+    #[test]
+    fn paper_pattern_matches_table_6() {
+        let p = Pattern::paper_pattern_p(1);
+        // Spot checks against Table 6.
+        assert_eq!(p.get(0, 1), 1);
+        assert_eq!(p.get(0, 2), 0);
+        assert_eq!(p.get(0, 5), 1);
+        assert_eq!(p.get(5, 0), 0); // asymmetric pair
+        assert_eq!(p.get(7, 0), 1);
+        assert_eq!(p.get(0, 7), 0);
+        assert!(!p.symmetric_support());
+        // Row 2 talks only to 1 and 3.
+        assert_eq!(p.row_totals()[2], 2);
+    }
+
+    #[test]
+    fn paper_pattern_scales_bytes() {
+        let p = Pattern::paper_pattern_p(512);
+        assert_eq!(p.get(1, 0), 512);
+        assert_eq!(p.avg_msg_bytes(), 512.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn from_rows_rejects_diagonal() {
+        Pattern::from_rows(&[vec![1, 0], vec![0, 0]]);
+    }
+
+    #[test]
+    fn density_of_sparse_pattern() {
+        let mut p = Pattern::new(4);
+        p.set(0, 1, 100);
+        p.set(2, 3, 100);
+        assert_eq!(p.nonzero_pairs(), 2);
+        assert!((p.density() - 2.0 / 12.0).abs() < 1e-12);
+        assert_eq!(p.avg_msg_bytes(), 100.0);
+    }
+
+    #[test]
+    fn pair_active_sees_both_directions() {
+        let mut p = Pattern::new(4);
+        p.set(0, 1, 5);
+        assert!(p.pair_active(0, 1));
+        assert!(p.pair_active(1, 0));
+        assert!(!p.pair_active(2, 3));
+    }
+}

@@ -1,0 +1,87 @@
+//! Linear Exchange (LEX, paper §3.1).
+//!
+//! The simplest complete-exchange algorithm: N steps; in step *i* processor
+//! *i* receives a message from every other processor. Under the CM-5's
+//! synchronous (rendezvous) communication each of those N−1 transfers
+//! serializes through the single receiver, and every sender waits its turn —
+//! which is why Figure 5 shows LEX an order of magnitude slower than the
+//! pairwise algorithms.
+
+use crate::schedule::{CommOp, Schedule, Step};
+
+/// Generate the LEX schedule: step `i` fans `bytes`-byte messages from every
+/// `j ≠ i` into processor `i`, in ascending sender order (Table 1).
+pub fn lex(n: usize, bytes: u64) -> Schedule {
+    assert!(n >= 2, "LEX needs at least 2 nodes");
+    let mut schedule = Schedule::new(n);
+    for receiver in 0..n {
+        let mut step = Step::default();
+        for sender in 0..n {
+            if sender != receiver {
+                step.ops.push(CommOp::Send {
+                    from: sender,
+                    to: receiver,
+                    bytes,
+                });
+            }
+        }
+        schedule.push_step(step);
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    /// Table 1 of the paper: the 8-processor LEX schedule. Entry `i ← j`
+    /// means processor i receives from processor j in that step; step i is
+    /// exactly {i ← j : j ≠ i}.
+    #[test]
+    fn paper_table_1() {
+        let s = lex(8, 1);
+        assert_eq!(s.num_steps(), 8);
+        for (i, step) in s.steps().iter().enumerate() {
+            assert_eq!(step.ops.len(), 7);
+            let senders: Vec<usize> = step
+                .ops
+                .iter()
+                .map(|op| match *op {
+                    CommOp::Send { from, to, .. } => {
+                        assert_eq!(to, i, "step {i} must receive into processor {i}");
+                        from
+                    }
+                    other => panic!("LEX emits sends only, got {other:?}"),
+                })
+                .collect();
+            let expect: Vec<usize> = (0..8).filter(|&j| j != i).collect();
+            assert_eq!(senders, expect, "step {i} sender order");
+        }
+    }
+
+    #[test]
+    fn covers_complete_exchange() {
+        for n in [2, 4, 8, 16, 32] {
+            let s = lex(n, 256);
+            let p = Pattern::complete_exchange(n, 256);
+            s.check_nodes().unwrap();
+            s.check_coverage(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn not_pairwise_disjoint() {
+        // The receiver appears in all 7 ops of its step.
+        let s = lex(8, 1);
+        assert!(s.check_pairwise_disjoint().is_err());
+    }
+
+    #[test]
+    fn works_for_non_power_of_two() {
+        let s = lex(6, 8);
+        let p = Pattern::complete_exchange(6, 8);
+        s.check_coverage(&p).unwrap();
+        assert_eq!(s.num_steps(), 6);
+    }
+}

@@ -1,0 +1,74 @@
+//! Complete-exchange (all-to-all personalized) algorithms (paper §3).
+//!
+//! Four schedule generators, exactly as the paper defines them:
+//!
+//! | Algorithm | Steps | Message size | Character |
+//! |---|---|---|---|
+//! | [`lex`](fn@lex) Linear Exchange    | N    | n       | one receiver per step — serializes under synchronous CMMD |
+//! | [`pex`](fn@pex) Pairwise Exchange  | N−1  | n       | XOR pairing; clumps root crossings into N/2−1 consecutive all-global steps |
+//! | [`rex`](fn@rex) Recursive Exchange | lg N | n·N/2   | store-and-forward; fewest steps, most data + reshuffle cost |
+//! | [`bex`](fn@bex) Balanced Exchange  | N−1  | n       | PEX on rotated virtual numbers; spreads root crossings across steps |
+
+pub mod bex;
+pub mod lex;
+pub mod pex;
+pub mod rex;
+
+pub use bex::{bex, bex_partner};
+pub use lex::lex;
+pub use pex::pex;
+pub use rex::{rex, rex_partner};
+
+use crate::schedule::Schedule;
+
+/// Which complete-exchange algorithm to use (for drivers that take a
+/// choice at runtime, e.g. the 2-D FFT transpose).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExchangeAlg {
+    /// Linear Exchange.
+    Lex,
+    /// Pairwise Exchange.
+    Pex,
+    /// Recursive Exchange.
+    Rex,
+    /// Balanced Exchange.
+    Bex,
+}
+
+impl ExchangeAlg {
+    /// All four algorithms, in the paper's presentation order.
+    pub const ALL: [ExchangeAlg; 4] = [
+        ExchangeAlg::Lex,
+        ExchangeAlg::Pex,
+        ExchangeAlg::Rex,
+        ExchangeAlg::Bex,
+    ];
+
+    /// The paper's name for the algorithm.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExchangeAlg::Lex => "Linear",
+            ExchangeAlg::Pex => "Pairwise",
+            ExchangeAlg::Rex => "Recursive",
+            ExchangeAlg::Bex => "Balanced",
+        }
+    }
+
+    /// Generate this algorithm's schedule for `n` nodes and `bytes` bytes
+    /// per ordered pair.
+    pub fn schedule(&self, n: usize, bytes: u64) -> Schedule {
+        match self {
+            ExchangeAlg::Lex => lex(n, bytes),
+            ExchangeAlg::Pex => pex(n, bytes),
+            ExchangeAlg::Rex => rex(n, bytes),
+            ExchangeAlg::Bex => bex(n, bytes),
+        }
+    }
+}
+
+pub(crate) fn assert_power_of_two(n: usize, alg: &str) {
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "{alg} requires a power-of-two node count, got {n}"
+    );
+}

@@ -1,0 +1,99 @@
+//! Pairwise Exchange (PEX, paper §3.2, Figure 2).
+//!
+//! N−1 steps; in step `j` every processor exchanges with `me XOR j`, so the
+//! whole pattern decomposes into disjoint pairwise exchanges. This is the
+//! classic hypercube all-to-all that "is known to perform well on Intel
+//! hypercubes". On the CM-5 fat tree its weakness is that the steps with
+//! `j ≥` cluster size are *all*-global: every processor crosses the root at
+//! once (the contention BEX fixes).
+
+use super::assert_power_of_two;
+use crate::schedule::{CommOp, Schedule, Step};
+
+/// Generate the PEX schedule: step `j ∈ 1..N` pairs `i ↔ i^j`, each pair
+/// exchanging `bytes` in both directions.
+pub fn pex(n: usize, bytes: u64) -> Schedule {
+    assert_power_of_two(n, "PEX");
+    let mut schedule = Schedule::new(n);
+    for j in 1..n {
+        let mut step = Step::default();
+        for i in 0..n {
+            let k = i ^ j;
+            if i < k {
+                step.ops.push(CommOp::Exchange {
+                    a: i,
+                    b: k,
+                    bytes_ab: bytes,
+                    bytes_ba: bytes,
+                });
+            }
+        }
+        schedule.push_step(step);
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use cm5_sim::FatTree;
+
+    /// Table 2 of the paper: the 8-processor PEX schedule.
+    #[test]
+    fn paper_table_2() {
+        let s = pex(8, 1);
+        assert_eq!(s.num_steps(), 7);
+        let expect: [&[(usize, usize)]; 7] = [
+            &[(0, 1), (2, 3), (4, 5), (6, 7)], // step 1: i ^ 1
+            &[(0, 2), (1, 3), (4, 6), (5, 7)], // step 2: i ^ 2
+            &[(0, 3), (1, 2), (4, 7), (5, 6)], // step 3: i ^ 3
+            &[(0, 4), (1, 5), (2, 6), (3, 7)], // step 4: i ^ 4
+            &[(0, 5), (1, 4), (2, 7), (3, 6)], // step 5: i ^ 5
+            &[(0, 6), (1, 7), (2, 4), (3, 5)], // step 6: i ^ 6
+            &[(0, 7), (1, 6), (2, 5), (3, 4)], // step 7: i ^ 7
+        ];
+        for (si, step) in s.steps().iter().enumerate() {
+            let pairs: Vec<(usize, usize)> =
+                step.ops.iter().map(|op| op.endpoints()).collect();
+            assert_eq!(pairs, expect[si], "step {}", si + 1);
+        }
+    }
+
+    #[test]
+    fn disjoint_and_covering() {
+        for n in [2, 4, 8, 16, 32, 64] {
+            let s = pex(n, 512);
+            s.check_nodes().unwrap();
+            s.check_pairwise_disjoint().unwrap();
+            s.check_coverage(&Pattern::complete_exchange(n, 512)).unwrap();
+        }
+    }
+
+    /// §3.4's observation: PEX on 8 processors clumps its global exchanges —
+    /// the last 4 steps are all-global, the first 3 all-local.
+    #[test]
+    fn global_steps_are_clumped() {
+        let s = pex(8, 1);
+        let tree = FatTree::new(8);
+        let crossings = s.root_crossings_per_step(&tree);
+        assert_eq!(crossings, vec![0, 0, 0, 4, 4, 4, 4]);
+    }
+
+    /// In general, 3N/4 · N/2 ordered... i.e. N/2·(N−N/4) unordered cross
+    /// pairs... concretely: the total number of root-crossing pairs equals
+    /// (N/2)² for a machine whose root splits the nodes in half.
+    #[test]
+    fn total_global_pairs_32() {
+        let s = pex(32, 1);
+        let tree = FatTree::new(32);
+        let total: usize = s.root_crossings_per_step(&tree).iter().sum();
+        assert_eq!(total, 16 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        pex(6, 1);
+    }
+}

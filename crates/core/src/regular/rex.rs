@@ -1,0 +1,129 @@
+//! Recursive Exchange (REX, paper §3.3, Figure 3).
+//!
+//! lg N steps: at step *i* the machine is divided into groups of
+//! `k = N/2^i` and each processor exchanges with its image in the other
+//! half of its group. It is a **store-and-forward** algorithm: each message
+//! carries *all* data destined for the partner's half — `n·N/2` bytes for an
+//! exchange of `n` bytes per pair — and every step pays a pack/unpack
+//! (reshuffle) memcpy on top. Fewest steps, most bytes: REX wins when
+//! per-step latency dominates (tiny messages, large machines) and loses
+//! when bandwidth and reshuffling dominate.
+
+use super::assert_power_of_two;
+use crate::schedule::{CommOp, Schedule, Step};
+
+/// REX partner of `me` at `step` (0-based) on `n` nodes: across the half of
+/// the current group of `k = n >> step`.
+pub fn rex_partner(me: usize, step: u32, n: usize) -> usize {
+    let k = n >> step;
+    debug_assert!(k >= 2, "step beyond lg N");
+    if me % k < k / 2 {
+        me + k / 2
+    } else {
+        me - k / 2
+    }
+}
+
+/// Generate the REX schedule for an exchange of `bytes` per ordered pair:
+/// lg N steps of `bytes·N/2`-byte aggregated exchanges, flagged
+/// store-and-forward so lowering adds the reshuffle cost.
+pub fn rex(n: usize, bytes: u64) -> Schedule {
+    assert_power_of_two(n, "REX");
+    let mut schedule = Schedule::new(n);
+    schedule.store_and_forward = true;
+    let agg = bytes * (n as u64) / 2;
+    let steps = n.trailing_zeros();
+    for step in 0..steps {
+        let mut st = Step::default();
+        for me in 0..n {
+            let partner = rex_partner(me, step, n);
+            if me < partner {
+                st.ops.push(CommOp::Exchange {
+                    a: me,
+                    b: partner,
+                    bytes_ab: agg,
+                    bytes_ba: agg,
+                });
+            }
+        }
+        schedule.push_step(st);
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm5_sim::FatTree;
+
+    /// Table 3 of the paper: the 8-processor REX schedule.
+    /// Step 1 spans the root (k=8), step 2 the quarters (k=4), step 3 the
+    /// neighbouring pairs (k=2).
+    #[test]
+    fn paper_table_3() {
+        let s = rex(8, 2);
+        assert_eq!(s.num_steps(), 3);
+        let expect: [&[(usize, usize)]; 3] = [
+            &[(0, 4), (1, 5), (2, 6), (3, 7)],
+            &[(0, 2), (1, 3), (4, 6), (5, 7)],
+            &[(0, 1), (2, 3), (4, 5), (6, 7)],
+        ];
+        for (si, step) in s.steps().iter().enumerate() {
+            let pairs: Vec<(usize, usize)> =
+                step.ops.iter().map(|op| op.endpoints()).collect();
+            assert_eq!(pairs, expect[si], "step {}", si + 1);
+        }
+        // Aggregated message size: n·N/2 = 2·8/2 = 8 bytes each direction.
+        for step in s.steps() {
+            for op in &step.ops {
+                assert_eq!(op.bytes(), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn partner_is_an_involution() {
+        for n in [2usize, 4, 8, 16, 64, 256] {
+            for step in 0..n.trailing_zeros() {
+                for me in 0..n {
+                    let p = rex_partner(me, step, n);
+                    assert_ne!(p, me);
+                    assert_eq!(rex_partner(p, step, n), me, "n={n} step={step} me={me}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lg_n_steps_and_disjoint() {
+        for n in [4usize, 16, 128] {
+            let s = rex(n, 64);
+            assert_eq!(s.num_steps(), n.trailing_zeros() as usize);
+            s.check_pairwise_disjoint().unwrap();
+            assert!(s.store_and_forward);
+        }
+    }
+
+    #[test]
+    fn moves_lg_n_times_the_aggregate() {
+        // Total bytes = lgN steps × N/2 pairs × 2 directions × n·N/2 bytes,
+        // versus n·N·(N−1) for the direct algorithms: REX moves strictly
+        // more data for N > 4 — the bandwidth/latency trade the paper
+        // discusses.
+        let n = 32u64;
+        let bytes = 100u64;
+        let s = rex(32, 100);
+        let total = s.total_bytes();
+        assert_eq!(total, 5 * (n / 2) * 2 * (bytes * n / 2));
+        assert!(total > bytes * n * (n - 1));
+    }
+
+    #[test]
+    fn first_step_is_all_global() {
+        let s = rex(32, 1);
+        let tree = FatTree::new(32);
+        let crossings = s.root_crossings_per_step(&tree);
+        assert_eq!(crossings[0], 16, "step 1 crosses the root everywhere");
+        assert_eq!(crossings[1..].iter().sum::<usize>(), 0);
+    }
+}

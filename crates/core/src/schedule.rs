@@ -1,0 +1,414 @@
+//! Communication schedules.
+//!
+//! Every algorithm in the paper — regular or irregular — ultimately emits a
+//! *schedule*: an ordered list of steps, each containing the pairwise
+//! operations that (notionally) run concurrently. The schedule is the
+//! artifact the paper prints in Tables 1–4 and 7–10; this module gives it a
+//! first-class type with validation and the quality metrics the paper's
+//! arguments rest on (step counts, per-step root crossings, idle slots).
+
+use cm5_sim::FatTree;
+
+use crate::pattern::Pattern;
+
+/// One scheduled operation between a pair of nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommOp {
+    /// Bidirectional exchange: `a` and `b` swap messages (`a→b` of
+    /// `bytes_ab`, `b→a` of `bytes_ba`). Lowered with the paper's ordering
+    /// rule: the lower-numbered node receives first.
+    Exchange {
+        /// Lower participant.
+        a: usize,
+        /// Higher participant.
+        b: usize,
+        /// Bytes from `a` to `b`.
+        bytes_ab: u64,
+        /// Bytes from `b` to `a`.
+        bytes_ba: u64,
+    },
+    /// One-directional send.
+    Send {
+        /// Sender.
+        from: usize,
+        /// Receiver.
+        to: usize,
+        /// Bytes sent.
+        bytes: u64,
+    },
+}
+
+impl CommOp {
+    /// The two endpoints (in `(low, high)` order for exchanges).
+    pub fn endpoints(&self) -> (usize, usize) {
+        match *self {
+            CommOp::Exchange { a, b, .. } => (a, b),
+            CommOp::Send { from, to, .. } => (from, to),
+        }
+    }
+
+    /// Total bytes this op moves (both directions for exchanges).
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            CommOp::Exchange {
+                bytes_ab, bytes_ba, ..
+            } => bytes_ab + bytes_ba,
+            CommOp::Send { bytes, .. } => bytes,
+        }
+    }
+}
+
+/// One step: operations the schedule intends to run concurrently. The ops
+/// run in list order on any node that appears in several of them (only the
+/// linear algorithms do that).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Step {
+    /// Operations in this step.
+    pub ops: Vec<CommOp>,
+}
+
+impl Step {
+    /// Nodes taking part in this step (deduplicated, unordered count).
+    pub fn participants(&self, n: usize) -> usize {
+        let mut seen = vec![false; n];
+        for op in &self.ops {
+            let (a, b) = op.endpoints();
+            seen[a] = true;
+            seen[b] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+}
+
+/// Validation failures for a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A node appears in more than one op of a step that claims pairwise
+    /// disjointness.
+    NodeConflict {
+        /// The step index.
+        step: usize,
+        /// The node appearing twice.
+        node: usize,
+    },
+    /// The schedule moves a different number of bytes for a pair than the
+    /// pattern requires.
+    Coverage {
+        /// Sender.
+        from: usize,
+        /// Receiver.
+        to: usize,
+        /// Bytes the pattern requires.
+        expected: u64,
+        /// Bytes the schedule moves.
+        actual: u64,
+    },
+    /// An op references a node outside `0..n`.
+    BadNode {
+        /// The step index.
+        step: usize,
+        /// The offending node id.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NodeConflict { step, node } => {
+                write!(f, "node {node} appears twice in step {step}")
+            }
+            ScheduleError::Coverage {
+                from,
+                to,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "pair {from}->{to}: schedule moves {actual}B, pattern requires {expected}B"
+            ),
+            ScheduleError::BadNode { step, node } => {
+                write!(f, "step {step} references invalid node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A complete communication schedule over `n` nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    n: usize,
+    steps: Vec<Step>,
+    /// True for store-and-forward schedules (REX): lowering inserts
+    /// pack/unpack memcpy around every transfer, and the bytes in each op
+    /// are aggregates rather than pattern entries.
+    pub store_and_forward: bool,
+}
+
+impl Schedule {
+    /// An empty schedule over `n` nodes.
+    pub fn new(n: usize) -> Schedule {
+        Schedule {
+            n,
+            steps: Vec::new(),
+            store_and_forward: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The steps, in execution order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Append a step.
+    pub fn push_step(&mut self, step: Step) {
+        self.steps.push(step);
+    }
+
+    /// Append a step, dropping it if empty (the irregular schedulers skip
+    /// steps in which nobody communicates).
+    pub fn push_step_nonempty(&mut self, step: Step) {
+        if !step.ops.is_empty() {
+            self.steps.push(step);
+        }
+    }
+
+    /// Basic structural checks: node ids in range.
+    pub fn check_nodes(&self) -> Result<(), ScheduleError> {
+        for (s, step) in self.steps.iter().enumerate() {
+            for op in &step.ops {
+                let (a, b) = op.endpoints();
+                for node in [a, b] {
+                    if node >= self.n {
+                        return Err(ScheduleError::BadNode { step: s, node });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check that within every step each node takes part in at most one op
+    /// (true for the pairwise-style algorithms; deliberately false for the
+    /// linear ones, whose receiver serializes a whole step).
+    pub fn check_pairwise_disjoint(&self) -> Result<(), ScheduleError> {
+        for (s, step) in self.steps.iter().enumerate() {
+            let mut seen = vec![false; self.n];
+            for op in &step.ops {
+                let (a, b) = op.endpoints();
+                for node in [a, b] {
+                    if seen[node] {
+                        return Err(ScheduleError::NodeConflict { step: s, node });
+                    }
+                    seen[node] = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check that the schedule moves exactly the bytes `pattern` requires
+    /// for every ordered pair. Not applicable to store-and-forward
+    /// schedules, which move aggregated data.
+    pub fn check_coverage(&self, pattern: &Pattern) -> Result<(), ScheduleError> {
+        assert!(
+            !self.store_and_forward,
+            "coverage validation does not apply to store-and-forward schedules"
+        );
+        let n = self.n;
+        let mut moved = vec![0u64; n * n];
+        for step in &self.steps {
+            for op in &step.ops {
+                match *op {
+                    CommOp::Exchange {
+                        a,
+                        b,
+                        bytes_ab,
+                        bytes_ba,
+                    } => {
+                        moved[a * n + b] += bytes_ab;
+                        moved[b * n + a] += bytes_ba;
+                    }
+                    CommOp::Send { from, to, bytes } => {
+                        moved[from * n + to] += bytes;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let expected = pattern.get(i, j);
+                let actual = moved[i * n + j];
+                if expected != actual {
+                    return Err(ScheduleError::Coverage {
+                        from: i,
+                        to: j,
+                        expected,
+                        actual,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-step count of operations that cross the fat-tree root — the
+    /// quantity BEX balances (§3.4: PEX clumps all-global steps; BEX spreads
+    /// them evenly).
+    pub fn root_crossings_per_step(&self, tree: &FatTree) -> Vec<usize> {
+        self.steps
+            .iter()
+            .map(|step| {
+                step.ops
+                    .iter()
+                    .filter(|op| {
+                        let (a, b) = op.endpoints();
+                        tree.crosses_root(a, b)
+                    })
+                    .count()
+            })
+            .collect()
+    }
+
+    /// Total operations across all steps.
+    pub fn total_ops(&self) -> usize {
+        self.steps.iter().map(|s| s.ops.len()).sum()
+    }
+
+    /// Total bytes the schedule moves.
+    pub fn total_bytes(&self) -> u64 {
+        self.steps
+            .iter()
+            .flat_map(|s| s.ops.iter())
+            .map(|op| op.bytes())
+            .sum()
+    }
+
+    /// Per-step count of idle nodes (nodes not participating), the cost the
+    /// greedy scheduler minimizes.
+    pub fn idle_per_step(&self) -> Vec<usize> {
+        self.steps
+            .iter()
+            .map(|s| self.n - s.participants(self.n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xchg(a: usize, b: usize, bytes: u64) -> CommOp {
+        CommOp::Exchange {
+            a,
+            b,
+            bytes_ab: bytes,
+            bytes_ba: bytes,
+        }
+    }
+
+    #[test]
+    fn coverage_accepts_exact_schedule() {
+        let p = Pattern::complete_exchange(4, 10);
+        let mut s = Schedule::new(4);
+        for j in 1..4usize {
+            let mut step = Step::default();
+            for i in 0..4usize {
+                let k = i ^ j;
+                if i < k {
+                    step.ops.push(xchg(i, k, 10));
+                }
+            }
+            s.push_step(step);
+        }
+        s.check_nodes().unwrap();
+        s.check_pairwise_disjoint().unwrap();
+        s.check_coverage(&p).unwrap();
+        assert_eq!(s.total_bytes(), p.total_bytes());
+    }
+
+    #[test]
+    fn coverage_rejects_missing_pair() {
+        let p = Pattern::complete_exchange(4, 10);
+        let mut s = Schedule::new(4);
+        s.push_step(Step {
+            ops: vec![xchg(0, 1, 10)],
+        });
+        let err = s.check_coverage(&p).unwrap_err();
+        assert!(matches!(err, ScheduleError::Coverage { .. }));
+    }
+
+    #[test]
+    fn disjoint_check_catches_conflicts() {
+        let mut s = Schedule::new(4);
+        s.push_step(Step {
+            ops: vec![xchg(0, 1, 10), xchg(1, 2, 10)],
+        });
+        let err = s.check_pairwise_disjoint().unwrap_err();
+        assert_eq!(err, ScheduleError::NodeConflict { step: 0, node: 1 });
+    }
+
+    #[test]
+    fn bad_node_detected() {
+        let mut s = Schedule::new(4);
+        s.push_step(Step {
+            ops: vec![CommOp::Send {
+                from: 0,
+                to: 9,
+                bytes: 1,
+            }],
+        });
+        assert!(matches!(
+            s.check_nodes().unwrap_err(),
+            ScheduleError::BadNode { node: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn idle_and_participants() {
+        let mut s = Schedule::new(8);
+        s.push_step(Step {
+            ops: vec![xchg(0, 1, 1), xchg(2, 3, 1)],
+        });
+        assert_eq!(s.idle_per_step(), vec![4]);
+        assert_eq!(s.steps()[0].participants(8), 4);
+    }
+
+    #[test]
+    fn empty_steps_dropped_by_nonempty_push() {
+        let mut s = Schedule::new(4);
+        s.push_step_nonempty(Step::default());
+        s.push_step_nonempty(Step {
+            ops: vec![xchg(0, 1, 1)],
+        });
+        assert_eq!(s.num_steps(), 1);
+    }
+
+    #[test]
+    fn root_crossings_counted_per_step() {
+        let tree = FatTree::new(8);
+        let mut s = Schedule::new(8);
+        s.push_step(Step {
+            ops: vec![xchg(0, 1, 1), xchg(4, 5, 1)],
+        });
+        s.push_step(Step {
+            ops: vec![xchg(0, 4, 1), xchg(1, 5, 1)],
+        });
+        assert_eq!(s.root_crossings_per_step(&tree), vec![0, 2]);
+    }
+}

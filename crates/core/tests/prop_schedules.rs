@@ -1,0 +1,153 @@
+//! Property-based tests of the scheduling algorithms: coverage, step
+//! bounds, pairing structure, and lowering consistency over random inputs.
+
+use cm5_core::prelude::*;
+use cm5_sim::Op;
+use proptest::prelude::*;
+
+/// Random power-of-two node count 4..=64.
+fn pow2_n() -> impl Strategy<Value = usize> {
+    (2u32..=6).prop_map(|k| 1usize << k)
+}
+
+/// Random pattern over `n` nodes with entry probability `p` (scaled 0..100).
+fn random_pattern(n: usize, fill: &[u8]) -> Pattern {
+    let mut pat = Pattern::new(n);
+    let mut k = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let v = fill[k % fill.len()];
+                k += 1;
+                if v % 4 == 0 {
+                    pat.set(i, j, 1 + (v as u64) * 13);
+                }
+            }
+        }
+    }
+    pat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The regular algorithms cover complete exchange exactly at any
+    /// power-of-two size and message size.
+    #[test]
+    fn regular_algorithms_cover(n in pow2_n(), bytes in 0u64..5000) {
+        let pattern = Pattern::complete_exchange(n, bytes);
+        for alg in [ExchangeAlg::Lex, ExchangeAlg::Pex, ExchangeAlg::Bex] {
+            let s = alg.schedule(n, bytes);
+            prop_assert!(s.check_nodes().is_ok());
+            prop_assert!(s.check_coverage(&pattern).is_ok(), "{}", alg.name());
+        }
+        // REX is store-and-forward: validated by step structure instead.
+        let r = rex(n, bytes);
+        prop_assert_eq!(r.num_steps(), n.trailing_zeros() as usize);
+        prop_assert!(r.check_pairwise_disjoint().is_ok());
+    }
+
+    /// Step-count bounds: PEX/BEX exactly N−1; LEX exactly N; GS at most
+    /// 2(N−1) (each iteration retires at least one op of the busiest node).
+    #[test]
+    fn step_count_bounds(n in pow2_n(), fill in prop::collection::vec(any::<u8>(), 64..256)) {
+        prop_assert_eq!(pex(n, 1).num_steps(), n - 1);
+        prop_assert_eq!(bex(n, 1).num_steps(), n - 1);
+        prop_assert_eq!(lex(n, 1).num_steps(), n);
+        let pattern = random_pattern(n, &fill);
+        if pattern.nonzero_pairs() > 0 {
+            let g = gs(&pattern);
+            prop_assert!(g.num_steps() <= 2 * (n - 1) + 2, "gs steps {}", g.num_steps());
+            prop_assert!(g.check_coverage(&pattern).is_ok());
+        }
+    }
+
+    /// PS/BS never use more steps than their regular parents, and drop to
+    /// zero steps for the empty pattern.
+    #[test]
+    fn irregular_step_counts(n in pow2_n(), fill in prop::collection::vec(any::<u8>(), 64..256)) {
+        let pattern = random_pattern(n, &fill);
+        prop_assert!(ps(&pattern).num_steps() <= n - 1);
+        prop_assert!(bs(&pattern).num_steps() <= n - 1);
+        let empty = Pattern::new(n);
+        prop_assert_eq!(ps(&empty).num_steps(), 0);
+        prop_assert_eq!(bs(&empty).num_steps(), 0);
+        prop_assert_eq!(gs(&empty).num_steps(), 0);
+        prop_assert_eq!(ls(&empty).num_steps(), 0);
+    }
+
+    /// Lowering conserves messages: sends == recvs == schedule ops
+    /// (counting exchanges twice), and memcpys appear only for REX.
+    #[test]
+    fn lowering_conserves_messages(n in pow2_n(), bytes in 1u64..2048) {
+        for alg in ExchangeAlg::ALL {
+            let schedule = alg.schedule(n, bytes);
+            let programs = lower(&schedule);
+            let sends: usize = programs
+                .iter()
+                .flatten()
+                .filter(|op| matches!(op, Op::Send { .. }))
+                .count();
+            let recvs: usize = programs
+                .iter()
+                .flatten()
+                .filter(|op| matches!(op, Op::Recv { .. } | Op::RecvAny { .. }))
+                .count();
+            prop_assert_eq!(sends, recvs, "{}", alg.name());
+            let memcpys: usize = programs
+                .iter()
+                .flatten()
+                .filter(|op| matches!(op, Op::Memcpy { .. }))
+                .count();
+            if matches!(alg, ExchangeAlg::Rex) {
+                prop_assert_eq!(memcpys, 2 * sends, "{}", alg.name());
+            } else {
+                prop_assert_eq!(memcpys, 0, "{}", alg.name());
+            }
+        }
+    }
+
+    /// BEX is a relabelled PEX: per step, the *multiset* of XOR distances of
+    /// virtual numbers equals PEX's pairing distance.
+    #[test]
+    fn bex_is_virtual_pex(n in pow2_n()) {
+        for j in 1..n {
+            for me in 0..n {
+                let partner = bex_partner(me, j, n);
+                let v_me = (me + 1) % n;
+                let v_p = (partner + 1) % n;
+                prop_assert_eq!(v_me ^ v_p, j, "n={} j={} me={}", n, j, me);
+            }
+        }
+    }
+
+    /// Broadcast schedules reach everyone exactly once from any root.
+    #[test]
+    fn broadcasts_reach_all(n in pow2_n(), root_pick in any::<u16>()) {
+        let root = root_pick as usize % n;
+        for schedule in [lib_linear(n, root, 100), reb(n, root, 100)] {
+            let mut informed = vec![false; n];
+            informed[root] = true;
+            for step in schedule.steps() {
+                for op in &step.ops {
+                    let (from, to) = op.endpoints();
+                    prop_assert!(informed[from]);
+                    prop_assert!(!informed[to]);
+                    informed[to] = true;
+                }
+            }
+            prop_assert!(informed.iter().all(|&i| i));
+        }
+    }
+
+    /// Pattern totals survive scheduling: every scheduler moves exactly
+    /// `pattern.total_bytes()`.
+    #[test]
+    fn schedulers_conserve_bytes(fill in prop::collection::vec(any::<u8>(), 64..512)) {
+        let pattern = random_pattern(16, &fill);
+        for alg in IrregularAlg::ALL {
+            let s = alg.schedule(&pattern);
+            prop_assert_eq!(s.total_bytes(), pattern.total_bytes(), "{}", alg.name());
+        }
+    }
+}

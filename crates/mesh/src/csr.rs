@@ -1,0 +1,155 @@
+//! Compressed sparse row matrices and graphs.
+
+/// A CSR sparse matrix (also used as an adjacency structure with unit
+/// values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Row pointer array, length `rows + 1`.
+    pub row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    pub col_idx: Vec<usize>,
+    /// Values, parallel to `col_idx`.
+    pub values: Vec<f64>,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Csr {
+    /// Build from COO triplets (duplicates are summed).
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Csr {
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|a| (a.0, a.1));
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        let mut last: Option<(usize, usize)> = None;
+        for &(r, c, v) in &sorted {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
+            if last == Some((r, c)) {
+                *values.last_mut().expect("entry present") += v;
+                continue;
+            }
+            col_idx.push(c);
+            values.push(v);
+            row_ptr[r + 1] += 1;
+            last = Some((r, c));
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Csr {
+            row_ptr,
+            col_idx,
+            values,
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The (column, value) entries of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// y = A·x.
+    #[allow(clippy::needless_range_loop)] // r indexes both the matrix and y
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows());
+        for r in 0..self.rows() {
+            let mut acc = 0.0;
+            for (c, v) in self.row(r) {
+                acc += v * x[c];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Graph Laplacian (degree on the diagonal, −1 off-diagonal) of an
+    /// undirected edge list, plus `shift` added to the diagonal to make it
+    /// positive definite for CG.
+    pub fn laplacian(n: usize, edges: &[(usize, usize)], shift: f64) -> Csr {
+        let mut triplets = Vec::with_capacity(edges.len() * 2 + n);
+        let mut degree = vec![0usize; n];
+        for &(a, b) in edges {
+            assert!(a != b && a < n && b < n, "bad edge ({a},{b})");
+            degree[a] += 1;
+            degree[b] += 1;
+            triplets.push((a, b, -1.0));
+            triplets.push((b, a, -1.0));
+        }
+        for (v, &d) in degree.iter().enumerate() {
+            triplets.push((v, v, d as f64 + shift));
+        }
+        Csr::from_triplets(n, n, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_triplets_basic() {
+        let m = Csr::from_triplets(2, 3, &[(0, 1, 2.0), (1, 0, 3.0), (0, 2, 4.0)]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.nnz(), 3);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(1, 2.0), (2, 4.0)]);
+    }
+
+    #[test]
+    fn duplicates_summed() {
+        let m = Csr::from_triplets(2, 2, &[(0, 1, 2.0), (0, 1, 3.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row(0).next(), Some((1, 5.0)));
+    }
+
+    #[test]
+    fn spmv_identity() {
+        let m = Csr::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        m.spmv(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_shift() {
+        let edges = [(0, 1), (1, 2), (2, 0), (2, 3)];
+        let l = Csr::laplacian(4, &edges, 0.5);
+        for r in 0..4 {
+            let sum: f64 = l.row(r).map(|(_, v)| v).sum();
+            assert!((sum - 0.5).abs() < 1e-12, "row {r} sums to {sum}");
+        }
+        // Symmetric.
+        for r in 0..4 {
+            for (c, v) in l.row(r) {
+                let back: f64 = l
+                    .row(c)
+                    .find(|&(cc, _)| cc == r)
+                    .map(|(_, vv)| vv)
+                    .expect("symmetric entry");
+                assert_eq!(v, back);
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Seeded mesh generators — including the stand-ins for the paper's
+//! datasets.
+//!
+//! Table 12 evaluates the irregular schedulers on communication patterns
+//! captured from a conjugate-gradient solver (16K-vertex system) and an
+//! unstructured-mesh Euler solver (meshes of 545, 2K, 3K and 9K vertices,
+//! originally from Mavriplis' airfoil computations). Those meshes are not
+//! available; we substitute Delaunay triangulations of seeded jittered point
+//! clouds of the same sizes, which reproduce the statistics Table 12
+//! actually depends on (pattern density and bytes per communicating pair).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::delaunay::{delaunay, Triangulation};
+use crate::point::Point;
+
+/// A jittered `nx × ny` grid: regular spacing with `jitter` (fraction of a
+/// cell, `0.0..0.5`) of seeded uniform displacement. Jitter breaks the grid
+/// degeneracy and makes the triangulation genuinely unstructured.
+pub fn jittered_grid(nx: usize, ny: usize, jitter: f64, seed: u64) -> Vec<Point> {
+    assert!(nx >= 2 && ny >= 2, "grid needs at least 2×2 points");
+    assert!((0.0..0.5).contains(&jitter), "jitter must be in [0, 0.5)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            let dx: f64 = rng.gen_range(-jitter..=jitter);
+            let dy: f64 = rng.gen_range(-jitter..=jitter);
+            // Keep the domain boundary exact: jittered hull points create
+            // long sliver edges along nearly-collinear boundary rows, which
+            // would add physically meaningless long-range halo pairs.
+            let boundary = i == 0 || j == 0 || i == nx - 1 || j == ny - 1;
+            if boundary {
+                pts.push(Point::new(i as f64, j as f64));
+            } else {
+                pts.push(Point::new(i as f64 + dx, j as f64 + dy));
+            }
+        }
+    }
+    pts
+}
+
+/// `n` seeded uniform random points in the unit square, scaled by 100.
+pub fn random_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+        .collect()
+}
+
+/// The sizes of the paper's four Euler meshes (Table 12 column heads).
+pub const EULER_MESH_SIZES: [usize; 4] = [545, 2048, 3072, 9216];
+
+/// Vertex count of the CG system ("Conj. Grad. 16K").
+pub const CG_MESH_SIZE: usize = 16384;
+
+/// Build the stand-in for one of the paper's Euler meshes by vertex count
+/// (one of [`EULER_MESH_SIZES`]; other counts also work). Deterministic for
+/// a given size.
+pub fn euler_mesh(vertices: usize) -> Triangulation {
+    // Jittered grids triangulate quickly and give boundary/interior
+    // structure like a real CFD mesh; pad the grid to at least `vertices`
+    // then keep exactly `vertices` points.
+    let side = (vertices as f64).sqrt().ceil() as usize;
+    let mut pts = jittered_grid(side, side.max(2), 0.35, 0xE17E5 + vertices as u64);
+    pts.truncate(vertices);
+    delaunay(&pts)
+}
+
+/// Build the stand-in for the CG solver's 16K-vertex mesh.
+pub fn cg_mesh() -> Triangulation {
+    let side = (CG_MESH_SIZE as f64).sqrt().ceil() as usize;
+    let mut pts = jittered_grid(side, side, 0.3, 0xC64AD);
+    pts.truncate(CG_MESH_SIZE);
+    delaunay(&pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jittered_grid_is_deterministic() {
+        let a = jittered_grid(8, 8, 0.3, 5);
+        let b = jittered_grid(8, 8, 0.3, 5);
+        assert_eq!(a.len(), 64);
+        for (p, q) in a.iter().zip(&b) {
+            assert_eq!((p.x, p.y), (q.x, q.y));
+        }
+        let c = jittered_grid(8, 8, 0.3, 6);
+        assert!(a.iter().zip(&c).any(|(p, q)| p.x != q.x));
+    }
+
+    #[test]
+    fn euler_mesh_545_shape() {
+        let m = euler_mesh(545);
+        assert_eq!(m.num_points(), 545);
+        assert!(m.triangles().len() > 900, "expected ~2n triangles");
+        // Mean vertex degree of a planar triangulation is just under 6.
+        let deg = 2.0 * m.edges().len() as f64 / m.num_points() as f64;
+        assert!(deg > 5.0 && deg < 6.5, "degree {deg}");
+    }
+
+    #[test]
+    fn meshes_are_connected() {
+        let m = euler_mesh(545);
+        let n = m.num_points();
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &m.edges() {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 0;
+        while let Some(v) = stack.pop() {
+            count += 1;
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        assert_eq!(count, n, "mesh must be connected");
+    }
+}

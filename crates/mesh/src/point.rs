@@ -1,0 +1,117 @@
+//! 2-D points and the geometric predicates Delaunay triangulation needs.
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// Sign of the signed area of triangle (a, b, c):
+/// positive = counter-clockwise, negative = clockwise, zero = collinear.
+#[inline]
+pub fn orient2d(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Whether `p` lies strictly inside the circumcircle of the
+/// counter-clockwise triangle (a, b, c).
+///
+/// Uses the standard 3×3 lifted determinant. The workloads feed jittered
+/// grids and seeded random clouds, where f64 arithmetic is comfortably
+/// adequate; the triangulator also defends itself against near-degenerate
+/// inputs by checking triangle orientation explicitly.
+#[inline]
+pub fn in_circumcircle(a: Point, b: Point, c: Point, p: Point) -> bool {
+    let adx = a.x - p.x;
+    let ady = a.y - p.y;
+    let bdx = b.x - p.x;
+    let bdy = b.y - p.y;
+    let cdx = c.x - p.x;
+    let cdy = c.y - p.y;
+    let ad = adx * adx + ady * ady;
+    let bd = bdx * bdx + bdy * bdy;
+    let cd = cdx * cdx + cdy * cdy;
+    let det = adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx)
+        + ad * (bdx * cdy - bdy * cdx);
+    det > 0.0
+}
+
+/// Circumcenter of triangle (a, b, c); returns `None` for (near-)degenerate
+/// triangles.
+pub fn circumcenter(a: Point, b: Point, c: Point) -> Option<Point> {
+    let d = 2.0 * orient2d(a, b, c);
+    if d.abs() < 1e-30 {
+        return None;
+    }
+    let a2 = a.x * a.x + a.y * a.y;
+    let b2 = b.x * b.x + b.y * b.y;
+    let c2 = c.x * c.x + c.y * c.y;
+    let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+    let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+    Some(Point::new(ux, uy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_signs() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(0.0, 1.0);
+        assert!(orient2d(a, b, c) > 0.0); // CCW
+        assert!(orient2d(a, c, b) < 0.0); // CW
+        assert_eq!(orient2d(a, b, Point::new(2.0, 0.0)), 0.0); // collinear
+    }
+
+    #[test]
+    fn circumcircle_membership() {
+        // Unit right triangle: circumcircle centered at (0.5, 0.5), r²=0.5.
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(0.0, 1.0);
+        assert!(in_circumcircle(a, b, c, Point::new(0.5, 0.5)));
+        assert!(in_circumcircle(a, b, c, Point::new(0.9, 0.9)));
+        assert!(!in_circumcircle(a, b, c, Point::new(1.3, 1.3)));
+        assert!(!in_circumcircle(a, b, c, Point::new(-1.0, -1.0)));
+    }
+
+    #[test]
+    fn circumcenter_matches_membership() {
+        let a = Point::new(0.1, 0.2);
+        let b = Point::new(2.3, 0.4);
+        let c = Point::new(1.1, 1.9);
+        let cc = circumcenter(a, b, c).unwrap();
+        let r2 = cc.dist2(&a);
+        assert!((cc.dist2(&b) - r2).abs() < 1e-9);
+        assert!((cc.dist2(&c) - r2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_circumcenter_is_none() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 1.0);
+        let c = Point::new(2.0, 2.0);
+        assert!(circumcenter(a, b, c).is_none());
+    }
+}

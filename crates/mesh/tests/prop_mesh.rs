@@ -1,0 +1,159 @@
+//! Property-based tests of the mesh substrate: Delaunay invariants,
+//! partition balance, and halo structure over random inputs.
+
+use cm5_mesh::prelude::*;
+use proptest::prelude::*;
+
+fn points_strategy(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), min..max).prop_map(|pts| {
+        // Deduplicate near-coincident points (the triangulator requires
+        // distinct sites); snapping to a coarse grid then deduping is the
+        // simplest guarantee.
+        let mut out: Vec<Point> = Vec::new();
+        'outer: for (x, y) in pts {
+            for p in &out {
+                if (p.x - x).abs() < 1e-6 && (p.y - y).abs() < 1e-6 {
+                    continue 'outer;
+                }
+            }
+            out.push(Point::new(x, y));
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Delaunay invariants on random clouds: empty circumcircles, CCW
+    /// triangles, Euler's formula.
+    #[test]
+    fn delaunay_invariants(pts in points_strategy(3, 60)) {
+        prop_assume!(pts.len() >= 3);
+        // Skip fully collinear degenerate clouds.
+        let collinear = pts.windows(3).all(|w| {
+            orient2d(w[0], w[1], w[2]).abs() < 1e-9
+        });
+        prop_assume!(!collinear);
+        let t = delaunay(&pts);
+        prop_assert!(!t.triangles().is_empty());
+        prop_assert!(t.is_delaunay(), "empty-circumcircle violated");
+        for tri in t.triangles() {
+            prop_assert!(orient2d(pts[tri[0]], pts[tri[1]], pts[tri[2]]) > 0.0);
+        }
+        // Euler: V − E + (T + 1 outer face) = 2.
+        let v = pts.len() as i64;
+        let e = t.edges().len() as i64;
+        let f = t.triangles().len() as i64 + 1;
+        prop_assert_eq!(v - e + f, 2);
+    }
+
+    /// RCB partitions are balanced within one element along every split
+    /// chain, for any part count that divides sensibly.
+    #[test]
+    fn rcb_balance(pts in points_strategy(40, 120), parts in 2usize..9) {
+        prop_assume!(pts.len() >= parts * 2);
+        let asg = rcb(&pts, parts);
+        let sizes = part_sizes(&asg, parts);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), pts.len());
+        let lo = *sizes.iter().min().unwrap();
+        let hi = *sizes.iter().max().unwrap();
+        // Proportional splitting keeps parts within a few elements.
+        prop_assert!(hi - lo <= parts, "sizes {sizes:?}");
+        prop_assert!(lo > 0, "empty part: {sizes:?}");
+    }
+
+    /// Strip partitions are monotone in x: a point in a lower strip never
+    /// lies strictly right of a point in a higher strip... up to ties.
+    #[test]
+    fn strips_are_monotone(pts in points_strategy(30, 80), parts in 2usize..6) {
+        prop_assume!(pts.len() >= parts);
+        let asg = strips(&pts, parts);
+        for (i, a) in pts.iter().enumerate() {
+            for (j, b) in pts.iter().enumerate() {
+                if asg[i] + 1 < asg[j] {
+                    prop_assert!(
+                        a.x <= b.x,
+                        "strip {} point x={} right of strip {} point x={}",
+                        asg[i], a.x, asg[j], b.x
+                    );
+                }
+            }
+        }
+    }
+
+    /// Halos of undirected graphs have symmetric support, and the 2-ring
+    /// halo contains the 1-ring halo pair-for-pair.
+    #[test]
+    fn halo_monotone_in_depth(pts in points_strategy(24, 70), parts in 2usize..5) {
+        prop_assume!(pts.len() >= parts * 3);
+        let collinear = pts.windows(3).all(|w| {
+            orient2d(w[0], w[1], w[2]).abs() < 1e-9
+        });
+        prop_assume!(!collinear);
+        let t = delaunay(&pts);
+        let asg = rcb(&pts, parts);
+        let edges = t.edges();
+        let h1 = Halo::build(parts, &asg, &edges);
+        let h2 = Halo::build_k(parts, &asg, &edges, 2);
+        let p1 = h1.pattern(8);
+        let p2 = h2.pattern(8);
+        prop_assert!(p1.symmetric_support());
+        prop_assert!(p2.symmetric_support());
+        for a in 0..parts {
+            for b in 0..parts {
+                if a != b {
+                    // Depth 2 sends at least what depth 1 sends.
+                    prop_assert!(
+                        p2.get(a, b) >= p1.get(a, b),
+                        "({a},{b}): {} < {}",
+                        p2.get(a, b),
+                        p1.get(a, b)
+                    );
+                    // And the 1-ring send list is a subset of the 2-ring's.
+                    for v in h1.send_list(a, b) {
+                        prop_assert!(h2.send_list(a, b).contains(v));
+                    }
+                }
+            }
+        }
+    }
+
+    /// CSR Laplacian: symmetric, rows sum to the shift, SpMV matches a
+    /// dense reference.
+    #[test]
+    fn laplacian_spmv_matches_dense(
+        n in 3usize..20,
+        edge_picks in prop::collection::vec((0usize..20, 0usize..20), 2..40),
+        xs in prop::collection::vec(-10.0f64..10.0, 20),
+    ) {
+        let edges: Vec<(usize, usize)> = edge_picks
+            .into_iter()
+            .map(|(a, b)| (a % n, b % n))
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let m = Csr::laplacian(n, &edges, 1.5);
+        // Dense reference.
+        let mut dense = vec![vec![0.0f64; n]; n];
+        for &(a, b) in &edges {
+            dense[a][b] -= 1.0;
+            dense[b][a] -= 1.0;
+            dense[a][a] += 1.0;
+            dense[b][b] += 1.0;
+        }
+        for (i, row) in dense.iter_mut().enumerate() {
+            row[i] += 1.5;
+        }
+        let x: Vec<f64> = xs[..n].to_vec();
+        let mut y = vec![0.0; n];
+        m.spmv(&x, &mut y);
+        for i in 0..n {
+            let want: f64 = (0..n).map(|j| dense[i][j] * x[j]).sum();
+            prop_assert!((y[i] - want).abs() < 1e-9, "row {i}: {} vs {want}", y[i]);
+        }
+    }
+}

@@ -1,0 +1,1291 @@
+//! The discrete-event engine.
+//!
+//! Each simulated node owns a local virtual clock and executes its program
+//! one blocking action at a time. Communication follows the CMMD synchronous
+//! model the paper is built around: by default a send *rendezvouses* with
+//! the matching receive — no bytes move until both sides have posted, and
+//! the sender stays blocked until the transfer completes. Messages in flight
+//! are flows in the [`crate::network`] model, so transfer times respond to
+//! fat-tree contention.
+//!
+//! Event ordering is total — `(time, insertion sequence)` — and every data
+//! structure iterates deterministically, so a run is a pure function of the
+//! programs and [`MachineParams`].
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use bytes::Bytes;
+
+use crate::error::SimError;
+use crate::network::Network;
+use crate::ops::{Action, OpProgram, OpSource, ProgramSource, ReduceOp, Resume};
+use crate::params::{MachineParams, SendMode};
+use crate::stats::{NodeReport, SimReport, TraceEvent, TraceKind};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{FatTree, Topology};
+
+/// A configured simulation: node count + machine parameters.
+///
+/// ```
+/// use cm5_sim::{Simulation, MachineParams, Op, ANY_TAG};
+///
+/// let sim = Simulation::new(8, MachineParams::cm5_1992());
+/// // Node 0 sends 1 KB to node 1; everyone else is idle.
+/// let mut programs = vec![Vec::new(); 8];
+/// programs[0] = vec![Op::Send { to: 1, bytes: 1024, tag: ANY_TAG }];
+/// programs[1] = vec![Op::Recv { from: 0, tag: ANY_TAG }];
+/// let report = sim.run_ops(&programs).unwrap();
+/// assert_eq!(report.messages, 1);
+/// assert!(report.makespan.as_micros_f64() > 88.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    n: usize,
+    params: MachineParams,
+    record_trace: bool,
+    topology: Topology,
+}
+
+impl Simulation {
+    /// Create a simulation of `n` nodes (`n ≥ 2`) on the CM-5 fat tree.
+    pub fn new(n: usize, params: MachineParams) -> Simulation {
+        assert!(n >= 2, "simulation needs at least 2 nodes, got {n}");
+        Simulation {
+            n,
+            params,
+            record_trace: false,
+            topology: Topology::FatTree(FatTree::new(n)),
+        }
+    }
+
+    /// Create a simulation on an explicit [`Topology`] (e.g. the hypercube
+    /// counterfactual the ablations compare against).
+    pub fn new_on(topology: Topology, params: MachineParams) -> Simulation {
+        let n = topology.nodes();
+        assert!(n >= 2, "simulation needs at least 2 nodes, got {n}");
+        Simulation {
+            n,
+            params,
+            record_trace: false,
+            topology,
+        }
+    }
+
+    /// Enable the event trace in the returned report.
+    pub fn record_trace(mut self, yes: bool) -> Simulation {
+        self.record_trace = yes;
+        self
+    }
+
+    /// Number of simulated nodes.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The machine parameters in use.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Run per-node op programs to completion. `programs.len()` must equal
+    /// the node count.
+    pub fn run_ops(&self, programs: &[OpProgram]) -> Result<SimReport, SimError> {
+        assert_eq!(
+            programs.len(),
+            self.n,
+            "one program per node ({} programs for {} nodes)",
+            programs.len(),
+            self.n
+        );
+        let mut source = OpSource::new(programs, &self.params);
+        self.run_source(&mut source)
+    }
+
+    /// Drive any program source (op programs or the CMMD thread frontend).
+    pub(crate) fn run_source<S: ProgramSource>(
+        &self,
+        source: &mut S,
+    ) -> Result<SimReport, SimError> {
+        self.params
+            .validate()
+            .map_err(SimError::InvalidParams)?;
+        let mut engine = Engine::new(
+            self.topology.clone(),
+            &self.params,
+            self.record_trace,
+            source,
+        );
+        engine.run()
+    }
+}
+
+/// Engine event kinds.
+#[derive(Debug)]
+enum Ev {
+    /// Node is ready: deliver its resume, pull actions until it blocks.
+    Advance { node: usize },
+    /// The node's blocked send/recv becomes visible for matching.
+    PostComm { node: usize },
+    /// The node arrives at a collective.
+    PostCollective { node: usize },
+    /// The node's oldest queued non-blocking send becomes visible for
+    /// matching.
+    PostAsync { node: usize },
+    /// Re-examine the network for completed flows (stale if `gen` is old).
+    NetCheck { gen: u64 },
+}
+
+#[derive(Debug)]
+struct EvEntry {
+    time: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for EvEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EvEntry {}
+impl PartialOrd for EvEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EvEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct PendingSend {
+    dst: usize,
+    tag: u32,
+    bytes: u64,
+    payload: Option<Bytes>,
+    ready: SimTime,
+}
+
+/// A posted non-blocking send awaiting its rendezvous.
+struct AsyncSend {
+    src: usize,
+    dst: usize,
+    handle: u64,
+    tag: u32,
+    bytes: u64,
+    payload: Option<Bytes>,
+    ready: SimTime,
+}
+
+struct PendingRecv {
+    from: Option<usize>,
+    tag: u32,
+}
+
+struct MsgInfo {
+    src: usize,
+    dst: usize,
+    bytes: u64,
+    payload: Option<Bytes>,
+    eager: bool,
+    recv_claimed: bool,
+    tag: u32,
+    /// `Some(handle)` when this message came from a non-blocking send.
+    async_handle: Option<u64>,
+}
+
+struct ArrivedMsg {
+    msg_id: u64,
+    src: usize,
+    tag: u32,
+    bytes: u64,
+    payload: Option<Bytes>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum CollKind {
+    Barrier,
+    SystemBcast { root: usize },
+    Reduce { op: ReduceOp },
+    Scan { op: ReduceOp, inclusive: bool },
+}
+
+struct CollectiveState {
+    kind: CollKind,
+    arrived: Vec<bool>,
+    count: usize,
+    max_time: SimTime,
+    bytes: u64,
+    payload: Option<Bytes>,
+    values: Vec<f64>,
+}
+
+struct NodeMeta {
+    clock: SimTime,
+    done: bool,
+    block_start: Option<SimTime>,
+    report: NodeReport,
+}
+
+struct Engine<'a, S: ProgramSource> {
+    source: &'a mut S,
+    params: &'a MachineParams,
+    topo: Topology,
+    network: Network,
+    nodes: Vec<NodeMeta>,
+    resume_slot: Vec<Option<Resume>>,
+    blocked_action: Vec<Option<Action>>,
+    pending_send: Vec<Option<PendingSend>>,
+    pending_recv: Vec<Option<PendingRecv>>,
+    /// Per-destination list of sources with a pending send targeting it.
+    sends_to: Vec<Vec<usize>>,
+    messages: HashMap<u64, MsgInfo>,
+    arrived: Vec<Vec<ArrivedMsg>>,
+    /// Per-node FIFO of posted-but-not-yet-visible non-blocking sends.
+    async_queue: Vec<std::collections::VecDeque<AsyncSend>>,
+    /// Per-destination list of async sends awaiting rendezvous.
+    async_by_dst: Vec<Vec<AsyncSend>>,
+    /// Per-node: handle → completed? for every outstanding/unwaited isend.
+    async_state: Vec<HashMap<u64, bool>>,
+    next_handle: u64,
+    collective: Option<CollectiveState>,
+    events: BinaryHeap<Reverse<EvEntry>>,
+    seq: u64,
+    net_gen: u64,
+    msg_seq: u64,
+    done_count: usize,
+    // aggregate stats
+    messages_done: u64,
+    payload_bytes: u64,
+    wire_bytes: u64,
+    root_crossings: u64,
+    collectives_done: u64,
+    trace: Vec<TraceEvent>,
+    record_trace: bool,
+}
+
+impl<'a, S: ProgramSource> Engine<'a, S> {
+    fn new(
+        topo: Topology,
+        params: &'a MachineParams,
+        record_trace: bool,
+        source: &'a mut S,
+    ) -> Engine<'a, S> {
+        let n = topo.nodes();
+        let network = Network::new_on(topo.clone(), params);
+        Engine {
+            source,
+            params,
+            topo,
+            network,
+            nodes: (0..n)
+                .map(|_| NodeMeta {
+                    clock: SimTime::ZERO,
+                    done: false,
+                    block_start: None,
+                    report: NodeReport::default(),
+                })
+                .collect(),
+            resume_slot: (0..n).map(|_| Some(Resume::at(SimTime::ZERO))).collect(),
+            blocked_action: (0..n).map(|_| None).collect(),
+            pending_send: (0..n).map(|_| None).collect(),
+            pending_recv: (0..n).map(|_| None).collect(),
+            sends_to: vec![Vec::new(); n],
+            messages: HashMap::new(),
+            arrived: (0..n).map(|_| Vec::new()).collect(),
+            async_queue: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+            async_by_dst: (0..n).map(|_| Vec::new()).collect(),
+            async_state: (0..n).map(|_| HashMap::new()).collect(),
+            next_handle: 0,
+            collective: None,
+            events: BinaryHeap::new(),
+            seq: 0,
+            net_gen: 0,
+            msg_seq: 0,
+            done_count: 0,
+            messages_done: 0,
+            payload_bytes: 0,
+            wire_bytes: 0,
+            root_crossings: 0,
+            collectives_done: 0,
+            trace: Vec::new(),
+            record_trace,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn push(&mut self, time: SimTime, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(EvEntry { time, seq, ev }));
+    }
+
+    fn trace(&mut self, time: SimTime, kind: TraceKind) {
+        if self.record_trace {
+            self.trace.push(TraceEvent { time, kind });
+        }
+    }
+
+    fn run(&mut self) -> Result<SimReport, SimError> {
+        for node in 0..self.n() {
+            self.push(SimTime::ZERO, Ev::Advance { node });
+        }
+        while let Some(Reverse(entry)) = self.events.pop() {
+            let t = entry.time;
+            match entry.ev {
+                Ev::Advance { node } => self.handle_advance(node)?,
+                Ev::PostComm { node } => self.handle_post_comm(node, t)?,
+                Ev::PostCollective { node } => self.handle_post_collective(node, t)?,
+                Ev::PostAsync { node } => self.handle_post_async(node, t),
+                Ev::NetCheck { gen } => {
+                    if gen == self.net_gen {
+                        self.handle_net(t);
+                    }
+                }
+            }
+        }
+        if self.done_count < self.n() {
+            return Err(self.deadlock_error());
+        }
+        Ok(self.report())
+    }
+
+    fn deadlock_error(&self) -> SimError {
+        let mut waiting = Vec::new();
+        let mut latest = SimTime::ZERO;
+        for (i, meta) in self.nodes.iter().enumerate() {
+            if meta.done {
+                continue;
+            }
+            latest = latest.max(meta.clock);
+            let what = if let Some(Action::WaitSend { handle }) = &self.blocked_action[i] {
+                match handle {
+                    Some(h) => format!("wait for async send handle {h}"),
+                    None => "wait for all outstanding async sends".to_string(),
+                }
+            } else if let Some(ps) = &self.pending_send[i] {
+                format!("send {}B to node {} (tag {})", ps.bytes, ps.dst, ps.tag)
+            } else if let Some(pr) = &self.pending_recv[i] {
+                match pr.from {
+                    Some(s) => format!("recv from node {} (tag {})", s, pr.tag),
+                    None => format!("recv from any (tag {})", pr.tag),
+                }
+            } else if let Some(c) = &self.collective {
+                format!("collective {:?}", c.kind)
+            } else {
+                "unknown".to_string()
+            };
+            waiting.push(format!("node {i}: waiting on {what}"));
+        }
+        SimError::Deadlock {
+            time: latest,
+            waiting,
+        }
+    }
+
+    fn report(&mut self) -> SimReport {
+        let makespan = self
+            .nodes
+            .iter()
+            .map(|m| m.clock)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .since(SimTime::ZERO);
+        SimReport {
+            makespan,
+            nodes: self.nodes.iter().map(|m| m.report.clone()).collect(),
+            messages: self.messages_done,
+            payload_bytes: self.payload_bytes,
+            wire_bytes: self.wire_bytes,
+            root_crossings: self.root_crossings,
+            bytes_per_level: self.network.bytes_per_level(),
+            collectives: self.collectives_done,
+            trace: std::mem::take(&mut self.trace),
+        }
+    }
+
+    /// Deliver the node's resume and pull actions until it blocks or ends.
+    fn handle_advance(&mut self, node: usize) -> Result<(), SimError> {
+        let mut resume = self
+            .resume_slot[node]
+            .take()
+            .expect("advance without a resume");
+        loop {
+            let action = self.source.next(node, resume)?;
+            let clock = self.nodes[node].clock;
+            match action {
+                Action::Compute(d) => {
+                    self.nodes[node].clock += d;
+                    self.nodes[node].report.busy += d;
+                    resume = Resume::at(self.nodes[node].clock);
+                }
+                Action::Done => {
+                    self.nodes[node].done = true;
+                    self.nodes[node].report.finished_at = clock;
+                    self.done_count += 1;
+                    self.trace(clock, TraceKind::NodeDone { node });
+                    return Ok(());
+                }
+                Action::Panic(message) => {
+                    return Err(SimError::NodePanic { node, message });
+                }
+                Action::Send { to, bytes, .. } => {
+                    if to >= self.n() || to == node {
+                        return Err(SimError::BadProgram {
+                            node,
+                            detail: format!("send of {bytes}B to invalid peer {to}"),
+                        });
+                    }
+                    let oh = self.params.send_overhead;
+                    self.nodes[node].clock += oh;
+                    self.nodes[node].report.busy += oh;
+                    let at = self.nodes[node].clock;
+                    self.blocked_action[node] = Some(action);
+                    self.nodes[node].block_start = Some(at);
+                    self.push(at, Ev::PostComm { node });
+                    return Ok(());
+                }
+                Action::Isend {
+                    to,
+                    tag,
+                    bytes,
+                    payload,
+                } => {
+                    if to >= self.n() || to == node {
+                        return Err(SimError::BadProgram {
+                            node,
+                            detail: format!("isend of {bytes}B to invalid peer {to}"),
+                        });
+                    }
+                    // The sender still pays the software cost of posting.
+                    let oh = self.params.send_overhead;
+                    self.nodes[node].clock += oh;
+                    self.nodes[node].report.busy += oh;
+                    let at = self.nodes[node].clock;
+                    let handle = self.next_handle;
+                    self.next_handle += 1;
+                    self.async_state[node].insert(handle, false);
+                    self.async_queue[node].push_back(AsyncSend {
+                        src: node,
+                        dst: to,
+                        handle,
+                        tag,
+                        bytes,
+                        payload,
+                        ready: at,
+                    });
+                    self.push(at, Ev::PostAsync { node });
+                    // Not blocked: hand the handle back and keep running.
+                    let mut r = Resume::at(at);
+                    r.handle = Some(handle);
+                    resume = r;
+                }
+                Action::WaitSend { handle } => {
+                    if self.wait_satisfied(node, handle) {
+                        self.retire_waited(node, handle);
+                        resume = Resume::at(self.nodes[node].clock);
+                    } else {
+                        let at = self.nodes[node].clock;
+                        self.blocked_action[node] = Some(Action::WaitSend { handle });
+                        self.nodes[node].block_start = Some(at);
+                        return Ok(());
+                    }
+                }
+                Action::Recv { from, .. } => {
+                    if let Some(f) = from {
+                        if f >= self.n() || f == node {
+                            return Err(SimError::BadProgram {
+                                node,
+                                detail: format!("recv from invalid peer {f}"),
+                            });
+                        }
+                    }
+                    let oh = self.params.recv_overhead;
+                    self.nodes[node].clock += oh;
+                    self.nodes[node].report.busy += oh;
+                    let at = self.nodes[node].clock;
+                    self.blocked_action[node] = Some(action);
+                    self.nodes[node].block_start = Some(at);
+                    self.push(at, Ev::PostComm { node });
+                    return Ok(());
+                }
+                Action::Barrier
+                | Action::SystemBcast { .. }
+                | Action::Reduce { .. }
+                | Action::Scan { .. } => {
+                    let at = self.nodes[node].clock;
+                    self.blocked_action[node] = Some(action);
+                    self.nodes[node].block_start = Some(at);
+                    self.push(at, Ev::PostCollective { node });
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Resume a blocked node at `at` with `resume`.
+    fn resume_node(&mut self, node: usize, at: SimTime, resume: Resume) {
+        if let Some(start) = self.nodes[node].block_start.take() {
+            self.nodes[node].report.blocked += at.since(start);
+        }
+        self.nodes[node].clock = at;
+        self.resume_slot[node] = Some(resume);
+        self.push(at, Ev::Advance { node });
+    }
+
+    /// Is the node's wait condition met?
+    fn wait_satisfied(&self, node: usize, handle: Option<u64>) -> bool {
+        match handle {
+            Some(h) => *self.async_state[node].get(&h).unwrap_or(&true),
+            None => self.async_state[node].values().all(|&done| done),
+        }
+    }
+
+    /// Drop bookkeeping for handles a satisfied wait covered.
+    fn retire_waited(&mut self, node: usize, handle: Option<u64>) {
+        match handle {
+            Some(h) => {
+                self.async_state[node].remove(&h);
+            }
+            None => self.async_state[node].clear(),
+        }
+    }
+
+    /// A queued non-blocking send becomes visible for matching at `t`.
+    fn handle_post_async(&mut self, node: usize, t: SimTime) {
+        let req = self
+            .async_queue[node]
+            .pop_front()
+            .expect("post-async without queued send");
+        debug_assert_eq!(req.ready, t);
+        match self.params.send_mode {
+            SendMode::Rendezvous => {
+                let dst = req.dst;
+                if matches_recv(self.pending_recv[dst].as_ref(), node, req.tag) {
+                    self.pending_recv[dst] = None;
+                    self.start_message(
+                        t,
+                        node,
+                        dst,
+                        req.tag,
+                        req.bytes,
+                        req.payload,
+                        false,
+                        true,
+                        Some(req.handle),
+                    );
+                } else {
+                    self.async_by_dst[dst].push(req);
+                }
+            }
+            SendMode::Eager => {
+                let dst = req.dst;
+                let claimed = matches_recv(self.pending_recv[dst].as_ref(), node, req.tag);
+                self.start_message(
+                    t,
+                    node,
+                    dst,
+                    req.tag,
+                    req.bytes,
+                    req.payload,
+                    true,
+                    claimed,
+                    Some(req.handle),
+                );
+            }
+        }
+    }
+
+    /// A send/recv becomes visible for matching at time `t`.
+    fn handle_post_comm(&mut self, node: usize, t: SimTime) -> Result<(), SimError> {
+        let action = self.blocked_action[node]
+            .take()
+            .expect("post without action");
+        match action {
+            Action::Send {
+                to,
+                tag,
+                bytes,
+                payload,
+            } => match self.params.send_mode {
+                SendMode::Rendezvous => {
+                    let matched = matches_recv(self.pending_recv[to].as_ref(), node, tag);
+                    if matched {
+                        self.pending_recv[to] = None;
+                        self.start_message(t, node, to, tag, bytes, payload, false, true, None);
+                    } else {
+                        self.pending_send[node] = Some(PendingSend {
+                            dst: to,
+                            tag,
+                            bytes,
+                            payload,
+                            ready: t,
+                        });
+                        self.sends_to[to].push(node);
+                    }
+                }
+                SendMode::Eager => {
+                    let claimed = matches_recv(self.pending_recv[to].as_ref(), node, tag);
+                    let msg_id =
+                        self.start_message(t, node, to, tag, bytes, payload, true, claimed, None);
+                    let _ = msg_id;
+                    // Sender resumes once its bytes are injected at leaf rate.
+                    let inj = SimDuration::from_rate(
+                        self.params.wire_bytes(bytes) as f64,
+                        self.params.leaf_bandwidth,
+                    );
+                    self.resume_node(node, t + inj, Resume::at(t + inj));
+                }
+            },
+            Action::Recv { from, tag } => {
+                // 1) Eager mailbox (completed, unclaimed messages).
+                if let Some(pos) = self.mailbox_match(node, from, tag) {
+                    let msg = self.arrived[node].remove(pos);
+                    self.resume_node(
+                        node,
+                        t,
+                        Resume {
+                            time: t,
+                            payload: msg.payload,
+                            from: Some(msg.src),
+                            bytes: msg.bytes,
+                            reduced: None,
+                            handle: None,
+                        },
+                    );
+                    return Ok(());
+                }
+                // 2) Eager in-flight messages: claim one, resume at completion.
+                if self.params.send_mode == SendMode::Eager {
+                    if let Some(id) = self.inflight_match(node, from, tag) {
+                        self.messages.get_mut(&id).expect("msg").recv_claimed = true;
+                        self.pending_recv[node] = Some(PendingRecv { from, tag });
+                        return Ok(());
+                    }
+                }
+                // 3) Rendezvous: a pending blocking or async send may be
+                // waiting for us; the earliest-posted one wins.
+                let blocking = self.rendezvous_match(node, from, tag).map(|src| {
+                    let ready = self.pending_send[src].as_ref().expect("send").ready;
+                    (ready, src)
+                });
+                let async_pos = self.async_match(node, from, tag);
+                let use_async = match (blocking, async_pos) {
+                    (Some((br, bs)), Some(pos)) => {
+                        let a = &self.async_by_dst[node][pos];
+                        (a.ready, a.src) < (br, bs)
+                    }
+                    (None, Some(_)) => true,
+                    _ => false,
+                };
+                if use_async {
+                    let req = self.async_by_dst[node]
+                        .remove(async_pos.expect("async candidate present"));
+                    self.start_message(
+                        t,
+                        req.src,
+                        node,
+                        req.tag,
+                        req.bytes,
+                        req.payload,
+                        false,
+                        true,
+                        Some(req.handle),
+                    );
+                    return Ok(());
+                }
+                if let Some((_, src)) = blocking {
+                    let ps = self.pending_send[src].take().expect("pending send");
+                    self.sends_to[node].retain(|&s| s != src);
+                    self.start_message(
+                        t, src, node, ps.tag, ps.bytes, ps.payload, false, true, None,
+                    );
+                    return Ok(());
+                }
+                // 4) Nothing yet: block.
+                self.pending_recv[node] = Some(PendingRecv { from, tag });
+            }
+            other => unreachable!("non-comm action {other:?} posted as comm"),
+        }
+        Ok(())
+    }
+
+    /// Position in `node`'s mailbox of the oldest message matching
+    /// (`from`, `tag`), if any.
+    fn mailbox_match(&self, node: usize, from: Option<usize>, tag: u32) -> Option<usize> {
+        self.arrived[node]
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.tag == tag && from.is_none_or(|f| f == m.src))
+            .min_by_key(|(_, m)| m.msg_id)
+            .map(|(i, _)| i)
+    }
+
+    /// Oldest unclaimed in-flight message to `node` matching (`from`, `tag`).
+    fn inflight_match(&self, node: usize, from: Option<usize>, tag: u32) -> Option<u64> {
+        self.messages
+            .iter()
+            .filter(|(_, m)| {
+                m.dst == node
+                    && !m.recv_claimed
+                    && m.tag == tag
+                    && from.is_none_or(|f| f == m.src)
+            })
+            .map(|(&id, _)| id)
+            .min()
+    }
+
+    /// A pending (rendezvous) send targeting `node` that matches. For
+    /// receive-any the earliest-posted send wins, ties by source id.
+    fn rendezvous_match(&self, node: usize, from: Option<usize>, tag: u32) -> Option<usize> {
+        match from {
+            Some(src) => self.pending_send[src]
+                .as_ref()
+                .filter(|ps| ps.dst == node && ps.tag == tag)
+                .map(|_| src),
+            None => self.sends_to[node]
+                .iter()
+                .copied()
+                .filter(|&s| {
+                    self.pending_send[s]
+                        .as_ref()
+                        .is_some_and(|ps| ps.dst == node && ps.tag == tag)
+                })
+                .min_by_key(|&s| {
+                    let ps = self.pending_send[s].as_ref().expect("send");
+                    (ps.ready, s)
+                }),
+        }
+    }
+
+    /// The earliest-posted async send targeting `node` matching
+    /// (`from`, `tag`), as an index into `async_by_dst[node]`.
+    fn async_match(&self, node: usize, from: Option<usize>, tag: u32) -> Option<usize> {
+        self.async_by_dst[node]
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.tag == tag && from.is_none_or(|f| f == a.src))
+            .min_by_key(|(_, a)| (a.ready, a.src, a.handle))
+            .map(|(i, _)| i)
+    }
+
+    /// Create the message record and its network flow starting at `t`.
+    #[allow(clippy::too_many_arguments)]
+    fn start_message(
+        &mut self,
+        t: SimTime,
+        src: usize,
+        dst: usize,
+        tag: u32,
+        bytes: u64,
+        payload: Option<Bytes>,
+        eager: bool,
+        recv_claimed: bool,
+        async_handle: Option<u64>,
+    ) -> u64 {
+        let msg_id = self.msg_seq;
+        self.msg_seq += 1;
+        let cap = self.params.flow_cap();
+        let wire = self.params.wire_bytes(bytes);
+        self.network.advance_to(t);
+        self.network.add_flow(src, dst, wire, cap, msg_id);
+        self.messages.insert(
+            msg_id,
+            MsgInfo {
+                src,
+                dst,
+                bytes,
+                payload,
+                eager,
+                recv_claimed,
+                tag,
+                async_handle,
+            },
+        );
+        self.nodes[src].report.msgs_sent += 1;
+        self.nodes[src].report.payload_sent += bytes;
+        if self.topo.crosses_root(src, dst) {
+            self.root_crossings += 1;
+        }
+        self.trace(t, TraceKind::MsgStart { src, dst, bytes });
+        self.reschedule_net();
+        msg_id
+    }
+
+    /// Bump the network generation and schedule the next completion check.
+    fn reschedule_net(&mut self) {
+        self.net_gen += 1;
+        if let Some(tc) = self.network.next_completion() {
+            let gen = self.net_gen;
+            self.push(tc, Ev::NetCheck { gen });
+        }
+    }
+
+    /// Collect flows that completed at `t` and resume their endpoints.
+    fn handle_net(&mut self, t: SimTime) {
+        self.network.advance_to(t);
+        let completed = self.network.take_completed();
+        for flow in completed {
+            let msg = self
+                .messages
+                .remove(&flow.token)
+                .expect("completed flow without message");
+            self.messages_done += 1;
+            self.payload_bytes += msg.bytes;
+            self.wire_bytes += flow.wire_bytes;
+            self.trace(
+                t,
+                TraceKind::MsgDone {
+                    src: msg.src,
+                    dst: msg.dst,
+                    bytes: msg.bytes,
+                },
+            );
+            let recv_at = t + self.params.wire_latency;
+            let recv_resume = Resume {
+                time: recv_at,
+                payload: msg.payload,
+                from: Some(msg.src),
+                bytes: msg.bytes,
+                reduced: None,
+                handle: None,
+            };
+            // Sender side: async sends mark their handle done (possibly
+            // waking a node blocked in WaitSend); blocking rendezvous sends
+            // resume their sender; eager blocking sends resumed at injection.
+            match msg.async_handle {
+                Some(h) => self.complete_async_send(msg.src, h, t),
+                None if !msg.eager => {
+                    self.resume_node(msg.src, t, Resume::at(t));
+                }
+                None => {}
+            }
+            // Receiver side: under rendezvous a receive was already matched;
+            // under eager the message may land in the mailbox.
+            if msg.eager && !msg.recv_claimed {
+                self.arrived[msg.dst].push(ArrivedMsg {
+                    msg_id: flow.token,
+                    src: msg.src,
+                    tag: msg.tag,
+                    bytes: msg.bytes,
+                    payload: recv_resume.payload,
+                });
+            } else {
+                if msg.eager {
+                    self.pending_recv[msg.dst] = None;
+                }
+                self.resume_node(msg.dst, recv_at, recv_resume);
+            }
+        }
+        self.reschedule_net();
+    }
+
+    /// An async send's bytes have fully drained: mark its handle complete
+    /// and wake the sender if it is blocked waiting on it.
+    fn complete_async_send(&mut self, src: usize, handle: u64, t: SimTime) {
+        self.async_state[src].insert(handle, true);
+        if let Some(Action::WaitSend { handle: waited }) = self.blocked_action[src] {
+            if self.wait_satisfied(src, waited) {
+                self.blocked_action[src] = None;
+                self.retire_waited(src, waited);
+                let at = t.max(self.nodes[src].clock);
+                self.resume_node(src, at, Resume::at(at));
+            }
+        }
+    }
+
+    /// A node arrives at a barrier / system broadcast / reduction.
+    fn handle_post_collective(&mut self, node: usize, t: SimTime) -> Result<(), SimError> {
+        let action = self.blocked_action[node]
+            .take()
+            .expect("collective post without action");
+        let (kind, bytes, payload, value) = match action {
+            Action::Barrier => (CollKind::Barrier, 0, None, 0.0),
+            Action::SystemBcast {
+                root,
+                bytes,
+                payload,
+            } => (CollKind::SystemBcast { root }, bytes, payload, 0.0),
+            Action::Reduce { op, value } => (CollKind::Reduce { op }, 0, None, value),
+            Action::Scan {
+                op,
+                value,
+                inclusive,
+            } => (CollKind::Scan { op, inclusive }, 0, None, value),
+            other => unreachable!("non-collective action {other:?}"),
+        };
+        let n = self.n();
+        let st = self.collective.get_or_insert_with(|| CollectiveState {
+            kind: kind.clone(),
+            arrived: vec![false; n],
+            count: 0,
+            max_time: SimTime::ZERO,
+            bytes: 0,
+            payload: None,
+            values: vec![0.0; n],
+        });
+        if st.kind != kind {
+            return Err(SimError::CollectiveMismatch {
+                detail: format!(
+                    "node {node} entered {:?} while the machine is in {:?}",
+                    kind, st.kind
+                ),
+            });
+        }
+        debug_assert!(!st.arrived[node], "double collective arrival");
+        st.arrived[node] = true;
+        st.count += 1;
+        st.max_time = st.max_time.max(t);
+        st.values[node] = value;
+        if let CollKind::SystemBcast { root } = kind {
+            if node == root {
+                st.bytes = bytes;
+                st.payload = payload;
+            }
+        }
+        if st.count < n {
+            return Ok(());
+        }
+        // Everyone arrived: compute the finish time and resume all nodes.
+        let st = self.collective.take().expect("collective state");
+        let mut finish = st.max_time + self.params.control_latency;
+        let mut reduced = None;
+        let mut per_node: Option<Vec<f64>> = None;
+        let fold = |op: &ReduceOp, acc: f64, v: f64| match op {
+            ReduceOp::Sum => acc + v,
+            ReduceOp::Max => acc.max(v),
+            ReduceOp::Min => acc.min(v),
+        };
+        match &st.kind {
+            CollKind::Barrier => {}
+            CollKind::SystemBcast { .. } => {
+                finish += self.params.system_bcast_overhead;
+                finish += SimDuration::from_rate(
+                    self.params.wire_bytes(st.bytes) as f64,
+                    self.params.system_bcast_bandwidth,
+                );
+            }
+            CollKind::Reduce { op } => {
+                // Fold in node order for bit-reproducibility.
+                let mut acc = st.values[0];
+                for &v in &st.values[1..] {
+                    acc = fold(op, acc, v);
+                }
+                reduced = Some(acc);
+            }
+            CollKind::Scan { op, inclusive } => {
+                // Parallel prefix over node order, in hardware on the real
+                // control network. Exclusive scans yield the operator's
+                // identity on node 0.
+                let identity = match op {
+                    ReduceOp::Sum => 0.0,
+                    ReduceOp::Max => f64::NEG_INFINITY,
+                    ReduceOp::Min => f64::INFINITY,
+                };
+                let mut prefixes = Vec::with_capacity(n);
+                let mut acc = identity;
+                for &v in &st.values {
+                    if *inclusive {
+                        acc = fold(op, acc, v);
+                        prefixes.push(acc);
+                    } else {
+                        prefixes.push(acc);
+                        acc = fold(op, acc, v);
+                    }
+                }
+                per_node = Some(prefixes);
+            }
+        }
+        let what = match st.kind {
+            CollKind::Barrier => "barrier",
+            CollKind::SystemBcast { .. } => "system_bcast",
+            CollKind::Reduce { .. } => "reduce",
+            CollKind::Scan { .. } => "scan",
+        };
+        self.trace(finish, TraceKind::CollectiveDone { what });
+        self.collectives_done += 1;
+        for i in 0..n {
+            let resume = Resume {
+                time: finish,
+                payload: st.payload.clone(),
+                from: None,
+                bytes: st.bytes,
+                reduced: per_node
+                    .as_ref()
+                    .map(|p| p[i])
+                    .or(reduced),
+                handle: None,
+            };
+            self.resume_node(i, finish, resume);
+        }
+        Ok(())
+    }
+}
+
+fn matches_recv(recv: Option<&PendingRecv>, src: usize, tag: u32) -> bool {
+    recv.is_some_and(|r| r.tag == tag && r.from.is_none_or(|f| f == src))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Op, ANY_TAG};
+
+    fn sim(n: usize) -> Simulation {
+        Simulation::new(n, MachineParams::cm5_1992())
+    }
+
+    fn idle(n: usize) -> Vec<OpProgram> {
+        vec![Vec::new(); n]
+    }
+
+    #[test]
+    fn empty_programs_finish_at_zero() {
+        let r = sim(4).run_ops(&idle(4)).unwrap();
+        assert_eq!(r.makespan, SimDuration::ZERO);
+        assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn single_message_latency() {
+        // Receiver posts immediately; 0-byte message: 40 µs send overhead +
+        // 1 packet (20 wire bytes) at the 10 MB/s flow cap (2 µs) + 8 µs
+        // wire latency = 50 µs; the receiver burned its own 40 µs posting in
+        // parallel.
+        let mut p = idle(2);
+        p[0] = vec![Op::Send { to: 1, bytes: 0, tag: ANY_TAG }];
+        p[1] = vec![Op::Recv { from: 0, tag: ANY_TAG }];
+        let r = sim(2).run_ops(&p).unwrap();
+        assert_eq!(r.makespan.as_micros_f64(), 50.0);
+        assert_eq!(r.messages, 1);
+        assert_eq!(r.wire_bytes, 20);
+    }
+
+    #[test]
+    fn rendezvous_blocks_sender_until_recv_posts() {
+        // Receiver computes 1 ms first; the sender must wait.
+        let mut p = idle(2);
+        p[0] = vec![Op::Send { to: 1, bytes: 1600, tag: ANY_TAG }];
+        p[1] = vec![
+            Op::Compute(SimDuration::from_millis(1)),
+            Op::Recv { from: 0, tag: ANY_TAG },
+        ];
+        let r = sim(2).run_ops(&p).unwrap();
+        // Transfer (2000 wire bytes at the 10 MB/s flow cap = 200 µs) starts
+        // at 1 ms + 40 µs recv overhead.
+        let expect_us = 1000.0 + 40.0 + 200.0 + 8.0;
+        assert_eq!(r.makespan.as_micros_f64(), expect_us);
+        // Sender blocked for ~1 ms.
+        assert!(r.nodes[0].blocked.as_micros_f64() > 900.0);
+    }
+
+    #[test]
+    fn eager_mode_frees_the_sender() {
+        let mut params = MachineParams::cm5_1992();
+        params.send_mode = SendMode::Eager;
+        let mut p = idle(2);
+        p[0] = vec![Op::Send { to: 1, bytes: 1600, tag: ANY_TAG }];
+        p[1] = vec![
+            Op::Compute(SimDuration::from_millis(1)),
+            Op::Recv { from: 0, tag: ANY_TAG },
+        ];
+        let r = Simulation::new(2, params).run_ops(&p).unwrap();
+        // Sender finished long before the receiver even posted.
+        assert!(r.nodes[0].finished_at.as_micros_f64() < 200.0);
+        // Receiver finds the message in its mailbox: resumes right away.
+        assert!(r.makespan.as_micros_f64() < 1100.0);
+        assert_eq!(r.messages, 1);
+    }
+
+    #[test]
+    fn recv_any_takes_earliest_posted_send() {
+        // Nodes 1 and 2 both send to 0; node 2 posts earlier (node 1
+        // computes first). RecvAny must take node 2's message first.
+        let mut p = idle(3);
+        p[0] = vec![Op::RecvAny { tag: 5 }, Op::RecvAny { tag: 5 }];
+        p[1] = vec![
+            Op::Compute(SimDuration::from_millis(2)),
+            Op::Send { to: 0, bytes: 64, tag: 5 },
+        ];
+        p[2] = vec![Op::Send { to: 0, bytes: 64, tag: 5 }];
+        let r = sim(4).run_ops(&pad(p, 4)).unwrap();
+        // If 0 waited for node 1 first, makespan would exceed 2 ms plus two
+        // transfers; taking node 2 first overlaps node 1's compute.
+        assert!(r.makespan.as_millis_f64() < 2.5);
+        assert_eq!(r.messages, 2);
+    }
+
+    fn pad(mut p: Vec<OpProgram>, n: usize) -> Vec<OpProgram> {
+        while p.len() < n {
+            p.push(Vec::new());
+        }
+        p
+    }
+
+    #[test]
+    fn tag_mismatch_deadlocks_with_diagnostic() {
+        let mut p = idle(2);
+        p[0] = vec![Op::Send { to: 1, bytes: 8, tag: 1 }];
+        p[1] = vec![Op::Recv { from: 0, tag: 2 }];
+        let err = sim(2).run_ops(&p).unwrap_err();
+        match err {
+            SimError::Deadlock { waiting, .. } => {
+                assert_eq!(waiting.len(), 2);
+                assert!(waiting[0].contains("send"));
+                assert!(waiting[1].contains("recv"));
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_partner_deadlocks() {
+        let mut p = idle(2);
+        p[0] = vec![Op::Recv { from: 1, tag: ANY_TAG }];
+        let err = sim(2).run_ops(&p).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn send_to_self_rejected() {
+        let mut p = idle(2);
+        p[0] = vec![Op::Send { to: 0, bytes: 8, tag: ANY_TAG }];
+        let err = sim(2).run_ops(&p).unwrap_err();
+        assert!(matches!(err, SimError::BadProgram { node: 0, .. }));
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let mut p = idle(4);
+        for (i, prog) in p.iter_mut().enumerate() {
+            prog.push(Op::Compute(SimDuration::from_micros(100 * i as u64)));
+            prog.push(Op::Barrier);
+        }
+        let r = sim(4).run_ops(&p).unwrap();
+        // Everyone leaves at max arrival (300 µs) + control latency (5 µs).
+        let expect = SimDuration::from_micros(305);
+        for nr in &r.nodes {
+            assert_eq!(nr.finished_at.since(SimTime::ZERO), expect);
+        }
+        assert_eq!(r.collectives, 1);
+    }
+
+    #[test]
+    fn collective_mismatch_detected() {
+        let mut p = idle(2);
+        p[0] = vec![Op::Barrier];
+        p[1] = vec![Op::Reduce];
+        let err = sim(2).run_ops(&p).unwrap_err();
+        assert!(matches!(err, SimError::CollectiveMismatch { .. }));
+    }
+
+    #[test]
+    fn system_bcast_costs_partition_time() {
+        let mut p = idle(4);
+        for prog in p.iter_mut() {
+            prog.push(Op::SystemBcast { root: 0, bytes: 1024 });
+        }
+        let r = sim(4).run_ops(&p).unwrap();
+        // 5 µs control + 150 µs overhead + 1280 wire bytes / 1.2 MB/s.
+        let stream_us = 1280.0 / 1.2e6 * 1e6;
+        let expect = 5.0 + 150.0 + stream_us;
+        assert!((r.makespan.as_micros_f64() - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn exchange_pair_serializes_two_transfers() {
+        // Paper ordering: node 0 (lower) receives first, node 1 sends first.
+        let bytes = 16_000u64; // 20_000 wire bytes = 2 ms at the 10 MB/s cap
+        let mut p = idle(2);
+        p[0] = vec![
+            Op::Recv { from: 1, tag: ANY_TAG },
+            Op::Send { to: 1, bytes, tag: ANY_TAG },
+        ];
+        p[1] = vec![
+            Op::Send { to: 0, bytes, tag: ANY_TAG },
+            Op::Recv { from: 0, tag: ANY_TAG },
+        ];
+        let r = sim(2).run_ops(&p).unwrap();
+        // Two sequential 2 ms transfers plus overheads; well above 4 ms.
+        assert!(r.makespan.as_millis_f64() > 4.0);
+        assert!(r.makespan.as_millis_f64() < 4.5);
+        assert_eq!(r.messages, 2);
+    }
+
+    #[test]
+    fn lex_style_fan_in_serializes() {
+        // 7 nodes send to node 0 which receives them one by one: the total
+        // must be roughly 7 transfer times, not 1.
+        let n = 8;
+        let bytes = 16_000u64;
+        let mut p = idle(n);
+        for s in 1..n {
+            p[s] = vec![Op::Send { to: 0, bytes, tag: ANY_TAG }];
+            p[0].push(Op::Recv { from: s, tag: ANY_TAG });
+        }
+        let r = sim(n).run_ops(&p).unwrap();
+        assert!(r.makespan.as_millis_f64() > 14.0);
+        assert_eq!(r.messages, 7);
+        // Senders spent most of the run blocked.
+        assert!(r.mean_blocked_fraction() > 0.5);
+    }
+
+    #[test]
+    fn trace_records_message_lifecycle() {
+        let mut p = idle(2);
+        p[0] = vec![Op::Send { to: 1, bytes: 4, tag: ANY_TAG }];
+        p[1] = vec![Op::Recv { from: 0, tag: ANY_TAG }];
+        let r = sim(2).record_trace(true).run_ops(&p).unwrap();
+        let kinds: Vec<_> = r.trace.iter().map(|e| &e.kind).collect();
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, TraceKind::MsgStart { src: 0, dst: 1, .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, TraceKind::MsgDone { src: 0, dst: 1, .. })));
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let n = 16;
+        let mut p = idle(n);
+        // A messy pattern: ring exchange with varying sizes + a barrier.
+        for i in 0..n {
+            let next = (i + 1) % n;
+            let prev = (i + n - 1) % n;
+            if i % 2 == 0 {
+                p[i].push(Op::Recv { from: prev as usize, tag: 1 });
+                p[i].push(Op::Send { to: next, bytes: 100 * (i as u64 + 1), tag: 1 });
+            } else {
+                p[i].push(Op::Send { to: next, bytes: 100 * (i as u64 + 1), tag: 1 });
+                p[i].push(Op::Recv { from: prev as usize, tag: 1 });
+            }
+            p[i].push(Op::Barrier);
+        }
+        let r1 = sim(n).run_ops(&p).unwrap();
+        let r2 = sim(n).run_ops(&p).unwrap();
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.wire_bytes, r2.wire_bytes);
+        for (a, b) in r1.nodes.iter().zip(&r2.nodes) {
+            assert_eq!(a.finished_at, b.finished_at);
+            assert_eq!(a.blocked, b.blocked);
+        }
+    }
+
+    #[test]
+    fn root_crossing_counted() {
+        let mut p = idle(8);
+        p[0] = vec![Op::Send { to: 4, bytes: 64, tag: ANY_TAG }];
+        p[4] = vec![Op::Recv { from: 0, tag: ANY_TAG }];
+        p[1] = vec![Op::Send { to: 2, bytes: 64, tag: ANY_TAG }];
+        p[2] = vec![Op::Recv { from: 1, tag: ANY_TAG }];
+        let r = sim(8).run_ops(&p).unwrap();
+        assert_eq!(r.root_crossings, 1);
+        assert_eq!(r.messages, 2);
+    }
+}

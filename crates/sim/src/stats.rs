@@ -1,0 +1,113 @@
+//! Per-run statistics and the optional event trace.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Per-node accounting.
+#[derive(Debug, Clone, Default)]
+pub struct NodeReport {
+    /// Time spent computing (including message software overheads).
+    pub busy: SimDuration,
+    /// Time spent blocked in communication (from posting a blocking
+    /// operation to resuming).
+    pub blocked: SimDuration,
+    /// Messages this node sent.
+    pub msgs_sent: u64,
+    /// User bytes this node sent.
+    pub payload_sent: u64,
+    /// Local clock when the node's program finished.
+    pub finished_at: SimTime,
+}
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Completion time of the last node — the number every figure plots.
+    pub makespan: SimDuration,
+    /// Per-node accounting.
+    pub nodes: Vec<NodeReport>,
+    /// Total point-to-point messages delivered.
+    pub messages: u64,
+    /// Total user bytes delivered.
+    pub payload_bytes: u64,
+    /// Total wire bytes (packets × 20 B) delivered.
+    pub wire_bytes: u64,
+    /// Messages whose route crossed the root of the fat tree
+    /// (the paper's "global exchanges").
+    pub root_crossings: u64,
+    /// Wire bytes carried per tree level (index 0 = leaf links).
+    pub bytes_per_level: Vec<f64>,
+    /// Barriers and other control-network collectives completed.
+    pub collectives: u64,
+    /// Optional event trace (enabled via
+    /// [`crate::engine::Simulation::record_trace`]).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimReport {
+    /// Mean blocked fraction across nodes: blocked / (busy + blocked).
+    pub fn mean_blocked_fraction(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for n in &self.nodes {
+            let total = n.busy.as_nanos() + n.blocked.as_nanos();
+            if total > 0 {
+                acc += n.blocked.as_nanos() as f64 / total as f64;
+            }
+        }
+        acc / self.nodes.len() as f64
+    }
+
+    /// Effective delivered user bandwidth over the whole run, bytes/second.
+    pub fn effective_bandwidth(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.payload_bytes as f64 / secs
+        }
+    }
+}
+
+/// One entry of the optional event trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Trace event kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message transfer began (both sides matched).
+    MsgStart {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+        /// User bytes.
+        bytes: u64,
+    },
+    /// A message transfer completed.
+    MsgDone {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+        /// User bytes.
+        bytes: u64,
+    },
+    /// A control-network collective completed.
+    CollectiveDone {
+        /// Human-readable collective kind.
+        what: &'static str,
+    },
+    /// A node's program finished.
+    NodeDone {
+        /// The node.
+        node: usize,
+    },
+}

@@ -1,0 +1,191 @@
+//! Analysis of recorded event traces.
+//!
+//! With [`crate::Simulation::record_trace`] enabled, a run's
+//! [`SimReport::trace`](crate::SimReport) holds every message start/finish
+//! and collective completion. This module turns that stream into the
+//! aggregate views the paper reasons about informally: how many transfers
+//! are in flight over time, how traffic spreads across steps, and per-node
+//! send/receive tallies.
+
+use crate::stats::{TraceEvent, TraceKind};
+use crate::time::{SimDuration, SimTime};
+
+/// A step of the network-concurrency profile: `concurrent` transfers were
+/// in flight from `from` until `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcurrencySpan {
+    /// Interval start.
+    pub from: SimTime,
+    /// Interval end.
+    pub to: SimTime,
+    /// Number of in-flight messages during the interval.
+    pub concurrent: usize,
+}
+
+/// Aggregates derived from a trace.
+#[derive(Debug, Clone)]
+pub struct TraceProfile {
+    /// Piecewise-constant count of in-flight messages over time.
+    pub spans: Vec<ConcurrencySpan>,
+    /// Maximum messages simultaneously in flight.
+    pub peak_concurrency: usize,
+    /// Time-weighted mean concurrency over the span of the trace.
+    pub mean_concurrency: f64,
+    /// Total time with at least one message in flight.
+    pub busy_network_time: SimDuration,
+    /// Per-node messages sent.
+    pub sends_per_node: Vec<u64>,
+    /// Per-node messages received.
+    pub recvs_per_node: Vec<u64>,
+}
+
+/// Build the profile of a recorded trace for an `n`-node run.
+///
+/// ```
+/// use cm5_sim::{MachineParams, Simulation, Op, ANY_TAG};
+/// use cm5_sim::trace::profile;
+///
+/// let mut programs = vec![Vec::new(); 4];
+/// for i in 1..4 {
+///     programs[0].push(Op::Recv { from: i, tag: ANY_TAG });
+///     programs[i].push(Op::Send { to: 0, bytes: 1000, tag: ANY_TAG });
+/// }
+/// let report = Simulation::new(4, MachineParams::cm5_1992())
+///     .record_trace(true)
+///     .run_ops(&programs)
+///     .unwrap();
+/// let prof = profile(&report.trace, 4);
+/// // Fan-in to a single rendezvous receiver serializes: never more than
+/// // one transfer at a time.
+/// assert_eq!(prof.peak_concurrency, 1);
+/// assert_eq!(prof.recvs_per_node[0], 3);
+/// ```
+pub fn profile(trace: &[TraceEvent], n: usize) -> TraceProfile {
+    let mut sends_per_node = vec![0u64; n];
+    let mut recvs_per_node = vec![0u64; n];
+    // Build +1/-1 edges at message start/end.
+    let mut edges: Vec<(SimTime, i64)> = Vec::new();
+    for ev in trace {
+        match ev.kind {
+            TraceKind::MsgStart { src, .. } => {
+                sends_per_node[src] += 1;
+                edges.push((ev.time, 1));
+            }
+            TraceKind::MsgDone { dst, .. } => {
+                recvs_per_node[dst] += 1;
+                edges.push((ev.time, -1));
+            }
+            _ => {}
+        }
+    }
+    edges.sort_by_key(|&(t, delta)| (t, delta)); // ends before starts at ties
+    let mut spans = Vec::new();
+    let mut level: i64 = 0;
+    let mut last: Option<SimTime> = None;
+    let mut peak = 0usize;
+    let mut weighted = 0.0f64;
+    let mut busy_ns = 0u64;
+    let mut span_start = SimTime::ZERO;
+    let mut total_ns = 0u64;
+    for (t, delta) in edges {
+        if let Some(prev) = last {
+            if t > prev && level >= 0 {
+                let dur = (t - prev).as_nanos();
+                total_ns += dur;
+                weighted += level as f64 * dur as f64;
+                if level > 0 {
+                    busy_ns += dur;
+                }
+                spans.push(ConcurrencySpan {
+                    from: prev,
+                    to: t,
+                    concurrent: level as usize,
+                });
+            }
+        } else {
+            span_start = t;
+        }
+        level += delta;
+        peak = peak.max(level.max(0) as usize);
+        last = Some(t);
+    }
+    let _ = span_start;
+    TraceProfile {
+        spans,
+        peak_concurrency: peak,
+        mean_concurrency: if total_ns > 0 {
+            weighted / total_ns as f64
+        } else {
+            0.0
+        },
+        busy_network_time: SimDuration::from_nanos(busy_ns),
+        sends_per_node,
+        recvs_per_node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MachineParams, Op, Simulation, ANY_TAG};
+
+    fn traced(programs: &[Vec<Op>]) -> (TraceProfile, usize) {
+        let n = programs.len();
+        let report = Simulation::new(n, MachineParams::cm5_1992())
+            .record_trace(true)
+            .run_ops(programs)
+            .unwrap();
+        (profile(&report.trace, n), n)
+    }
+
+    #[test]
+    fn empty_trace_is_empty_profile() {
+        let prof = profile(&[], 4);
+        assert_eq!(prof.peak_concurrency, 0);
+        assert_eq!(prof.mean_concurrency, 0.0);
+        assert!(prof.spans.is_empty());
+    }
+
+    #[test]
+    fn parallel_pairs_overlap() {
+        // Two disjoint pairs exchange large messages simultaneously.
+        let mut p = vec![Vec::new(); 4];
+        for (a, b) in [(0usize, 1usize), (2, 3)] {
+            p[a].push(Op::Recv { from: b, tag: ANY_TAG });
+            p[b].push(Op::Send { to: a, bytes: 50_000, tag: ANY_TAG });
+        }
+        let (prof, _) = traced(&p);
+        assert_eq!(prof.peak_concurrency, 2);
+        assert!(prof.mean_concurrency > 1.0);
+        assert_eq!(prof.sends_per_node, vec![0, 1, 0, 1]);
+        assert_eq!(prof.recvs_per_node, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn serialized_fan_in_never_overlaps() {
+        let n = 6;
+        let mut p = vec![Vec::new(); n];
+        for i in 1..n {
+            p[0].push(Op::Recv { from: i, tag: ANY_TAG });
+            p[i].push(Op::Send { to: 0, bytes: 5_000, tag: ANY_TAG });
+        }
+        let (prof, _) = traced(&p);
+        assert_eq!(prof.peak_concurrency, 1);
+        assert_eq!(prof.sends_per_node.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn busy_time_bounded_by_trace_span() {
+        let mut p = vec![Vec::new(); 4];
+        p[0].push(Op::Recv { from: 1, tag: ANY_TAG });
+        p[1].push(Op::Send { to: 0, bytes: 10_000, tag: ANY_TAG });
+        let (prof, _) = traced(&p);
+        let span: u64 = prof
+            .spans
+            .iter()
+            .map(|s| (s.to - s.from).as_nanos())
+            .sum();
+        assert!(prof.busy_network_time.as_nanos() <= span);
+        assert!(prof.busy_network_time.as_nanos() > 0);
+    }
+}

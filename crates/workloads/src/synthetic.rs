@@ -1,0 +1,98 @@
+//! Synthetic irregular patterns (Table 11).
+//!
+//! "We have created synthetic communication patterns with different
+//! communication densities of 10%, 25%, 50% and 75% of complete exchange
+//! and studied the performance of the above algorithms on these patterns
+//! for message sizes of 256 and 512 bytes on a 32 processor system."
+
+use cm5_core::Pattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The density levels of Table 11.
+pub const TABLE_11_DENSITIES: [f64; 4] = [0.10, 0.25, 0.50, 0.75];
+/// The message sizes of Table 11.
+pub const TABLE_11_MSG_SIZES: [u64; 2] = [256, 512];
+
+/// A seeded random pattern: each ordered pair communicates `msg_bytes`
+/// independently with probability `density`.
+pub fn synthetic_pattern(n: usize, density: f64, msg_bytes: u64, seed: u64) -> Pattern {
+    assert!((0.0..=1.0).contains(&density), "density out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Pattern::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.gen_bool(density) {
+                p.set(i, j, msg_bytes);
+            }
+        }
+    }
+    p
+}
+
+/// A seeded random pattern with *exactly* `round(density · n(n−1))`
+/// communicating ordered pairs — used by the Table 11 sweep so the achieved
+/// densities match the nominal ones.
+pub fn synthetic_pattern_exact(
+    n: usize,
+    density: f64,
+    msg_bytes: u64,
+    seed: u64,
+) -> Pattern {
+    assert!((0.0..=1.0).contains(&density), "density out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+        .collect();
+    let want = ((pairs.len() as f64) * density).round() as usize;
+    // Seeded Fisher–Yates prefix shuffle.
+    for k in 0..want.min(pairs.len()) {
+        let pick = rng.gen_range(k..pairs.len());
+        pairs.swap(k, pick);
+    }
+    let mut p = Pattern::new(n);
+    for &(i, j) in pairs.iter().take(want) {
+        p.set(i, j, msg_bytes);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_density_hits_target() {
+        for &d in &TABLE_11_DENSITIES {
+            let p = synthetic_pattern_exact(32, d, 256, 42);
+            let achieved = p.density();
+            assert!(
+                (achieved - d).abs() < 1.0 / (32.0 * 31.0),
+                "wanted {d}, got {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn bernoulli_density_is_close() {
+        let p = synthetic_pattern(32, 0.25, 512, 7);
+        let achieved = p.density();
+        assert!((achieved - 0.25).abs() < 0.08, "{achieved}");
+        assert_eq!(p.avg_msg_bytes(), 512.0);
+    }
+
+    #[test]
+    fn seeded_and_deterministic() {
+        let a = synthetic_pattern_exact(16, 0.5, 256, 1);
+        let b = synthetic_pattern_exact(16, 0.5, 256, 1);
+        assert_eq!(a, b);
+        let c = synthetic_pattern_exact(16, 0.5, 256, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn full_density_is_complete_exchange() {
+        let p = synthetic_pattern_exact(8, 1.0, 64, 3);
+        assert_eq!(p, Pattern::complete_exchange(8, 64));
+    }
+}

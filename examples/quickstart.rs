@@ -1,0 +1,38 @@
+//! Quickstart: schedule a complete exchange four ways on a simulated
+//! 32-node CM-5 and compare.
+//!
+//! ```sh
+//! cargo run --release -p cm5-examples --example quickstart
+//! ```
+
+use cm5_core::prelude::*;
+use cm5_sim::MachineParams;
+
+fn main() {
+    let n = 32;
+    let bytes = 1024;
+    let params = MachineParams::cm5_1992();
+    println!("Complete exchange of {bytes} B/pair on {n} simulated CM-5 nodes\n");
+    println!(
+        "{:<12} {:>6} {:>12} {:>14} {:>10}",
+        "algorithm", "steps", "time", "eff. bandwidth", "blocked"
+    );
+    for alg in ExchangeAlg::ALL {
+        let schedule = alg.schedule(n, bytes);
+        let report = run_schedule(&schedule, &params).expect("simulation runs");
+        println!(
+            "{:<12} {:>6} {:>12} {:>11.2} MB/s {:>9.0}%",
+            alg.name(),
+            schedule.num_steps(),
+            format!("{}", report.makespan),
+            report.effective_bandwidth() / 1e6,
+            report.mean_blocked_fraction() * 100.0
+        );
+    }
+    println!(
+        "\nThe synchronous-communication constraint is what ruins Linear \
+         (LEX): every\nsender waits its turn at the step's single receiver. \
+         Balanced (BEX) wins by\nspreading fat-tree root crossings evenly \
+         across steps."
+    );
+}

@@ -1,0 +1,192 @@
+//! The two engine frontends (op programs vs CMMD threads) are timing-
+//! equivalent, and the CMMD collectives compose with schedules.
+
+use bytes::Bytes;
+use cm5_core::prelude::*;
+use cm5_sim::{MachineParams, Simulation};
+
+/// The same PEX exchange, written as op programs and as thread closures,
+/// takes exactly the same virtual time.
+#[test]
+fn pex_timing_identical_across_frontends() {
+    for bytes in [0u64, 256, 2048] {
+        let n = 8;
+        let schedule = pex(n, bytes);
+        let sim = Simulation::new(n, MachineParams::cm5_1992());
+        let r_ops = sim.run_ops(&lower(&schedule)).unwrap();
+        let r_thr = sim
+            .run_nodes(|node| {
+                for j in 1..n {
+                    let partner = node.id() ^ j;
+                    node.swap(
+                        partner,
+                        (j - 1) as u32,
+                        Bytes::from(vec![0u8; bytes as usize]),
+                    );
+                }
+            })
+            .unwrap();
+        assert_eq!(
+            r_ops.makespan, r_thr.makespan,
+            "bytes={bytes}: {} vs {}",
+            r_ops.makespan, r_thr.makespan
+        );
+        assert_eq!(r_ops.messages, r_thr.messages);
+        assert_eq!(r_ops.wire_bytes, r_thr.wire_bytes);
+    }
+}
+
+/// Broadcast timing matches between frontends, for all three algorithms.
+#[test]
+fn broadcast_timing_identical_across_frontends() {
+    let n = 16;
+    let root = 3;
+    let bytes = 4096u64;
+    let sim = Simulation::new(n, MachineParams::cm5_1992());
+    for alg in BroadcastAlg::ALL {
+        let r_ops = sim
+            .run_ops(&broadcast_programs(alg, n, root, bytes))
+            .unwrap();
+        let r_thr = sim
+            .run_nodes(|node| {
+                let data = if node.id() == root {
+                    Bytes::from(vec![7u8; bytes as usize])
+                } else {
+                    Bytes::new()
+                };
+                let got = broadcast_payload(node, alg, root, data);
+                assert_eq!(got.len(), bytes as usize);
+            })
+            .unwrap();
+        assert_eq!(
+            r_ops.makespan,
+            r_thr.makespan,
+            "{}: op {} vs thread {}",
+            alg.name(),
+            r_ops.makespan,
+            r_thr.makespan
+        );
+    }
+}
+
+/// Reductions and barriers interleave correctly with point-to-point
+/// traffic.
+#[test]
+fn collectives_compose_with_messages() {
+    let n = 8;
+    let sim = Simulation::new(n, MachineParams::cm5_1992());
+    let (report, sums) = sim
+        .run_nodes_collect(|node| {
+            let me = node.id();
+            // Ring shift, then a global sum of what arrived, then a barrier.
+            let right = (me + 1) % n;
+            let left = (me + n - 1) % n;
+            let got = if me % 2 == 0 {
+                node.send_block(right, 0, Bytes::from(vec![me as u8]));
+                node.recv_block(left, 0)
+            } else {
+                let g = node.recv_block(left, 0);
+                node.send_block(right, 0, Bytes::from(vec![me as u8]));
+                g
+            };
+            let s = node.reduce_sum(got[0] as f64);
+            node.barrier();
+            s
+        })
+        .unwrap();
+    let expect: f64 = (0..n).map(|i| i as f64).sum();
+    assert!(sums.iter().all(|&s| s == expect));
+    assert_eq!(report.collectives, 2);
+    assert_eq!(report.messages, n as u64);
+}
+
+/// A schedule mismatch (one node running a different schedule) deadlocks
+/// with a diagnostic instead of hanging.
+#[test]
+fn mismatched_schedules_deadlock_cleanly() {
+    let n = 4;
+    let sim = Simulation::new(n, MachineParams::cm5_1992());
+    let err = sim
+        .run_nodes(|node| {
+            if node.id() == 0 {
+                // Node 0 expects a message nobody sends.
+                node.recv_block(3, 99);
+            }
+        })
+        .unwrap_err();
+    match err {
+        cm5_sim::SimError::Deadlock { waiting, .. } => {
+            assert_eq!(waiting.len(), 1);
+            assert!(waiting[0].contains("node 0"));
+        }
+        other => panic!("expected deadlock, got {other}"),
+    }
+}
+
+/// Scans, shifts and all-gathers compose into one program: compute a
+/// distributed prefix layout via an exclusive scan, shift it around the
+/// ring, and gather everything back — verifying all values.
+#[test]
+fn scan_shift_allgather_compose() {
+    use cm5_core::collectives::{allgather_payload, shift_payload};
+    let n = 8;
+    let sim = Simulation::new(n, MachineParams::cm5_1992());
+    let (report, ok) = sim
+        .run_nodes_collect(|node| {
+            let me = node.id();
+            // Each node owns me+1 items; exclusive prefix sum = its offset.
+            let offset = node.scan_sum_exclusive((me + 1) as f64) as usize;
+            let expect_offset: usize = (0..me).map(|k| k + 1).sum();
+            assert_eq!(offset, expect_offset);
+            // Shift the offset one node to the right.
+            let got = shift_payload(node, 1, Bytes::from(offset.to_le_bytes().to_vec()));
+            let left = (me + n - 1) % n;
+            let left_offset =
+                usize::from_le_bytes(got.as_ref().try_into().expect("usize bytes"));
+            assert_eq!(left_offset, (0..left).map(|k| k + 1).sum::<usize>());
+            // All-gather everyone's offsets.
+            let all = allgather_payload(node, Bytes::from(offset.to_le_bytes().to_vec()));
+            for (j, block) in all.iter().enumerate() {
+                let v = usize::from_le_bytes(block.as_ref().try_into().expect("usize"));
+                assert_eq!(v, (0..j).map(|k| k + 1).sum::<usize>());
+            }
+            true
+        })
+        .unwrap();
+    assert!(ok.iter().all(|&b| b));
+    assert!(report.collectives >= 1);
+}
+
+/// The op-program Scan placeholder and the thread-mode scan cost the same
+/// simulated time.
+#[test]
+fn scan_timing_identical_across_frontends() {
+    use cm5_sim::Op;
+    let n = 8;
+    let sim = Simulation::new(n, MachineParams::cm5_1992());
+    let r_ops = sim.run_ops(&vec![vec![Op::Scan]; n]).unwrap();
+    let r_thr = sim
+        .run_nodes(|node| {
+            node.scan_sum(1.0);
+        })
+        .unwrap();
+    assert_eq!(r_ops.makespan, r_thr.makespan);
+}
+
+/// Virtual time advances identically on every node after a barrier,
+/// regardless of pre-barrier skew.
+#[test]
+fn barrier_collapses_skew() {
+    let n = 8;
+    let sim = Simulation::new(n, MachineParams::cm5_1992());
+    let (_, times) = sim
+        .run_nodes_collect(|node| {
+            node.compute(cm5_sim::SimDuration::from_micros(
+                37 * (node.id() as u64 + 1),
+            ));
+            node.barrier();
+            node.time().as_nanos()
+        })
+        .unwrap();
+    assert!(times.windows(2).all(|w| w[0] == w[1]), "{times:?}");
+}

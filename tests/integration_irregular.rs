@@ -1,0 +1,138 @@
+//! Irregular schedulers end-to-end: coverage on random patterns
+//! (property-based), and the §4.5 performance claims on the simulator.
+
+use cm5_core::prelude::*;
+use cm5_sim::{MachineParams, SimDuration};
+use cm5_workloads::synthetic::synthetic_pattern_exact;
+use proptest::prelude::*;
+
+fn run_irregular(alg: IrregularAlg, pattern: &Pattern) -> SimDuration {
+    run_schedule(&alg.schedule(pattern), &MachineParams::cm5_1992())
+        .unwrap_or_else(|e| panic!("{}: {e}", alg.name()))
+        .makespan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every scheduler covers every random pattern exactly (bytes preserved
+    /// pair-for-pair), and the pairing-based ones stay conflict-free.
+    #[test]
+    fn schedulers_cover_random_patterns(
+        seed in 0u64..5000,
+        density in 0.02f64..0.9,
+        msg in 1u64..4096,
+    ) {
+        let pattern = synthetic_pattern_exact(16, density, msg, seed);
+        for alg in IrregularAlg::ALL {
+            let s = alg.schedule(&pattern);
+            prop_assert!(s.check_nodes().is_ok());
+            prop_assert!(s.check_coverage(&pattern).is_ok(), "{}", alg.name());
+            // PS/BS steps are disjoint pairings. LS fans into one receiver
+            // by design; GS allows a node to send to one peer and receive
+            // from another in the same step (Table 10, step 3), so neither
+            // is expected to pass the disjointness check.
+            if matches!(alg, IrregularAlg::Ps | IrregularAlg::Bs) {
+                prop_assert!(s.check_pairwise_disjoint().is_ok(), "{}", alg.name());
+            }
+        }
+    }
+
+    /// Greedy never needs more steps than pattern-driven pairwise... not
+    /// true in general past 50% density (the paper's point!), but below it
+    /// greedy should be at least as compact.
+    #[test]
+    fn greedy_compact_at_low_density(seed in 0u64..2000) {
+        let pattern = synthetic_pattern_exact(32, 0.15, 256, seed);
+        let g = gs(&pattern).num_steps();
+        let p = ps(&pattern).num_steps();
+        prop_assert!(g <= p + 1, "greedy {g} vs pairwise {p}");
+    }
+
+    /// Schedules run to completion on the simulator (no deadlock) for any
+    /// random pattern.
+    #[test]
+    fn schedules_run_without_deadlock(seed in 0u64..300, density in 0.05f64..0.8) {
+        let pattern = synthetic_pattern_exact(8, density, 128, seed);
+        for alg in IrregularAlg::ALL {
+            let r = run_schedule(&alg.schedule(&pattern), &MachineParams::cm5_1992());
+            prop_assert!(r.is_ok(), "{}: {:?}", alg.name(), r.err());
+        }
+    }
+}
+
+/// Mean makespan over a few seeds (individual random patterns are noisy,
+/// like the paper's own synthetic patterns).
+fn mean_irregular(alg: IrregularAlg, density: f64, msg: u64) -> f64 {
+    let seeds = 5;
+    let mut total = 0.0;
+    for seed in 0..seeds {
+        let pattern = synthetic_pattern_exact(32, density, msg, 0x7AB1E + seed);
+        total += run_irregular(alg, &pattern).as_millis_f64();
+    }
+    total / seeds as f64
+}
+
+/// Table 11's qualitative results: LS worst everywhere; GS best below 50 %
+/// density; the structured schedules overtake greedy at 75 %.
+#[test]
+fn table11_orderings() {
+    for &msg in &[256u64, 512] {
+        for &density in &[0.10f64, 0.25] {
+            let ls_t = mean_irregular(IrregularAlg::Ls, density, msg);
+            let ps_t = mean_irregular(IrregularAlg::Ps, density, msg);
+            let bs_t = mean_irregular(IrregularAlg::Bs, density, msg);
+            let gs_t = mean_irregular(IrregularAlg::Gs, density, msg);
+            assert!(
+                ls_t > 1.5 * ps_t && ls_t > 1.5 * bs_t && ls_t > 1.5 * gs_t,
+                "d={density} m={msg}: LS must be worst (L={ls_t} P={ps_t} B={bs_t} G={gs_t})"
+            );
+            assert!(
+                gs_t <= ps_t && gs_t <= bs_t,
+                "d={density} m={msg}: greedy must win at low density \
+                 (GS {gs_t} PS {ps_t} BS {bs_t})"
+            );
+        }
+        // At 75 % greedy's ad-hoc pairings need more steps: it loses to
+        // both structured schedules.
+        let ps_t = mean_irregular(IrregularAlg::Ps, 0.75, msg);
+        let bs_t = mean_irregular(IrregularAlg::Bs, 0.75, msg);
+        let gs_t = mean_irregular(IrregularAlg::Gs, 0.75, msg);
+        assert!(
+            bs_t < gs_t && ps_t < gs_t,
+            "m={msg}: structured must beat greedy at 75 % \
+             (BS {bs_t} PS {ps_t} GS {gs_t})"
+        );
+    }
+}
+
+/// The paper's pattern P runs end-to-end under all four schedulers with the
+/// step counts of Tables 7–10.
+#[test]
+fn paper_pattern_p_end_to_end() {
+    let pattern = Pattern::paper_pattern_p(256);
+    let expected_steps = [
+        (IrregularAlg::Ls, 8),
+        (IrregularAlg::Ps, 6),
+        (IrregularAlg::Bs, 7),
+        (IrregularAlg::Gs, 6),
+    ];
+    for (alg, steps) in expected_steps {
+        let s = alg.schedule(&pattern);
+        assert_eq!(s.num_steps(), steps, "{}", alg.name());
+        let r = run_schedule(&s, &MachineParams::cm5_1992()).unwrap();
+        assert_eq!(r.payload_bytes, pattern.total_bytes(), "{}", alg.name());
+    }
+}
+
+/// Creating the schedule once and reusing it across iterations (the
+/// paper's amortization argument): repeated runs cost the same.
+#[test]
+fn schedule_reuse_is_stable() {
+    let pattern = synthetic_pattern_exact(32, 0.3, 512, 5);
+    let schedule = gs(&pattern);
+    let params = MachineParams::cm5_1992();
+    let t1 = run_schedule(&schedule, &params).unwrap().makespan;
+    let t2 = run_schedule(&schedule, &params).unwrap().makespan;
+    assert_eq!(t1, t2);
+}
