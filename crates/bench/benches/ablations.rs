@@ -2,10 +2,10 @@
 //! rendezvous vs eager sends, max-min vs equal-share fairness, fat-tree
 //! thinning sweep, and barrier-per-step lowering.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cm5_bench::runners::exchange_time_with;
 use cm5_core::prelude::*;
 use cm5_sim::{FairnessModel, MachineParams, SendMode, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
 
     // 1. The synchronous-communication constraint (LEX rendezvous vs eager).
-    for (name, mode) in [("rendezvous", SendMode::Rendezvous), ("eager", SendMode::Eager)] {
+    for (name, mode) in [
+        ("rendezvous", SendMode::Rendezvous),
+        ("eager", SendMode::Eager),
+    ] {
         let mut params = MachineParams::cm5_1992();
         params.send_mode = mode;
         g.bench_with_input(BenchmarkId::new("lex_send_mode", name), &params, |b, p| {

@@ -1,9 +1,9 @@
 //! Figures 10–11 benchmark: broadcast algorithms across message and machine
 //! sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cm5_bench::runners::{broadcast_time, MACHINE_SIZES};
 use cm5_core::broadcast::BroadcastAlg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -11,11 +11,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for alg in BroadcastAlg::ALL {
         for bytes in [256u64, 2048, 16384] {
-            g.bench_with_input(
-                BenchmarkId::new(alg.name(), bytes),
-                &bytes,
-                |b, &bytes| b.iter(|| black_box(broadcast_time(alg, 32, bytes))),
-            );
+            g.bench_with_input(BenchmarkId::new(alg.name(), bytes), &bytes, |b, &bytes| {
+                b.iter(|| black_box(broadcast_time(alg, 32, bytes)))
+            });
         }
     }
     g.finish();

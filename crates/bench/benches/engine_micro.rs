@@ -1,9 +1,9 @@
 //! Simulator microbenchmarks: event-core throughput and the network model's
 //! rate recomputation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cm5_bench::runners::pingpong_programs;
 use cm5_sim::{MachineParams, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -23,8 +23,7 @@ fn bench(c: &mut Criterion) {
     // Dense contention: complete exchange (max-min recomputation stress).
     for n in [32usize, 128] {
         g.bench_with_input(BenchmarkId::new("pex_exchange", n), &n, |b, &n| {
-            let programs =
-                cm5_core::exec::exchange_programs(cm5_core::ExchangeAlg::Pex, n, 1024);
+            let programs = cm5_core::exec::exchange_programs(cm5_core::ExchangeAlg::Pex, n, 1024);
             let sim = Simulation::new(n, MachineParams::cm5_1992());
             b.iter(|| black_box(sim.run_ops(&programs).unwrap().messages))
         });

@@ -2,9 +2,9 @@
 //! Criterion measures the simulator's wall-clock; the simulated times are
 //! what `report fig5` prints.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cm5_bench::runners::exchange_time;
 use cm5_core::regular::ExchangeAlg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -13,11 +13,9 @@ fn bench(c: &mut Criterion) {
         .measurement_time(std::time::Duration::from_secs(2));
     for alg in ExchangeAlg::ALL {
         for bytes in [0u64, 256, 2048] {
-            g.bench_with_input(
-                BenchmarkId::new(alg.name(), bytes),
-                &bytes,
-                |b, &bytes| b.iter(|| black_box(exchange_time(alg, 32, bytes))),
-            );
+            g.bench_with_input(BenchmarkId::new(alg.name(), bytes), &bytes, |b, &bytes| {
+                b.iter(|| black_box(exchange_time(alg, 32, bytes)))
+            });
         }
     }
     g.finish();

@@ -1,9 +1,9 @@
 //! Figures 6–8 benchmark: complete exchange across machine sizes at the
 //! paper's message sizes (0, 256, 512, 1920 B).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cm5_bench::runners::exchange_time;
 use cm5_core::regular::ExchangeAlg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 /// Criterion keeps to <=128 nodes so `cargo bench` stays quick; the `report`
@@ -11,7 +11,12 @@ use std::hint::black_box;
 const BENCH_SIZES: [usize; 3] = [32, 64, 128];
 
 fn bench(c: &mut Criterion) {
-    for (fig, bytes) in [("fig6", 0u64), ("fig6b", 256), ("fig7", 512), ("fig8", 1920)] {
+    for (fig, bytes) in [
+        ("fig6", 0u64),
+        ("fig6b", 256),
+        ("fig7", 512),
+        ("fig8", 1920),
+    ] {
         let mut g = c.benchmark_group(format!("{fig}_exchange_scaling_{bytes}B"));
         g.sample_size(10)
             .measurement_time(std::time::Duration::from_secs(2));

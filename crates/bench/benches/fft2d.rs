@@ -1,9 +1,9 @@
 //! Table 5 benchmark: the 2-D FFT cost model across array sizes, exchange
 //! algorithms and machine sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cm5_bench::runners::fft_time;
 use cm5_core::regular::ExchangeAlg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

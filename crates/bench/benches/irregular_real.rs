@@ -1,9 +1,9 @@
 //! Table 12 benchmark: the four schedulers on the real workload patterns
 //! (CG 16K + the four Euler meshes).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cm5_bench::runners::{irregular_time, table12_patterns};
 use cm5_core::irregular::IrregularAlg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -12,11 +12,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for (name, pattern) in &patterns {
         for alg in IrregularAlg::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(alg.name(), name),
-                pattern,
-                |b, pattern| b.iter(|| black_box(irregular_time(alg, pattern))),
-            );
+            g.bench_with_input(BenchmarkId::new(alg.name(), name), pattern, |b, pattern| {
+                b.iter(|| black_box(irregular_time(alg, pattern)))
+            });
         }
     }
     g.finish();

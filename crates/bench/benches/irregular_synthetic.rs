@@ -1,10 +1,10 @@
 //! Table 11 benchmark: the four irregular schedulers on synthetic patterns
 //! (schedule construction + simulated execution).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cm5_bench::runners::irregular_time;
 use cm5_core::irregular::IrregularAlg;
 use cm5_workloads::synthetic::synthetic_pattern_exact;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -12,8 +12,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for alg in IrregularAlg::ALL {
         for density in [10u32, 50, 75] {
-            let pattern =
-                synthetic_pattern_exact(32, density as f64 / 100.0, 256, 0x7AB1E);
+            let pattern = synthetic_pattern_exact(32, density as f64 / 100.0, 256, 0x7AB1E);
             g.bench_with_input(
                 BenchmarkId::new(alg.name(), format!("{density}pct")),
                 &pattern,
@@ -28,9 +27,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
     let pattern = synthetic_pattern_exact(32, 0.5, 256, 0x7AB1E);
     for alg in IrregularAlg::ALL {
-        g.bench_function(alg.name(), |b| {
-            b.iter(|| black_box(alg.schedule(&pattern)))
-        });
+        g.bench_function(alg.name(), |b| b.iter(|| black_box(alg.schedule(&pattern))));
     }
     g.finish();
 }

@@ -1,0 +1,32 @@
+//! Sweep-executor benchmark: the Figure 5 column (32 nodes, all message
+//! sizes × algorithms) run through [`SweepRunner`] at different worker
+//! counts. On a multi-core host the jobs>1 rows should approach
+//! jobs=1 / cores; on a single core they only measure scheduling overhead.
+
+use cm5_bench::runners::{exchange_time, FIG5_MSG_SIZES};
+use cm5_bench::sweep::SweepRunner;
+use cm5_core::regular::ExchangeAlg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cells: Vec<(ExchangeAlg, u64)> = FIG5_MSG_SIZES
+        .iter()
+        .flat_map(|&bytes| ExchangeAlg::ALL.map(|alg| (alg, bytes)))
+        .collect();
+    let mut g = c.benchmark_group("sweep_fig5_grid");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5));
+    for jobs in [1usize, 2, 4] {
+        let runner = SweepRunner::new(jobs);
+        g.bench_with_input(BenchmarkId::new("jobs", jobs), &runner, |b, runner| {
+            b.iter(|| {
+                black_box(runner.run(&cells, |_, &(alg, bytes)| exchange_time(alg, 32, bytes)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

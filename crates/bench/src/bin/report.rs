@@ -4,20 +4,32 @@
 //! ```sh
 //! cargo run --release -p cm5-bench --bin report            # everything
 //! cargo run --release -p cm5-bench --bin report -- fig5 table11
+//! cargo run --release -p cm5-bench --bin report -- --jobs 4   # 4 workers
 //! ```
 //!
 //! Sections: `fig5 fig6 fig7 fig8 table5 fig10 fig11 table11 table12`.
+//! `--jobs N` fans the grid cells across `N` worker threads (`0` = one per
+//! hardware thread); output is byte-identical to the serial run because
+//! results are merged in canonical grid order before printing.
 //! Absolute times are not expected to match 1992 hardware; orderings,
 //! ratios and crossover locations are the reproduction targets (see
 //! EXPERIMENTS.md).
 
 use cm5_bench::paper::{TABLE_11, TABLE_12, TABLE_5};
 use cm5_bench::runners::*;
+use cm5_bench::sweep::SweepRunner;
 use cm5_core::prelude::*;
 use cm5_sim::{MachineParams, Simulation};
 
 /// When `--csv <dir>` is given, every section also writes its data there.
 static CSV_DIR: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
+
+/// Worker pool shared by every section (`--jobs N`, default serial).
+static JOBS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
+fn runner() -> SweepRunner {
+    SweepRunner::new(*JOBS.get().unwrap_or(&1))
+}
 
 fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
     let Some(Some(dir)) = CSV_DIR.get().map(|d| d.as_ref()) else {
@@ -40,20 +52,30 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args: Vec<String> = Vec::new();
     let mut csv_dir = None;
+    let mut jobs = 1usize;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         if a == "--csv" {
             let dir = it.next().unwrap_or_else(|| "report_csv".to_string());
             std::fs::create_dir_all(&dir).expect("create csv dir");
             csv_dir = Some(std::path::PathBuf::from(dir));
+        } else if a == "--jobs" {
+            let n = it.next().unwrap_or_else(|| {
+                eprintln!("--jobs needs a thread count (0 = all cores)");
+                std::process::exit(2);
+            });
+            jobs = n.parse().unwrap_or_else(|_| {
+                eprintln!("--jobs: not a number: {n}");
+                std::process::exit(2);
+            });
         } else {
             args.push(a);
         }
     }
     CSV_DIR.set(csv_dir).expect("set once");
-    let want = |s: &str| {
-        args.is_empty() && s != "beyond" || args.iter().any(|a| a == s || a == "all")
-    };
+    JOBS.set(jobs).expect("set once");
+    let want =
+        |s: &str| args.is_empty() && s != "beyond" || args.iter().any(|a| a == s || a == "all");
 
     if want("fig5") {
         fig5();
@@ -104,12 +126,19 @@ fn fig5() {
         "{:>8} {:>12} {:>12} {:>12} {:>12}",
         "bytes", "Linear", "Pairwise", "Recursive", "Balanced"
     );
+    let cells: Vec<(ExchangeAlg, u64)> = FIG5_MSG_SIZES
+        .iter()
+        .flat_map(|&bytes| ExchangeAlg::ALL.map(|alg| (alg, bytes)))
+        .collect();
+    let ms = runner().run(&cells, |_, &(alg, bytes)| {
+        exchange_time(alg, 32, bytes).as_millis_f64()
+    });
     let mut rows = Vec::new();
-    for &bytes in &FIG5_MSG_SIZES {
+    for (r, &bytes) in FIG5_MSG_SIZES.iter().enumerate() {
         print!("{bytes:>8}");
         let mut row = vec![bytes.to_string()];
-        for alg in ExchangeAlg::ALL {
-            let ms = exchange_time(alg, 32, bytes).as_millis_f64();
+        for c in 0..ExchangeAlg::ALL.len() {
+            let ms = ms[r * ExchangeAlg::ALL.len() + c];
             print!(" {ms:>12.3}");
             row.push(format!("{ms:.4}"));
         }
@@ -118,7 +147,13 @@ fn fig5() {
     }
     write_csv(
         "fig5",
-        &["bytes", "linear_ms", "pairwise_ms", "recursive_ms", "balanced_ms"],
+        &[
+            "bytes",
+            "linear_ms",
+            "pairwise_ms",
+            "recursive_ms",
+            "balanced_ms",
+        ],
         &rows,
     );
 }
@@ -131,6 +166,18 @@ fn fig_scaling(title: &str, msg_sizes: &[u64]) {
          own Table 5 at 256 procs shows REX slightly behind — our model \
          follows the Table 5 shape (see EXPERIMENTS.md)",
     );
+    let cells: Vec<(ExchangeAlg, usize, u64)> = msg_sizes
+        .iter()
+        .flat_map(|&bytes| {
+            MACHINE_SIZES
+                .iter()
+                .flat_map(move |&n| ExchangeAlg::ALL.map(move |alg| (alg, n, bytes)))
+        })
+        .collect();
+    let ms = runner().run(&cells, |_, &(alg, n, bytes)| {
+        exchange_time(alg, n, bytes).as_millis_f64()
+    });
+    let mut next = ms.iter();
     for &bytes in msg_sizes {
         println!("message size {bytes} B:");
         println!(
@@ -139,8 +186,8 @@ fn fig_scaling(title: &str, msg_sizes: &[u64]) {
         );
         for &n in &MACHINE_SIZES {
             print!("{n:>8}");
-            for alg in ExchangeAlg::ALL {
-                print!(" {:>12.3}", exchange_time(alg, n, bytes).as_millis_f64());
+            for _ in ExchangeAlg::ALL {
+                print!(" {:>12.3}", next.next().expect("grid size"));
             }
             println!();
         }
@@ -153,6 +200,18 @@ fn table5() {
         "Linear worst by far (catastrophic at 256 procs); the other three \
          close, Balanced best for the largest arrays",
     );
+    let cells: Vec<(ExchangeAlg, usize, usize)> = [(32usize, 0usize), (256, 1)]
+        .iter()
+        .flat_map(|&(procs, _)| {
+            TABLE_5
+                .iter()
+                .flat_map(move |row| ExchangeAlg::ALL.map(move |alg| (alg, procs, row.side)))
+        })
+        .collect();
+    let secs = runner().run(&cells, |_, &(alg, procs, side)| {
+        fft_time(alg, procs, side).as_secs_f64()
+    });
+    let mut next = secs.iter();
     for &(procs, pick) in &[(32usize, 0usize), (256, 1)] {
         println!("processors = {procs}:");
         println!(
@@ -162,8 +221,8 @@ fn table5() {
         for row in &TABLE_5 {
             print!("{:>7}^2 ", row.side);
             let paper = if pick == 0 { &row.p32 } else { &row.p256 };
-            for (i, alg) in ExchangeAlg::ALL.iter().enumerate() {
-                let t = fft_time(*alg, procs, row.side).as_secs_f64();
+            for (i, _) in ExchangeAlg::ALL.iter().enumerate() {
+                let t = next.next().expect("grid size");
                 print!(" {:>8.3}|{:<8.3}", t, paper[i]);
             }
             println!();
@@ -176,11 +235,22 @@ fn fig10() {
         "Figure 10 — Broadcast on 32 nodes vs message size (ms)",
         "LIB far worst; system broadcast wins below ~1 KB, REB wins above",
     );
-    println!("{:>8} {:>12} {:>12} {:>12}", "bytes", "LIB", "REB", "System");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "bytes", "LIB", "REB", "System"
+    );
+    let cells: Vec<(BroadcastAlg, u64)> = FIG10_MSG_SIZES
+        .iter()
+        .flat_map(|&bytes| BroadcastAlg::ALL.map(|alg| (alg, bytes)))
+        .collect();
+    let ms = runner().run(&cells, |_, &(alg, bytes)| {
+        broadcast_time(alg, 32, bytes).as_millis_f64()
+    });
+    let mut next = ms.iter();
     for &bytes in &FIG10_MSG_SIZES {
         print!("{bytes:>8}");
-        for alg in BroadcastAlg::ALL {
-            print!(" {:>12.3}", broadcast_time(alg, 32, bytes).as_millis_f64());
+        for _ in BroadcastAlg::ALL {
+            print!(" {:>12.3}", next.next().expect("grid size"));
         }
         println!();
     }
@@ -192,15 +262,26 @@ fn fig11() {
         "System broadcast nearly flat in N; REB grows with lg N; the \
          crossover message size moves up to ~2 KB at 256 nodes",
     );
+    const FIG11_ALGS: [BroadcastAlg; 2] = [BroadcastAlg::Recursive, BroadcastAlg::System];
+    let cells: Vec<(BroadcastAlg, usize, u64)> = [256u64, 1024, 2048, 8192]
+        .iter()
+        .flat_map(|&bytes| {
+            MACHINE_SIZES
+                .iter()
+                .flat_map(move |&n| FIG11_ALGS.map(move |alg| (alg, n, bytes)))
+        })
+        .collect();
+    let ms = runner().run(&cells, |_, &(alg, n, bytes)| {
+        broadcast_time(alg, n, bytes).as_millis_f64()
+    });
+    let mut next = ms.iter();
     for &bytes in &[256u64, 1024, 2048, 8192] {
         println!("message size {bytes} B:");
         println!("{:>8} {:>12} {:>12}", "nodes", "REB", "System");
         for &n in &MACHINE_SIZES {
-            println!(
-                "{n:>8} {:>12.3} {:>12.3}",
-                broadcast_time(BroadcastAlg::Recursive, n, bytes).as_millis_f64(),
-                broadcast_time(BroadcastAlg::System, n, bytes).as_millis_f64()
-            );
+            let reb = next.next().expect("grid size");
+            let sys = next.next().expect("grid size");
+            println!("{n:>8} {reb:>12.3} {sys:>12.3}");
         }
     }
 }
@@ -215,12 +296,20 @@ fn table11() {
         "{:>9} {:>6} {:>17} {:>17} {:>17} {:>17}",
         "density", "msg", "Linear", "Pairwise", "Balanced", "Greedy"
     );
+    // Both the paper's columns and IrregularAlg::ALL run
+    // (Linear, Pairwise, Balanced, Greedy).
+    let cells: Vec<(IrregularAlg, f64, u64)> = TABLE_11
+        .iter()
+        .flat_map(|row| IrregularAlg::ALL.map(|alg| (alg, row.density, row.msg)))
+        .collect();
+    let ms = runner().run(&cells, |_, &(alg, density, msg)| {
+        table11_cell(alg, density, msg)
+    });
+    let mut next = ms.iter();
     for row in &TABLE_11 {
         print!("{:>8.0}% {:>6}", row.density * 100.0, row.msg);
-        for (i, alg) in IrregularAlg::ALL.iter().enumerate() {
-            // Both the paper's columns and IrregularAlg::ALL run
-            // (Linear, Pairwise, Balanced, Greedy).
-            let t = table11_cell(*alg, row.density, row.msg);
+        for i in 0..IrregularAlg::ALL.len() {
+            let t = next.next().expect("grid size");
             print!(" {:>8.3}|{:<8.3}", t, row.times_ms[i]);
         }
         println!();
@@ -238,6 +327,13 @@ fn table12() {
         "{:>16} {:>14} {:>17} {:>17} {:>17} {:>17}",
         "workload", "dens/avgB", "Linear", "Pairwise", "Balanced", "Greedy"
     );
+    let cells: Vec<(IrregularAlg, usize)> = (0..patterns.len())
+        .flat_map(|pi| IrregularAlg::ALL.map(move |alg| (alg, pi)))
+        .collect();
+    let ms = runner().run(&cells, |_, &(alg, pi)| {
+        irregular_time(alg, &patterns[pi].1).as_millis_f64()
+    });
+    let mut next = ms.iter();
     for (row, (name, pattern)) in TABLE_12.iter().zip(&patterns) {
         assert_eq!(row.name, *name);
         print!(
@@ -246,8 +342,8 @@ fn table12() {
             pattern.density() * 100.0,
             pattern.avg_msg_bytes()
         );
-        for (i, alg) in IrregularAlg::ALL.iter().enumerate() {
-            let t = irregular_time(*alg, pattern).as_millis_f64();
+        for i in 0..IrregularAlg::ALL.len() {
+            let t = next.next().expect("grid size");
             print!(" {:>8.3}|{:<8.3}", t, row.times_ms[i]);
         }
         println!();
@@ -269,7 +365,10 @@ fn beyond() {
 
     // 1. Asynchronous CMMD: the §3.1 hypothetical per algorithm.
     println!("(a) blocking vs non-blocking sends, 32 nodes, 256 B/pair (ms):");
-    println!("{:>12} {:>12} {:>12} {:>8}", "algorithm", "blocking", "isend", "gain");
+    println!(
+        "{:>12} {:>12} {:>12} {:>8}",
+        "algorithm", "blocking", "isend", "gain"
+    );
     let mut rows = Vec::new();
     for alg in ExchangeAlg::ALL {
         let schedule = alg.schedule(32, 256);
@@ -291,14 +390,22 @@ fn beyond() {
             .expect("async run")
             .makespan
             .as_millis_f64();
-        println!("{:>12} {sync:>12.3} {asy:>12.3} {:>7.2}x", alg.name(), sync / asy);
+        println!(
+            "{:>12} {sync:>12.3} {asy:>12.3} {:>7.2}x",
+            alg.name(),
+            sync / asy
+        );
         rows.push(vec![
             alg.name().to_string(),
             format!("{sync:.4}"),
             format!("{asy:.4}"),
         ]);
     }
-    write_csv("beyond_async", &["algorithm", "blocking_ms", "isend_ms"], &rows);
+    write_csv(
+        "beyond_async",
+        &["algorithm", "blocking_ms", "isend_ms"],
+        &rows,
+    );
 
     // 2. The 1993 vector-unit upgrade: Table 5's 2048² row recomputed.
     println!("\n(b) Table 5, 2048² on 32 procs, scalar 1992 vs vector 1993 (s):");
@@ -338,9 +445,17 @@ fn beyond() {
             .makespan
             .as_millis_f64();
         println!("{bytes:>10} {g:>12.3} {c:>12.3}");
-        rows.push(vec![bytes.to_string(), format!("{g:.4}"), format!("{c:.4}")]);
+        rows.push(vec![
+            bytes.to_string(),
+            format!("{g:.4}"),
+            format!("{c:.4}"),
+        ]);
     }
-    write_csv("beyond_crystal", &["bytes", "greedy_ms", "crystal_ms"], &rows);
+    write_csv(
+        "beyond_crystal",
+        &["bytes", "greedy_ms", "crystal_ms"],
+        &rows,
+    );
 
     // 4. The architectural counterfactual: the same schedules on the
     //    hypercube PEX was designed for.

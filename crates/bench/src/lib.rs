@@ -8,3 +8,4 @@
 
 pub mod paper;
 pub mod runners;
+pub mod sweep;

@@ -53,14 +53,46 @@ pub struct Table11Row {
 
 /// Table 11 of the paper.
 pub const TABLE_11: [Table11Row; 8] = [
-    Table11Row { density: 0.10, msg: 256, times_ms: [4.723, 1.766, 1.933, 1.597] },
-    Table11Row { density: 0.10, msg: 512, times_ms: [6.116, 2.275, 2.494, 2.044] },
-    Table11Row { density: 0.25, msg: 256, times_ms: [11.67, 3.977, 3.724, 3.266] },
-    Table11Row { density: 0.25, msg: 512, times_ms: [15.34, 5.193, 4.861, 4.192] },
-    Table11Row { density: 0.50, msg: 256, times_ms: [29.01, 6.324, 6.034, 6.009] },
-    Table11Row { density: 0.50, msg: 512, times_ms: [38.27, 8.360, 8.013, 7.934] },
-    Table11Row { density: 0.75, msg: 256, times_ms: [50.14, 7.882, 7.856, 9.241] },
-    Table11Row { density: 0.75, msg: 512, times_ms: [66.63, 10.52, 10.50, 12.29] },
+    Table11Row {
+        density: 0.10,
+        msg: 256,
+        times_ms: [4.723, 1.766, 1.933, 1.597],
+    },
+    Table11Row {
+        density: 0.10,
+        msg: 512,
+        times_ms: [6.116, 2.275, 2.494, 2.044],
+    },
+    Table11Row {
+        density: 0.25,
+        msg: 256,
+        times_ms: [11.67, 3.977, 3.724, 3.266],
+    },
+    Table11Row {
+        density: 0.25,
+        msg: 512,
+        times_ms: [15.34, 5.193, 4.861, 4.192],
+    },
+    Table11Row {
+        density: 0.50,
+        msg: 256,
+        times_ms: [29.01, 6.324, 6.034, 6.009],
+    },
+    Table11Row {
+        density: 0.50,
+        msg: 512,
+        times_ms: [38.27, 8.360, 8.013, 7.934],
+    },
+    Table11Row {
+        density: 0.75,
+        msg: 256,
+        times_ms: [50.14, 7.882, 7.856, 9.241],
+    },
+    Table11Row {
+        density: 0.75,
+        msg: 512,
+        times_ms: [66.63, 10.52, 10.50, 12.29],
+    },
 ];
 
 /// Table 12 — real irregular patterns on 32 processors, times in ms.
@@ -125,11 +157,7 @@ mod tests {
             // All real densities are below the 50 % crossover, so greedy is
             // the paper's winner in every row.
             assert!(row.density < 0.5);
-            let min = row
-                .times_ms
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min);
+            let min = row.times_ms.iter().cloned().fold(f64::INFINITY, f64::min);
             assert_eq!(min, row.times_ms[3]);
         }
         for row in &TABLE_5 {

@@ -89,10 +89,18 @@ pub fn pingpong_programs(msgs: usize, bytes: u64) -> Vec<cm5_sim::OpProgram> {
     let mut a = Vec::with_capacity(msgs * 2);
     let mut b = Vec::with_capacity(msgs * 2);
     for k in 0..msgs as u32 {
-        a.push(Op::Send { to: 1, bytes, tag: k });
+        a.push(Op::Send {
+            to: 1,
+            bytes,
+            tag: k,
+        });
         a.push(Op::Recv { from: 1, tag: k });
         b.push(Op::Recv { from: 0, tag: k });
-        b.push(Op::Send { to: 0, bytes, tag: k });
+        b.push(Op::Send {
+            to: 0,
+            bytes,
+            tag: k,
+        });
     }
     vec![a, b]
 }

@@ -1,0 +1,294 @@
+//! Parallel sweep executor for the paper's experiment grids.
+//!
+//! The `report` binary and the regression tests both walk the same grid:
+//! algorithm × message size × machine size (× density for the irregular
+//! tables). Every cell is an independent simulation — each worker owns its
+//! own [`Simulation`] and [`cm5_sim::network::Network`], so cells can run
+//! on a pool of threads without sharing mutable state.
+//!
+//! Determinism is preserved *structurally*, not by luck: workers pull cell
+//! indices from a queue and write each result into the slot reserved for
+//! that index, and the merged output is read back in index order. The
+//! output of [`SweepRunner::run`] is therefore byte-identical to the
+//! serial loop regardless of thread count or OS scheduling — the only
+//! thing parallelism can change is wall-clock time.
+
+use std::sync::Mutex;
+
+use cm5_core::prelude::*;
+use cm5_sim::{MachineParams, SimReport};
+
+use crate::runners::{FIG5_MSG_SIZES, MACHINE_SIZES, TABLE11_SEEDS};
+
+/// A fixed-size worker pool that maps a function over a slice of work
+/// items and returns the results in input order.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    jobs: usize,
+}
+
+impl SweepRunner {
+    /// A runner with `jobs` worker threads. `jobs == 0` means "use the
+    /// machine": one worker per available hardware thread.
+    pub fn new(jobs: usize) -> SweepRunner {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            jobs
+        };
+        SweepRunner { jobs }
+    }
+
+    /// Number of worker threads this runner will spawn.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Apply `f` to every item, in parallel across the worker pool, and
+    /// return the results in the same order as `items`.
+    ///
+    /// `f` receives the item's index alongside the item so callers can
+    /// key results without capturing extra state. Results are collected
+    /// into per-index slots and merged in canonical (input) order, so the
+    /// returned `Vec` is identical for any `jobs` value. A panic in `f`
+    /// propagates out of `run`.
+    pub fn run<J, T, F>(&self, items: &[J], f: F) -> Vec<T>
+    where
+        J: Sync,
+        T: Send,
+        F: Fn(usize, &J) -> T + Sync,
+    {
+        let jobs = self.jobs.min(items.len()).max(1);
+        if jobs == 1 {
+            return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+        for i in 0..items.len() {
+            tx.send(i).expect("queue send");
+        }
+        drop(tx);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..jobs {
+                let rx = rx.clone();
+                let slots = &slots;
+                let f = &f;
+                s.spawn(move || {
+                    while let Ok(i) = rx.recv() {
+                        let out = f(i, &items[i]);
+                        *slots[i].lock().unwrap() = Some(out);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("slot lock poisoned")
+                    .expect("worker filled every dispatched slot")
+            })
+            .collect()
+    }
+}
+
+impl Default for SweepRunner {
+    /// One worker per available hardware thread.
+    fn default() -> SweepRunner {
+        SweepRunner::new(0)
+    }
+}
+
+/// One cell of the regular complete-exchange grid (Figures 5–8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExchangeCell {
+    /// Which complete-exchange algorithm.
+    pub alg: ExchangeAlg,
+    /// Machine size (nodes).
+    pub n: usize,
+    /// Message size per node pair (bytes).
+    pub bytes: u64,
+}
+
+/// The paper's full regular grid in canonical order: machine size, then
+/// message size, then algorithm — the order the figures print in.
+pub fn exchange_grid() -> Vec<ExchangeCell> {
+    let mut cells = Vec::new();
+    for &n in &MACHINE_SIZES {
+        for &bytes in &FIG5_MSG_SIZES {
+            for alg in ExchangeAlg::ALL {
+                cells.push(ExchangeCell { alg, n, bytes });
+            }
+        }
+    }
+    cells
+}
+
+/// Full simulation report for one regular-exchange cell.
+pub fn exchange_report(cell: ExchangeCell) -> SimReport {
+    run_schedule(
+        &cell.alg.schedule(cell.n, cell.bytes),
+        &MachineParams::cm5_1992(),
+    )
+    .unwrap_or_else(|e| panic!("{} n={} bytes={}: {e}", cell.alg.name(), cell.n, cell.bytes))
+}
+
+/// Run the full regular grid on `runner`, returning `(cell, report)` pairs
+/// in canonical grid order.
+pub fn run_exchange_grid(runner: &SweepRunner) -> Vec<(ExchangeCell, SimReport)> {
+    let cells = exchange_grid();
+    let reports = runner.run(&cells, |_, &cell| exchange_report(cell));
+    cells.into_iter().zip(reports).collect()
+}
+
+/// One cell of the irregular synthetic grid (Table 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IrregularCell {
+    /// Which irregular scheduling algorithm.
+    pub alg: IrregularAlg,
+    /// Fraction of node pairs that communicate.
+    pub density: f64,
+    /// Message size per communicating pair (bytes).
+    pub msg: u64,
+    /// Synthetic-pattern seed.
+    pub seed: u64,
+}
+
+/// The Table 11 synthetic grid in canonical order: density, then message
+/// size, then seed, then algorithm.
+pub fn irregular_grid(densities: &[f64], msgs: &[u64]) -> Vec<IrregularCell> {
+    let mut cells = Vec::new();
+    for &density in densities {
+        for &msg in msgs {
+            for seed in 0..TABLE11_SEEDS {
+                for alg in IrregularAlg::ALL {
+                    cells.push(IrregularCell {
+                        alg,
+                        density,
+                        msg,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Full simulation report for one irregular synthetic cell (32 nodes,
+/// matching Table 11's machine size).
+pub fn irregular_report(cell: IrregularCell) -> SimReport {
+    let pattern = cm5_workloads::synthetic::synthetic_pattern_exact(
+        32,
+        cell.density,
+        cell.msg,
+        0x7AB1E + cell.seed,
+    );
+    run_schedule(&cell.alg.schedule(&pattern), &MachineParams::cm5_1992()).unwrap_or_else(|e| {
+        panic!(
+            "{} density={} msg={} seed={}: {e}",
+            cell.alg.name(),
+            cell.density,
+            cell.msg,
+            cell.seed
+        )
+    })
+}
+
+/// Run an irregular synthetic grid on `runner`, returning `(cell, report)`
+/// pairs in canonical grid order.
+pub fn run_irregular_grid(
+    runner: &SweepRunner,
+    densities: &[f64],
+    msgs: &[u64],
+) -> Vec<(IrregularCell, SimReport)> {
+    let cells = irregular_grid(densities, msgs);
+    let reports = runner.run(&cells, |_, &cell| irregular_report(cell));
+    cells.into_iter().zip(reports).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm5_sim::{RouteTable, SimDuration, Simulation, Topology};
+
+    /// The whole point of the executor: everything a worker owns or
+    /// shares must be safe to move to / reference from another thread.
+    #[test]
+    fn simulation_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Simulation>();
+        assert_send_sync::<MachineParams>();
+        assert_send_sync::<Topology>();
+        assert_send_sync::<RouteTable>();
+        assert_send_sync::<SimReport>();
+        assert_send_sync::<SimDuration>();
+        assert_send_sync::<Schedule>();
+        assert_send_sync::<Pattern>();
+        assert_send_sync::<ExchangeAlg>();
+        assert_send_sync::<IrregularAlg>();
+        assert_send_sync::<BroadcastAlg>();
+        assert_send_sync::<SweepRunner>();
+        assert_send_sync::<ExchangeCell>();
+        assert_send_sync::<IrregularCell>();
+    }
+
+    #[test]
+    fn run_preserves_input_order() {
+        let runner = SweepRunner::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let out = runner.run(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * x
+        });
+        let expected: Vec<usize> = (0..64).map(|x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn jobs_zero_uses_available_parallelism() {
+        assert!(SweepRunner::new(0).jobs() >= 1);
+        assert_eq!(SweepRunner::new(3).jobs(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let runner = SweepRunner::new(8);
+        let out: Vec<u32> = runner.run(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_a_small_grid() {
+        let cells: Vec<ExchangeCell> = ExchangeAlg::ALL
+            .into_iter()
+            .map(|alg| ExchangeCell {
+                alg,
+                n: 8,
+                bytes: 256,
+            })
+            .collect();
+        let serial = SweepRunner::new(1).run(&cells, |_, &c| exchange_report(c));
+        let par = SweepRunner::new(4).run(&cells, |_, &c| exchange_report(c));
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!(s.makespan, p.makespan);
+            assert_eq!(s.messages, p.messages);
+            assert_eq!(s.wire_bytes, p.wire_bytes);
+            assert_eq!(s.bytes_per_level, p.bytes_per_level);
+        }
+    }
+
+    #[test]
+    fn exchange_grid_is_canonical_and_complete() {
+        let grid = exchange_grid();
+        assert_eq!(
+            grid.len(),
+            crate::runners::MACHINE_SIZES.len()
+                * crate::runners::FIG5_MSG_SIZES.len()
+                * ExchangeAlg::ALL.len()
+        );
+        // Canonical order: machine size is the slowest-varying key.
+        assert_eq!(grid[0].n, 32);
+        assert_eq!(grid.last().unwrap().n, 256);
+    }
+}

@@ -5,6 +5,7 @@
 //! cm5 broadcast --alg reb -n 64 --bytes 4096 [--root 0]
 //! cm5 irregular --alg gs  -n 32 --density 0.25 --bytes 256 [--seed 7] [--pattern paper] [--render]
 //! cm5 workload  --name euler2k [-n 32] [--alg gs]
+//! cm5 sweep     [--grid exchange|irregular] [--jobs N]
 //! ```
 //!
 //! Every command prints the schedule's shape metrics and the simulated run
@@ -98,8 +99,12 @@ fn machine(args: &Args) -> Result<MachineParams, String> {
 
 fn print_report(schedule: Option<&Schedule>, report: &SimReport, n: usize) {
     if let Some(s) = schedule {
-        println!("schedule   : {} steps, {} ops, {} payload bytes",
-            s.num_steps(), s.total_ops(), s.total_bytes());
+        println!(
+            "schedule   : {} steps, {} ops, {} payload bytes",
+            s.num_steps(),
+            s.total_ops(),
+            s.total_bytes()
+        );
         let tree = FatTree::new(n);
         let summary = ScheduleSummary::of(s, &tree);
         println!(
@@ -160,7 +165,10 @@ fn cmd_exchange(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown --alg '{other}' (lex|pex|rex|bex)")),
     };
     let schedule = alg.schedule(n, bytes);
-    println!("{} complete exchange, {n} nodes, {bytes} B/pair", alg.name());
+    println!(
+        "{} complete exchange, {n} nodes, {bytes} B/pair",
+        alg.name()
+    );
     if args.has("render") {
         println!("{}", render_schedule(&schedule, &FatTree::new(n)));
     }
@@ -190,7 +198,10 @@ fn cmd_broadcast(args: &Args) -> Result<(), String> {
         "system" => BroadcastAlg::System,
         other => return Err(format!("unknown --alg '{other}' (lib|reb|system)")),
     };
-    println!("{} broadcast, {n} nodes, {bytes} B from node {root}", alg.name());
+    println!(
+        "{} broadcast, {n} nodes, {bytes} B from node {root}",
+        alg.name()
+    );
     let programs = broadcast_programs(alg, n, root, bytes);
     let report = Simulation::new(n, params)
         .run_ops(&programs)
@@ -278,6 +289,63 @@ fn cmd_workload(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    use cm5_bench::sweep::{run_exchange_grid, run_irregular_grid, SweepRunner};
+    let runner = SweepRunner::new(args.usize_or("jobs", 0)?);
+    match args.get("grid").unwrap_or("exchange") {
+        "exchange" => {
+            println!(
+                "complete-exchange grid ({} worker threads, canonical order):",
+                runner.jobs()
+            );
+            println!(
+                "{:>10} {:>6} {:>8} {:>12} {:>9} {:>12}",
+                "alg", "nodes", "bytes", "makespan_ms", "messages", "wire_bytes"
+            );
+            for (cell, r) in run_exchange_grid(&runner) {
+                println!(
+                    "{:>10} {:>6} {:>8} {:>12.3} {:>9} {:>12}",
+                    cell.alg.name(),
+                    cell.n,
+                    cell.bytes,
+                    r.makespan.as_millis_f64(),
+                    r.messages,
+                    r.wire_bytes
+                );
+            }
+        }
+        "irregular" => {
+            let densities = [0.1, 0.3, 0.5];
+            let msgs = [16u64, 256, 1024];
+            println!(
+                "irregular synthetic grid, 32 nodes ({} worker threads, canonical order):",
+                runner.jobs()
+            );
+            println!(
+                "{:>10} {:>8} {:>8} {:>5} {:>12} {:>9}",
+                "alg", "density", "msg", "seed", "makespan_ms", "messages"
+            );
+            for (cell, r) in run_irregular_grid(&runner, &densities, &msgs) {
+                println!(
+                    "{:>10} {:>8.2} {:>8} {:>5} {:>12.3} {:>9}",
+                    cell.alg.name(),
+                    cell.density,
+                    cell.msg,
+                    cell.seed,
+                    r.makespan.as_millis_f64(),
+                    r.messages
+                );
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown --grid '{other}' (expected exchange | irregular)"
+            ))
+        }
+    }
+    Ok(())
+}
+
 const USAGE: &str = "\
 cm5 — schedule and simulate CM-5 communication patterns
 
@@ -287,6 +355,7 @@ USAGE:
   cm5 broadcast [--alg lib|reb|system] [-n N] [--bytes B] [--root R]
   cm5 irregular [--alg ls|ps|bs|gs|crystal] [-n N] [--density D] [--bytes B] [--seed S] [--pattern paper] [--render]
   cm5 workload  [--name cg|euler545|euler2k|euler3k|euler9k] [-n N]
+  cm5 sweep     [--grid exchange|irregular] [--jobs N]   (0 = one worker per core)
 
 The full paper evaluation: cargo run --release -p cm5-bench --bin report
 ";
@@ -298,6 +367,7 @@ fn dispatch(raw: &[String]) -> Result<(), String> {
         Some("broadcast") => cmd_broadcast(&args),
         Some("irregular") => cmd_irregular(&args),
         Some("workload") => cmd_workload(&args),
+        Some("sweep") => cmd_sweep(&args),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
         None => Err(USAGE.to_string()),
     }
@@ -340,7 +410,10 @@ mod tests {
     #[test]
     fn commands_run_end_to_end() {
         dispatch(&argv("exchange --alg pex --n 8 --bytes 64")).unwrap();
-        dispatch(&argv("exchange --alg rex --n 8 --bytes 64 --machine vector")).unwrap();
+        dispatch(&argv(
+            "exchange --alg rex --n 8 --bytes 64 --machine vector",
+        ))
+        .unwrap();
         dispatch(&argv("broadcast --alg system --n 8 --bytes 512")).unwrap();
         dispatch(&argv("irregular --alg gs --n 8 --pattern paper")).unwrap();
         dispatch(&argv("irregular --alg crystal --n 16 --density 0.3")).unwrap();
@@ -353,12 +426,16 @@ mod tests {
         assert!(dispatch(&argv("nonsense")).is_err());
         assert!(dispatch(&argv("exchange --n notanumber")).is_err());
         assert!(dispatch(&argv("irregular --pattern paper --n 16")).is_err());
+        assert!(dispatch(&argv("sweep --grid torus")).is_err());
         assert!(dispatch(&argv("")).is_err());
     }
 
     #[test]
     fn hypercube_topology_runs() {
-        dispatch(&argv("exchange --alg pex --n 16 --bytes 512 --topology hypercube")).unwrap();
+        dispatch(&argv(
+            "exchange --alg pex --n 16 --bytes 512 --topology hypercube",
+        ))
+        .unwrap();
         assert!(dispatch(&argv("exchange --topology torus")).is_err());
     }
 

@@ -110,11 +110,7 @@ mod tests {
     #[test]
     fn lib_from_nonzero_root() {
         let s = lib_linear(4, 2, 10);
-        let dsts: Vec<usize> = s
-            .steps()
-            .iter()
-            .map(|st| st.ops[0].endpoints().1)
-            .collect();
+        let dsts: Vec<usize> = s.steps().iter().map(|st| st.ops[0].endpoints().1).collect();
         assert_eq!(dsts, vec![0, 1, 3]);
     }
 
@@ -130,8 +126,7 @@ mod tests {
             &[(0, 1), (2, 3), (4, 5), (6, 7)],
         ];
         for (i, step) in s.steps().iter().enumerate() {
-            let pairs: Vec<(usize, usize)> =
-                step.ops.iter().map(|op| op.endpoints()).collect();
+            let pairs: Vec<(usize, usize)> = step.ops.iter().map(|op| op.endpoints()).collect();
             assert_eq!(pairs, expect[i], "step {}", i + 1);
         }
     }
@@ -149,7 +144,10 @@ mod tests {
                     let mut newly = Vec::new();
                     for op in &step.ops {
                         let (from, to) = op.endpoints();
-                        assert!(informed[from], "n={n} root={root}: {from} sent before informed");
+                        assert!(
+                            informed[from],
+                            "n={n} root={root}: {from} sent before informed"
+                        );
                         assert!(!informed[to], "n={n} root={root}: {to} informed twice");
                         newly.push(to);
                     }
@@ -157,7 +155,10 @@ mod tests {
                         informed[t] = true;
                     }
                 }
-                assert!(informed.iter().all(|&i| i), "n={n} root={root}: someone missed");
+                assert!(
+                    informed.iter().all(|&i| i),
+                    "n={n} root={root}: someone missed"
+                );
             }
         }
     }

@@ -106,7 +106,10 @@ pub fn allgather(n: usize, bytes: u64) -> Schedule {
 pub fn allgather_payload(node: &CmmdNode, mine: Bytes) -> Vec<Bytes> {
     let n = node.nodes();
     let me = node.id();
-    assert!(n.is_power_of_two(), "allgather requires a power-of-two count");
+    assert!(
+        n.is_power_of_two(),
+        "allgather requires a power-of-two count"
+    );
     let block = mine.len();
     // have[j] = Some(block) once known.
     let mut have: Vec<Option<Bytes>> = vec![None; n];
@@ -119,9 +122,7 @@ pub fn allgather_payload(node: &CmmdNode, mine: Bytes) -> Vec<Bytes> {
         let my_half: Vec<usize> = (0..dist).map(|k| (me & !(dist - 1)) + k).collect();
         let mut buf = BytesMut::with_capacity(dist * block);
         for &j in &my_half {
-            buf.extend_from_slice(
-                have[j].as_ref().expect("doubling invariant: block known"),
-            );
+            buf.extend_from_slice(have[j].as_ref().expect("doubling invariant: block known"));
         }
         node.memcpy(buf.len() as u64);
         let got = node.swap(partner, s, buf.freeze());
@@ -170,8 +171,8 @@ mod tests {
         assert_eq!(s.steps()[0].ops.len(), 8);
         assert_eq!(s.total_bytes(), 800);
         // Every node sends once and receives once.
-        let mut sends = vec![0; 8];
-        let mut recvs = vec![0; 8];
+        let mut sends = [0; 8];
+        let mut recvs = [0; 8];
         for op in &s.steps()[0].ops {
             let (f, t) = op.endpoints();
             sends[f] += 1;
@@ -264,7 +265,11 @@ mod tests {
         for (me, all) in results.iter().enumerate() {
             assert_eq!(all.len(), n, "node {me}");
             for (j, block) in all.iter().enumerate() {
-                assert_eq!(block.as_ref(), &[j as u8, 0xA5, j as u8], "node {me} from {j}");
+                assert_eq!(
+                    block.as_ref(),
+                    &[j as u8, 0xA5, j as u8],
+                    "node {me} from {j}"
+                );
             }
         }
         // lg 16 = 4 rounds of n/2 pairs × 2 messages.
@@ -277,11 +282,18 @@ mod tests {
         let params = MachineParams::cm5_1992();
         let n = 32;
         let bytes = 256;
-        let ag = run_schedule(&allgather(n, bytes), &params).unwrap().makespan;
-        let g = run_schedule(&gather(n, 0, bytes), &params).unwrap().makespan;
-        let b = run_schedule(&crate::broadcast::lib_linear(n, 0, bytes * n as u64), &params)
+        let ag = run_schedule(&allgather(n, bytes), &params)
             .unwrap()
             .makespan;
+        let g = run_schedule(&gather(n, 0, bytes), &params)
+            .unwrap()
+            .makespan;
+        let b = run_schedule(
+            &crate::broadcast::lib_linear(n, 0, bytes * n as u64),
+            &params,
+        )
+        .unwrap()
+        .makespan;
         assert!(
             ag.as_nanos() < (g.as_nanos() + b.as_nanos()) / 2,
             "allgather {ag} vs gather {g} + linear bcast {b}"

@@ -122,12 +122,7 @@ pub fn exchange_programs(alg: ExchangeAlg, n: usize, bytes: u64) -> Vec<OpProgra
 }
 
 /// Per-node op programs for a one-to-all broadcast of `bytes` from `root`.
-pub fn broadcast_programs(
-    alg: BroadcastAlg,
-    n: usize,
-    root: usize,
-    bytes: u64,
-) -> Vec<OpProgram> {
+pub fn broadcast_programs(alg: BroadcastAlg, n: usize, root: usize, bytes: u64) -> Vec<OpProgram> {
     match alg {
         BroadcastAlg::Linear => lower(&lib_linear(n, root, bytes)),
         BroadcastAlg::Recursive => lower(&reb(n, root, bytes)),
@@ -195,7 +190,10 @@ pub fn complete_exchange_payload(
 fn rex_payload(node: &CmmdNode, blocks: Vec<Bytes>, out: &mut [Bytes]) {
     let n = node.nodes();
     let me = node.id();
-    assert!(n.is_power_of_two(), "REX requires a power-of-two node count");
+    assert!(
+        n.is_power_of_two(),
+        "REX requires a power-of-two node count"
+    );
     let mut held: Vec<(u32, u32, Bytes)> = blocks
         .into_iter()
         .enumerate()
@@ -314,12 +312,7 @@ pub fn pattern_exchange_payload(
 
 /// Run a one-to-all broadcast carrying a **real payload**: every node calls
 /// this; `root`'s `data` is returned on all nodes.
-pub fn broadcast_payload(
-    node: &CmmdNode,
-    alg: BroadcastAlg,
-    root: usize,
-    data: Bytes,
-) -> Bytes {
+pub fn broadcast_payload(node: &CmmdNode, alg: BroadcastAlg, root: usize, data: Bytes) -> Bytes {
     let n = node.nodes();
     let me = node.id();
     match alg {
@@ -336,7 +329,10 @@ pub fn broadcast_payload(
             }
         }
         BroadcastAlg::Recursive => {
-            assert!(n.is_power_of_two(), "REB requires a power-of-two node count");
+            assert!(
+                n.is_power_of_two(),
+                "REB requires a power-of-two node count"
+            );
             let v = me ^ root;
             let mut have = if me == root { Some(data) } else { None };
             let mut distance = n / 2;
@@ -375,7 +371,14 @@ mod tests {
             }],
         });
         let progs = lower(&s);
-        assert_eq!(progs[0], vec![Op::Send { to: 1, bytes: 64, tag: 0 }]);
+        assert_eq!(
+            progs[0],
+            vec![Op::Send {
+                to: 1,
+                bytes: 64,
+                tag: 0
+            }]
+        );
         assert_eq!(progs[1], vec![Op::Recv { from: 0, tag: 0 }]);
     }
 
@@ -396,13 +399,21 @@ mod tests {
             progs[0],
             vec![
                 Op::Recv { from: 1, tag: 0 },
-                Op::Send { to: 1, bytes: 10, tag: 0 }
+                Op::Send {
+                    to: 1,
+                    bytes: 10,
+                    tag: 0
+                }
             ]
         );
         assert_eq!(
             progs[1],
             vec![
-                Op::Send { to: 0, bytes: 20, tag: 0 },
+                Op::Send {
+                    to: 0,
+                    bytes: 20,
+                    tag: 0
+                },
                 Op::Recv { from: 0, tag: 0 }
             ]
         );
@@ -586,11 +597,11 @@ mod tests {
             })
             .unwrap();
         for (me, incoming) in results.iter().enumerate() {
-            for j in 0..n {
+            for (j, slot) in incoming.iter().enumerate().take(n) {
                 if j == me {
                     continue;
                 }
-                match (&incoming[j], pattern.get(j, me) > 0) {
+                match (slot, pattern.get(j, me) > 0) {
                     (Some(data), true) => {
                         assert_eq!(data.as_ref(), &[j as u8, me as u8, 0xEE]);
                     }

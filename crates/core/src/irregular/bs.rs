@@ -62,7 +62,9 @@ mod tests {
             for i in 0..n {
                 for j in 0..n {
                     if i != j {
-                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         if state >> 62 == 0 {
                             p.set(i, j, 1 + (state & 0xff));
                         }

@@ -87,13 +87,13 @@ pub fn crystal(pattern: &Pattern) -> Schedule {
 /// calls this with `outgoing[j]` = payload for node `j` (or `None`).
 /// Returns `incoming[j]` = payload received from `j`. Messages hop along
 /// hypercube dimensions with real pack/unpack at every hop.
-pub fn crystal_route_payload(
-    node: &CmmdNode,
-    outgoing: &[Option<Bytes>],
-) -> Vec<Option<Bytes>> {
+pub fn crystal_route_payload(node: &CmmdNode, outgoing: &[Option<Bytes>]) -> Vec<Option<Bytes>> {
     let n = node.nodes();
     let me = node.id();
-    assert!(n.is_power_of_two(), "crystal router requires power-of-two nodes");
+    assert!(
+        n.is_power_of_two(),
+        "crystal router requires power-of-two nodes"
+    );
     assert_eq!(outgoing.len(), n);
     let mut held: Vec<(u32, u32, Bytes)> = outgoing
         .iter()
@@ -195,11 +195,11 @@ mod tests {
             })
             .unwrap();
         for (me, incoming) in results.iter().enumerate() {
-            for j in 0..n {
+            for (j, slot) in incoming.iter().enumerate().take(n) {
                 if j == me {
                     continue;
                 }
-                match (&incoming[j], pattern.get(j, me) > 0) {
+                match (slot, pattern.get(j, me) > 0) {
                     (Some(data), true) => assert_eq!(data.as_ref(), &[j as u8, me as u8, 0xCB]),
                     (None, false) => {}
                     (got, expect) => panic!("node {me} from {j}: {got:?} vs {expect}"),

@@ -22,7 +22,11 @@ pub fn gs(pattern: &Pattern) -> Schedule {
     let mut schedule = Schedule::new(n);
     // remaining[i] = pending targets of i, kept sorted ascending.
     let mut remaining: Vec<Vec<usize>> = (0..n)
-        .map(|i| (0..n).filter(|&j| j != i && pattern.get(i, j) > 0).collect())
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i && pattern.get(i, j) > 0)
+                .collect()
+        })
         .collect();
     let mut pending: usize = remaining.iter().map(|r| r.len()).sum();
     let mut send_busy = vec![false; n];
@@ -147,11 +151,7 @@ mod tests {
     fn complete_exchange_reduces_to_pex() {
         for n in [4usize, 8, 16] {
             let p = Pattern::complete_exchange(n, 100);
-            assert_eq!(
-                gs(&p).steps(),
-                crate::regular::pex(n, 100).steps(),
-                "n={n}"
-            );
+            assert_eq!(gs(&p).steps(), crate::regular::pex(n, 100).steps(), "n={n}");
         }
     }
 

@@ -50,11 +50,7 @@ mod tests {
         s.check_coverage(&p).unwrap();
         // Step 0 receives into processor 0 from exactly {1, 3, 6, 7}
         // (column 0 of Table 6), in ascending order.
-        let senders: Vec<usize> = s.steps()[0]
-            .ops
-            .iter()
-            .map(|op| op.endpoints().0)
-            .collect();
+        let senders: Vec<usize> = s.steps()[0].ops.iter().map(|op| op.endpoints().0).collect();
         assert_eq!(senders, vec![1, 3, 6, 7]);
     }
 

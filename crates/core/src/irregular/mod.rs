@@ -75,11 +75,7 @@ impl IrregularAlg {
 /// Shared helper for the pairing-based schedulers (PS and BS): given the
 /// pairing for a step, emit an exchange when both directions are nonzero, a
 /// send when only one is, nothing when the pair does not communicate.
-pub(crate) fn pair_op(
-    pattern: &Pattern,
-    a: usize,
-    b: usize,
-) -> Option<crate::schedule::CommOp> {
+pub(crate) fn pair_op(pattern: &Pattern, a: usize, b: usize) -> Option<crate::schedule::CommOp> {
     use crate::schedule::CommOp;
     debug_assert!(a < b);
     let ab = pattern.get(a, b);

@@ -58,9 +58,8 @@ pub mod prelude {
         allgather, allgather_payload, gather, scatter, shift, shift_payload,
     };
     pub use crate::exec::{
-        broadcast_payload, broadcast_programs, complete_exchange_payload, exchange_programs,
-        pattern_exchange_payload,
-        lower, lower_with, run_schedule, LowerOptions,
+        broadcast_payload, broadcast_programs, complete_exchange_payload, exchange_programs, lower,
+        lower_with, pattern_exchange_payload, run_schedule, LowerOptions,
     };
     pub use crate::irregular::{bs, crystal, crystal_route_payload, gs, ls, ps, IrregularAlg};
     pub use crate::optimize::balance_crossings;

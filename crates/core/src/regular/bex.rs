@@ -83,8 +83,7 @@ mod tests {
             &[(0, 5), (1, 4), (2, 3), (6, 7)], // j=7
         ];
         for (si, step) in s.steps().iter().enumerate() {
-            let mut pairs: Vec<(usize, usize)> =
-                step.ops.iter().map(|op| op.endpoints()).collect();
+            let mut pairs: Vec<(usize, usize)> = step.ops.iter().map(|op| op.endpoints()).collect();
             pairs.sort_unstable();
             assert_eq!(pairs, expect[si], "step {}", si + 1);
         }
@@ -96,7 +95,8 @@ mod tests {
             let s = bex(n, 256);
             s.check_nodes().unwrap();
             s.check_pairwise_disjoint().unwrap();
-            s.check_coverage(&Pattern::complete_exchange(n, 256)).unwrap();
+            s.check_coverage(&Pattern::complete_exchange(n, 256))
+                .unwrap();
         }
     }
 
@@ -139,10 +139,7 @@ mod tests {
             );
             let var = |v: &[usize]| {
                 let mean = v.iter().sum::<usize>() as f64 / v.len() as f64;
-                v.iter()
-                    .map(|&c| (c as f64 - mean).powi(2))
-                    .sum::<f64>()
-                    / v.len() as f64
+                v.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64
             };
             assert!(
                 var(&b) < var(&p),

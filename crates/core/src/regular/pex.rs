@@ -54,8 +54,7 @@ mod tests {
             &[(0, 7), (1, 6), (2, 5), (3, 4)], // step 7: i ^ 7
         ];
         for (si, step) in s.steps().iter().enumerate() {
-            let pairs: Vec<(usize, usize)> =
-                step.ops.iter().map(|op| op.endpoints()).collect();
+            let pairs: Vec<(usize, usize)> = step.ops.iter().map(|op| op.endpoints()).collect();
             assert_eq!(pairs, expect[si], "step {}", si + 1);
         }
     }
@@ -66,7 +65,8 @@ mod tests {
             let s = pex(n, 512);
             s.check_nodes().unwrap();
             s.check_pairwise_disjoint().unwrap();
-            s.check_coverage(&Pattern::complete_exchange(n, 512)).unwrap();
+            s.check_coverage(&Pattern::complete_exchange(n, 512))
+                .unwrap();
         }
     }
 

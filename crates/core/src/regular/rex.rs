@@ -69,8 +69,7 @@ mod tests {
             &[(0, 1), (2, 3), (4, 5), (6, 7)],
         ];
         for (si, step) in s.steps().iter().enumerate() {
-            let pairs: Vec<(usize, usize)> =
-                step.ops.iter().map(|op| op.endpoints()).collect();
+            let pairs: Vec<(usize, usize)> = step.ops.iter().map(|op| op.endpoints()).collect();
             assert_eq!(pairs, expect[si], "step {}", si + 1);
         }
         // Aggregated message size: n·N/2 = 2·8/2 = 8 bytes each direction.

@@ -16,11 +16,7 @@ pub struct Csr {
 
 impl Csr {
     /// Build from COO triplets (duplicates are summed).
-    pub fn from_triplets(
-        rows: usize,
-        cols: usize,
-        triplets: &[(usize, usize, f64)],
-    ) -> Csr {
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Csr {
         let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
         sorted.sort_unstable_by_key(|a| (a.0, a.1));
         let mut row_ptr = vec![0usize; rows + 1];

@@ -66,11 +66,7 @@ impl Triangulation {
     /// circumcircle. O(T·N); for tests.
     pub fn is_delaunay(&self) -> bool {
         for t in &self.triangles {
-            let (a, b, c) = (
-                self.points[t[0]],
-                self.points[t[1]],
-                self.points[t[2]],
-            );
+            let (a, b, c) = (self.points[t[0]], self.points[t[1]], self.points[t[2]]);
             for (pi, &p) in self.points.iter().enumerate() {
                 if pi == t[0] || pi == t[1] || pi == t[2] {
                     continue;
@@ -336,9 +332,13 @@ mod tests {
         let mut s = 12345u64;
         for i in 0..14 {
             for j in 0..14 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let jx = ((s >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 0.4;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let jy = ((s >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 0.4;
                 pts.push(Point::new(i as f64 + jx, j as f64 + jy));
             }
@@ -363,6 +363,8 @@ mod tests {
             s ^= s << 17;
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect()
+        (0..n)
+            .map(|_| Point::new(next() * 100.0, next() * 100.0))
+            .collect()
     }
 }

@@ -23,8 +23,7 @@ pub struct Halo {
 impl Halo {
     /// Build the halo of `edges` under `assignment` into `parts` parts.
     pub fn build(parts: usize, assignment: &[usize], edges: &[(usize, usize)]) -> Halo {
-        let mut sets: Vec<Vec<BTreeSet<usize>>> =
-            vec![vec![BTreeSet::new(); parts]; parts];
+        let mut sets: Vec<Vec<BTreeSet<usize>>> = vec![vec![BTreeSet::new(); parts]; parts];
         for &(a, b) in edges {
             let (pa, pb) = (assignment[a], assignment[b]);
             if pa != pb {
@@ -47,12 +46,7 @@ impl Halo {
     /// distance `k` of its owned set (k = 1 is [`Halo::build`]; Euler-style
     /// edge-based upwind schemes with higher-order reconstruction need
     /// k = 2). `n` is the vertex count.
-    pub fn build_k(
-        parts: usize,
-        assignment: &[usize],
-        edges: &[(usize, usize)],
-        k: usize,
-    ) -> Halo {
+    pub fn build_k(parts: usize, assignment: &[usize], edges: &[(usize, usize)], k: usize) -> Halo {
         assert!(k >= 1, "halo depth must be at least 1");
         let n = assignment.len();
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -60,8 +54,7 @@ impl Halo {
             adj[a].push(b);
             adj[b].push(a);
         }
-        let mut sets: Vec<Vec<BTreeSet<usize>>> =
-            vec![vec![BTreeSet::new(); parts]; parts];
+        let mut sets: Vec<Vec<BTreeSet<usize>>> = vec![vec![BTreeSet::new(); parts]; parts];
         // BFS to depth k from each part's owned set.
         let mut dist = vec![usize::MAX; n];
         let mut frontier: Vec<usize> = Vec::new();

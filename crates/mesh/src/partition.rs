@@ -62,7 +62,13 @@ fn split(
     });
     let (left, right) = indices.split_at_mut(cut);
     split(points, left, first_part, left_parts, assignment);
-    split(points, right, first_part + left_parts, right_parts, assignment);
+    split(
+        points,
+        right,
+        first_part + left_parts,
+        right_parts,
+        assignment,
+    );
 }
 
 /// One-dimensional strip partitioning: sort by x and chop into `parts`
@@ -100,7 +106,13 @@ pub fn noisy_strips(points: &[Point], parts: usize, noise: f64, seed: u64) -> Ve
     let mut rng = StdRng::seed_from_u64(seed);
     let keys: Vec<f64> = points
         .iter()
-        .map(|p| p.x + if noise > 0.0 { rng.gen_range(-noise..=noise) } else { 0.0 })
+        .map(|p| {
+            p.x + if noise > 0.0 {
+                rng.gen_range(-noise..=noise)
+            } else {
+                0.0
+            }
+        })
         .collect();
     let mut order: Vec<usize> = (0..points.len()).collect();
     order.sort_unstable_by(|&a, &b| {
@@ -145,10 +157,7 @@ mod tests {
         let asg = rcb(&pts, 5);
         let sizes = part_sizes(&asg, 5);
         assert_eq!(sizes.iter().sum::<usize>(), 400);
-        let (lo, hi) = (
-            *sizes.iter().min().unwrap(),
-            *sizes.iter().max().unwrap(),
-        );
+        let (lo, hi) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
         assert!(hi - lo <= 2, "{sizes:?}");
     }
 
@@ -159,8 +168,7 @@ mod tests {
         let pts = jittered_grid(32, 32, 0.1, 3);
         let asg = rcb(&pts, 16);
         for part in 0..16 {
-            let (mut minx, mut maxx, mut miny, mut maxy) =
-                (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+            let (mut minx, mut maxx, mut miny, mut maxy) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
             for (i, p) in pts.iter().enumerate() {
                 if asg[i] == part {
                     minx = minx.min(p.x);

@@ -50,8 +50,8 @@ pub fn in_circumcircle(a: Point, b: Point, c: Point, p: Point) -> bool {
     let ad = adx * adx + ady * ady;
     let bd = bdx * bdx + bdy * bdy;
     let cd = cdx * cdx + cdy * cdy;
-    let det = adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx)
-        + ad * (bdx * cdy - bdy * cdx);
+    let det =
+        adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) + ad * (bdx * cdy - bdy * cdx);
     det > 0.0
 }
 

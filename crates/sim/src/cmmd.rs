@@ -742,14 +742,28 @@ mod tests {
         use crate::ops::{Op, ANY_TAG};
         let bytes = 4096u64;
         let mut programs = vec![Vec::new(); 4];
-        for i in 0..4usize {
+        for (i, program) in programs.iter_mut().enumerate() {
             let partner = i ^ 1;
             if i < partner {
-                programs[i].push(Op::Recv { from: partner, tag: ANY_TAG });
-                programs[i].push(Op::Send { to: partner, bytes, tag: ANY_TAG });
+                program.push(Op::Recv {
+                    from: partner,
+                    tag: ANY_TAG,
+                });
+                program.push(Op::Send {
+                    to: partner,
+                    bytes,
+                    tag: ANY_TAG,
+                });
             } else {
-                programs[i].push(Op::Send { to: partner, bytes, tag: ANY_TAG });
-                programs[i].push(Op::Recv { from: partner, tag: ANY_TAG });
+                program.push(Op::Send {
+                    to: partner,
+                    bytes,
+                    tag: ANY_TAG,
+                });
+                program.push(Op::Recv {
+                    from: partner,
+                    tag: ANY_TAG,
+                });
             }
         }
         let r_ops = sim(4).run_ops(&programs).unwrap();

@@ -107,9 +107,7 @@ impl Simulation {
         &self,
         source: &mut S,
     ) -> Result<SimReport, SimError> {
-        self.params
-            .validate()
-            .map_err(SimError::InvalidParams)?;
+        self.params.validate().map_err(SimError::InvalidParams)?;
         let mut engine = Engine::new(
             self.topology.clone(),
             &self.params,
@@ -411,8 +409,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
 
     /// Deliver the node's resume and pull actions until it blocks or ends.
     fn handle_advance(&mut self, node: usize) -> Result<(), SimError> {
-        let mut resume = self
-            .resume_slot[node]
+        let mut resume = self.resume_slot[node]
             .take()
             .expect("advance without a resume");
         loop {
@@ -558,8 +555,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
 
     /// A queued non-blocking send becomes visible for matching at `t`.
     fn handle_post_async(&mut self, node: usize, t: SimTime) {
-        let req = self
-            .async_queue[node]
+        let req = self.async_queue[node]
             .pop_front()
             .expect("post-async without queued send");
         debug_assert_eq!(req.ready, t);
@@ -684,8 +680,8 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
                     _ => false,
                 };
                 if use_async {
-                    let req = self.async_by_dst[node]
-                        .remove(async_pos.expect("async candidate present"));
+                    let req =
+                        self.async_by_dst[node].remove(async_pos.expect("async candidate present"));
                     self.start_message(
                         t,
                         req.src,
@@ -731,10 +727,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
         self.messages
             .iter()
             .filter(|(_, m)| {
-                m.dst == node
-                    && !m.recv_claimed
-                    && m.tag == tag
-                    && from.is_none_or(|f| f == m.src)
+                m.dst == node && !m.recv_claimed && m.tag == tag && from.is_none_or(|f| f == m.src)
             })
             .map(|(&id, _)| id)
             .min()
@@ -1015,10 +1008,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
                 payload: st.payload.clone(),
                 from: None,
                 bytes: st.bytes,
-                reduced: per_node
-                    .as_ref()
-                    .map(|p| p[i])
-                    .or(reduced),
+                reduced: per_node.as_ref().map(|p| p[i]).or(reduced),
                 handle: None,
             };
             self.resume_node(i, finish, resume);
@@ -1058,8 +1048,15 @@ mod tests {
         // wire latency = 50 µs; the receiver burned its own 40 µs posting in
         // parallel.
         let mut p = idle(2);
-        p[0] = vec![Op::Send { to: 1, bytes: 0, tag: ANY_TAG }];
-        p[1] = vec![Op::Recv { from: 0, tag: ANY_TAG }];
+        p[0] = vec![Op::Send {
+            to: 1,
+            bytes: 0,
+            tag: ANY_TAG,
+        }];
+        p[1] = vec![Op::Recv {
+            from: 0,
+            tag: ANY_TAG,
+        }];
         let r = sim(2).run_ops(&p).unwrap();
         assert_eq!(r.makespan.as_micros_f64(), 50.0);
         assert_eq!(r.messages, 1);
@@ -1070,10 +1067,17 @@ mod tests {
     fn rendezvous_blocks_sender_until_recv_posts() {
         // Receiver computes 1 ms first; the sender must wait.
         let mut p = idle(2);
-        p[0] = vec![Op::Send { to: 1, bytes: 1600, tag: ANY_TAG }];
+        p[0] = vec![Op::Send {
+            to: 1,
+            bytes: 1600,
+            tag: ANY_TAG,
+        }];
         p[1] = vec![
             Op::Compute(SimDuration::from_millis(1)),
-            Op::Recv { from: 0, tag: ANY_TAG },
+            Op::Recv {
+                from: 0,
+                tag: ANY_TAG,
+            },
         ];
         let r = sim(2).run_ops(&p).unwrap();
         // Transfer (2000 wire bytes at the 10 MB/s flow cap = 200 µs) starts
@@ -1089,10 +1093,17 @@ mod tests {
         let mut params = MachineParams::cm5_1992();
         params.send_mode = SendMode::Eager;
         let mut p = idle(2);
-        p[0] = vec![Op::Send { to: 1, bytes: 1600, tag: ANY_TAG }];
+        p[0] = vec![Op::Send {
+            to: 1,
+            bytes: 1600,
+            tag: ANY_TAG,
+        }];
         p[1] = vec![
             Op::Compute(SimDuration::from_millis(1)),
-            Op::Recv { from: 0, tag: ANY_TAG },
+            Op::Recv {
+                from: 0,
+                tag: ANY_TAG,
+            },
         ];
         let r = Simulation::new(2, params).run_ops(&p).unwrap();
         // Sender finished long before the receiver even posted.
@@ -1110,9 +1121,17 @@ mod tests {
         p[0] = vec![Op::RecvAny { tag: 5 }, Op::RecvAny { tag: 5 }];
         p[1] = vec![
             Op::Compute(SimDuration::from_millis(2)),
-            Op::Send { to: 0, bytes: 64, tag: 5 },
+            Op::Send {
+                to: 0,
+                bytes: 64,
+                tag: 5,
+            },
         ];
-        p[2] = vec![Op::Send { to: 0, bytes: 64, tag: 5 }];
+        p[2] = vec![Op::Send {
+            to: 0,
+            bytes: 64,
+            tag: 5,
+        }];
         let r = sim(4).run_ops(&pad(p, 4)).unwrap();
         // If 0 waited for node 1 first, makespan would exceed 2 ms plus two
         // transfers; taking node 2 first overlaps node 1's compute.
@@ -1130,7 +1149,11 @@ mod tests {
     #[test]
     fn tag_mismatch_deadlocks_with_diagnostic() {
         let mut p = idle(2);
-        p[0] = vec![Op::Send { to: 1, bytes: 8, tag: 1 }];
+        p[0] = vec![Op::Send {
+            to: 1,
+            bytes: 8,
+            tag: 1,
+        }];
         p[1] = vec![Op::Recv { from: 0, tag: 2 }];
         let err = sim(2).run_ops(&p).unwrap_err();
         match err {
@@ -1146,7 +1169,10 @@ mod tests {
     #[test]
     fn missing_partner_deadlocks() {
         let mut p = idle(2);
-        p[0] = vec![Op::Recv { from: 1, tag: ANY_TAG }];
+        p[0] = vec![Op::Recv {
+            from: 1,
+            tag: ANY_TAG,
+        }];
         let err = sim(2).run_ops(&p).unwrap_err();
         assert!(matches!(err, SimError::Deadlock { .. }));
     }
@@ -1154,7 +1180,11 @@ mod tests {
     #[test]
     fn send_to_self_rejected() {
         let mut p = idle(2);
-        p[0] = vec![Op::Send { to: 0, bytes: 8, tag: ANY_TAG }];
+        p[0] = vec![Op::Send {
+            to: 0,
+            bytes: 8,
+            tag: ANY_TAG,
+        }];
         let err = sim(2).run_ops(&p).unwrap_err();
         assert!(matches!(err, SimError::BadProgram { node: 0, .. }));
     }
@@ -1188,7 +1218,10 @@ mod tests {
     fn system_bcast_costs_partition_time() {
         let mut p = idle(4);
         for prog in p.iter_mut() {
-            prog.push(Op::SystemBcast { root: 0, bytes: 1024 });
+            prog.push(Op::SystemBcast {
+                root: 0,
+                bytes: 1024,
+            });
         }
         let r = sim(4).run_ops(&p).unwrap();
         // 5 µs control + 150 µs overhead + 1280 wire bytes / 1.2 MB/s.
@@ -1203,12 +1236,26 @@ mod tests {
         let bytes = 16_000u64; // 20_000 wire bytes = 2 ms at the 10 MB/s cap
         let mut p = idle(2);
         p[0] = vec![
-            Op::Recv { from: 1, tag: ANY_TAG },
-            Op::Send { to: 1, bytes, tag: ANY_TAG },
+            Op::Recv {
+                from: 1,
+                tag: ANY_TAG,
+            },
+            Op::Send {
+                to: 1,
+                bytes,
+                tag: ANY_TAG,
+            },
         ];
         p[1] = vec![
-            Op::Send { to: 0, bytes, tag: ANY_TAG },
-            Op::Recv { from: 0, tag: ANY_TAG },
+            Op::Send {
+                to: 0,
+                bytes,
+                tag: ANY_TAG,
+            },
+            Op::Recv {
+                from: 0,
+                tag: ANY_TAG,
+            },
         ];
         let r = sim(2).run_ops(&p).unwrap();
         // Two sequential 2 ms transfers plus overheads; well above 4 ms.
@@ -1225,8 +1272,15 @@ mod tests {
         let bytes = 16_000u64;
         let mut p = idle(n);
         for s in 1..n {
-            p[s] = vec![Op::Send { to: 0, bytes, tag: ANY_TAG }];
-            p[0].push(Op::Recv { from: s, tag: ANY_TAG });
+            p[s] = vec![Op::Send {
+                to: 0,
+                bytes,
+                tag: ANY_TAG,
+            }];
+            p[0].push(Op::Recv {
+                from: s,
+                tag: ANY_TAG,
+            });
         }
         let r = sim(n).run_ops(&p).unwrap();
         assert!(r.makespan.as_millis_f64() > 14.0);
@@ -1238,8 +1292,15 @@ mod tests {
     #[test]
     fn trace_records_message_lifecycle() {
         let mut p = idle(2);
-        p[0] = vec![Op::Send { to: 1, bytes: 4, tag: ANY_TAG }];
-        p[1] = vec![Op::Recv { from: 0, tag: ANY_TAG }];
+        p[0] = vec![Op::Send {
+            to: 1,
+            bytes: 4,
+            tag: ANY_TAG,
+        }];
+        p[1] = vec![Op::Recv {
+            from: 0,
+            tag: ANY_TAG,
+        }];
         let r = sim(2).record_trace(true).run_ops(&p).unwrap();
         let kinds: Vec<_> = r.trace.iter().map(|e| &e.kind).collect();
         assert!(kinds
@@ -1255,17 +1316,25 @@ mod tests {
         let n = 16;
         let mut p = idle(n);
         // A messy pattern: ring exchange with varying sizes + a barrier.
-        for i in 0..n {
+        for (i, prog) in p.iter_mut().enumerate().take(n) {
             let next = (i + 1) % n;
             let prev = (i + n - 1) % n;
-            if i % 2 == 0 {
-                p[i].push(Op::Recv { from: prev as usize, tag: 1 });
-                p[i].push(Op::Send { to: next, bytes: 100 * (i as u64 + 1), tag: 1 });
+            if i.is_multiple_of(2) {
+                prog.push(Op::Recv { from: prev, tag: 1 });
+                prog.push(Op::Send {
+                    to: next,
+                    bytes: 100 * (i as u64 + 1),
+                    tag: 1,
+                });
             } else {
-                p[i].push(Op::Send { to: next, bytes: 100 * (i as u64 + 1), tag: 1 });
-                p[i].push(Op::Recv { from: prev as usize, tag: 1 });
+                prog.push(Op::Send {
+                    to: next,
+                    bytes: 100 * (i as u64 + 1),
+                    tag: 1,
+                });
+                prog.push(Op::Recv { from: prev, tag: 1 });
             }
-            p[i].push(Op::Barrier);
+            prog.push(Op::Barrier);
         }
         let r1 = sim(n).run_ops(&p).unwrap();
         let r2 = sim(n).run_ops(&p).unwrap();
@@ -1280,10 +1349,24 @@ mod tests {
     #[test]
     fn root_crossing_counted() {
         let mut p = idle(8);
-        p[0] = vec![Op::Send { to: 4, bytes: 64, tag: ANY_TAG }];
-        p[4] = vec![Op::Recv { from: 0, tag: ANY_TAG }];
-        p[1] = vec![Op::Send { to: 2, bytes: 64, tag: ANY_TAG }];
-        p[2] = vec![Op::Recv { from: 1, tag: ANY_TAG }];
+        p[0] = vec![Op::Send {
+            to: 4,
+            bytes: 64,
+            tag: ANY_TAG,
+        }];
+        p[4] = vec![Op::Recv {
+            from: 0,
+            tag: ANY_TAG,
+        }];
+        p[1] = vec![Op::Send {
+            to: 2,
+            bytes: 64,
+            tag: ANY_TAG,
+        }];
+        p[2] = vec![Op::Recv {
+            from: 1,
+            tag: ANY_TAG,
+        }];
         let r = sim(8).run_ops(&p).unwrap();
         assert_eq!(r.root_crossings, 1);
         assert_eq!(r.messages, 2);

@@ -62,4 +62,4 @@ pub use ops::{Op, OpProgram, ReduceOp, ANY_TAG};
 pub use params::{FairnessModel, MachineParams, SendMode};
 pub use stats::{NodeReport, SimReport, TraceEvent, TraceKind};
 pub use time::{SimDuration, SimTime};
-pub use topology::{FatTree, Hypercube, LinkDir, LinkId, Topology};
+pub use topology::{FatTree, Hypercube, LinkDir, LinkId, RouteRef, RouteTable, Topology};

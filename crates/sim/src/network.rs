@@ -16,10 +16,11 @@
 //! hypercube counterfactual ([`crate::topology::Topology`]).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::params::{FairnessModel, MachineParams};
 use crate::time::{SimDuration, SimTime};
-use crate::topology::{FatTree, Topology};
+use crate::topology::{FatTree, RouteRef, RouteTable, Topology};
 
 /// Residual bytes below which a flow counts as finished. Completion events
 /// are scheduled with ceil-rounding, so at the scheduled instant the true
@@ -35,8 +36,9 @@ pub struct Flow {
     pub src: usize,
     /// Receiving node.
     pub dst: usize,
-    /// Link indices (see [`FatTree::route`]) this flow occupies.
-    pub route: Vec<usize>,
+    /// Link indices (see [`FatTree::route`]) this flow occupies — a shared
+    /// view into the topology's memoized [`RouteTable`].
+    pub route: RouteRef,
     /// Per-flow rate cap (software streaming limit), bytes/second.
     pub cap: f64,
     /// Wire bytes still to move.
@@ -53,6 +55,9 @@ pub struct Flow {
 #[derive(Debug)]
 pub struct Network {
     topo: Topology,
+    /// Memoized all-pairs routes + link levels, shared across every network
+    /// on the same topology shape (see [`RouteTable::shared`]).
+    routes: Arc<RouteTable>,
     fairness: FairnessModel,
     /// Static capacity of each link, bytes/second.
     capacity: Vec<f64>,
@@ -75,8 +80,10 @@ impl Network {
     pub fn new_on(topo: Topology, params: &MachineParams) -> Network {
         let capacity = topo.link_capacities(params);
         let links = topo.link_count();
+        let routes = RouteTable::shared(&topo);
         Network {
             topo,
+            routes,
             fairness: params.fairness,
             capacity,
             flows: BTreeMap::new(),
@@ -113,9 +120,9 @@ impl Network {
     /// Cumulative wire bytes summed per aggregation level (fat-tree level,
     /// index 0 = leaf links; hypercube dimension).
     pub fn bytes_per_level(&self) -> Vec<f64> {
-        let mut per = vec![0.0; self.topo.num_levels()];
+        let mut per = vec![0.0; self.routes.num_levels()];
         for (idx, bytes) in self.link_bytes.iter().enumerate() {
-            per[self.topo.link_level(idx)] += bytes;
+            per[self.routes.link_level(idx)] += bytes;
         }
         per
     }
@@ -128,7 +135,7 @@ impl Network {
             for flow in self.flows.values_mut() {
                 let moved = (flow.rate * dt).min(flow.remaining);
                 flow.remaining -= moved;
-                for &l in &flow.route {
+                for &l in flow.route.iter() {
                     self.link_bytes[l] += moved;
                 }
             }
@@ -149,7 +156,7 @@ impl Network {
     ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        let route = self.topo.route(src, dst);
+        let route = self.routes.route_ref(src, dst);
         self.flows.insert(
             id,
             Flow {
@@ -217,13 +224,13 @@ impl Network {
     fn recompute_equal_share(&mut self) {
         let mut count = vec![0u32; self.capacity.len()];
         for flow in self.flows.values() {
-            for &l in &flow.route {
+            for &l in flow.route.iter() {
                 count[l] += 1;
             }
         }
         for flow in self.flows.values_mut() {
             let mut rate = flow.cap;
-            for &l in &flow.route {
+            for &l in flow.route.iter() {
                 rate = rate.min(self.capacity[l] / count[l] as f64);
             }
             flow.rate = rate;
@@ -244,7 +251,7 @@ impl Network {
         let mut residual = self.capacity.clone();
         let mut count = vec![0u32; residual.len()];
         for flow in self.flows.values() {
-            for &l in &flow.route {
+            for &l in flow.route.iter() {
                 count[l] += 1;
             }
         }
@@ -278,7 +285,7 @@ impl Network {
                     flow.rate = cap;
                     froze_any = true;
                     let route = flow.route.clone();
-                    for l in route {
+                    for &l in route.iter() {
                         residual[l] -= cap;
                         count[l] -= 1;
                     }
@@ -302,7 +309,7 @@ impl Network {
                     let flow = self.flows.get_mut(&id).expect("flow");
                     flow.rate = level;
                     let route = flow.route.clone();
-                    for l in route {
+                    for &l in route.iter() {
                         residual[l] -= level;
                         count[l] -= 1;
                     }

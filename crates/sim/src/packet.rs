@@ -78,14 +78,14 @@ pub fn simulate_packets(
         .into_iter()
         .map(|cap| SimDuration::from_rate(params.packet_wire as f64, cap))
         .collect();
-    let routes: Vec<Vec<usize>> = messages
+    let route_table = crate::topology::RouteTable::shared(topo);
+    let routes: Vec<&[usize]> = messages
         .iter()
-        .map(|m| topo.route(m.src, m.dst))
+        .map(|m| route_table.route(m.src, m.dst))
         .collect();
     // Injection: the sender's software layer emits packets no faster than
     // the flow cap.
-    let inject_gap =
-        SimDuration::from_rate(params.packet_wire as f64, params.flow_cap());
+    let inject_gap = SimDuration::from_rate(params.packet_wire as f64, params.flow_cap());
     let mut delivered: Vec<SimTime> = vec![SimTime::ZERO; messages.len()];
     let mut remaining: Vec<u64> = Vec::with_capacity(messages.len());
     for (mi, m) in messages.iter().enumerate() {
@@ -254,8 +254,7 @@ mod tests {
     #[test]
     fn saturated_root_crossing_agrees_on_makespan() {
         let tree = Topology::FatTree(crate::topology::FatTree::new(32));
-        let msgs: Vec<PacketMessage> =
-            (0..16).map(|i| msg(i, 16 + i, 2048, 0)).collect();
+        let msgs: Vec<PacketMessage> = (0..16).map(|i| msg(i, 16 + i, 2048, 0)).collect();
         let pk = simulate_packets(&tree, &p(), &msgs);
         let fl = simulate_flows(&tree, &p(), &msgs);
         let pk_last = pk.iter().max().unwrap();
@@ -279,7 +278,7 @@ mod tests {
             msgs.push(msg(i, 16 + i, 1024, 10 * i as u64));
         }
         for i in 0..6 {
-            msgs.push(msg(4 + i, 4 + i ^ 1, 1024, 5 * i as u64));
+            msgs.push(msg(4 + i, (4 + i) ^ 1, 1024, 5 * i as u64));
         }
         let pk = simulate_packets(&tree, &p(), &msgs);
         let fl = simulate_flows(&tree, &p(), &msgs);

@@ -311,6 +311,10 @@ mod tests {
         let mut p = MachineParams::cm5_1992();
         assert_eq!(p.flow_cap(), 10.0e6);
         p.software_bandwidth = 50.0e6;
-        assert_eq!(p.flow_cap(), 20.0e6, "leaf link binds when software is fast");
+        assert_eq!(
+            p.flow_cap(),
+            20.0e6,
+            "leaf link binds when software is fast"
+        );
     }
 }

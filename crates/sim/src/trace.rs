@@ -151,8 +151,15 @@ mod tests {
         // Two disjoint pairs exchange large messages simultaneously.
         let mut p = vec![Vec::new(); 4];
         for (a, b) in [(0usize, 1usize), (2, 3)] {
-            p[a].push(Op::Recv { from: b, tag: ANY_TAG });
-            p[b].push(Op::Send { to: a, bytes: 50_000, tag: ANY_TAG });
+            p[a].push(Op::Recv {
+                from: b,
+                tag: ANY_TAG,
+            });
+            p[b].push(Op::Send {
+                to: a,
+                bytes: 50_000,
+                tag: ANY_TAG,
+            });
         }
         let (prof, _) = traced(&p);
         assert_eq!(prof.peak_concurrency, 2);
@@ -166,8 +173,15 @@ mod tests {
         let n = 6;
         let mut p = vec![Vec::new(); n];
         for i in 1..n {
-            p[0].push(Op::Recv { from: i, tag: ANY_TAG });
-            p[i].push(Op::Send { to: 0, bytes: 5_000, tag: ANY_TAG });
+            p[0].push(Op::Recv {
+                from: i,
+                tag: ANY_TAG,
+            });
+            p[i].push(Op::Send {
+                to: 0,
+                bytes: 5_000,
+                tag: ANY_TAG,
+            });
         }
         let (prof, _) = traced(&p);
         assert_eq!(prof.peak_concurrency, 1);
@@ -177,14 +191,17 @@ mod tests {
     #[test]
     fn busy_time_bounded_by_trace_span() {
         let mut p = vec![Vec::new(); 4];
-        p[0].push(Op::Recv { from: 1, tag: ANY_TAG });
-        p[1].push(Op::Send { to: 0, bytes: 10_000, tag: ANY_TAG });
+        p[0].push(Op::Recv {
+            from: 1,
+            tag: ANY_TAG,
+        });
+        p[1].push(Op::Send {
+            to: 0,
+            bytes: 10_000,
+            tag: ANY_TAG,
+        });
         let (prof, _) = traced(&p);
-        let span: u64 = prof
-            .spans
-            .iter()
-            .map(|s| (s.to - s.from).as_nanos())
-            .sum();
+        let span: u64 = prof.spans.iter().map(|s| (s.to - s.from).as_nanos()).sum();
         assert!(prof.busy_network_time.as_nanos() <= span);
         assert!(prof.busy_network_time.as_nanos() > 0);
     }

@@ -3,7 +3,7 @@
 //! deterministically, with sane accounting — and random *ill-formed* ones
 //! must be rejected as deadlocks, never hangs or panics.
 
-use cm5_sim::{MachineParams, Op, OpProgram, SimError, Simulation, ANY_TAG};
+use cm5_sim::{MachineParams, Op, OpProgram, SimError, Simulation};
 use proptest::prelude::*;
 
 /// A random matched communication script: a sequence of (src, dst, bytes)

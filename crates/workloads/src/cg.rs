@@ -183,12 +183,7 @@ fn build_view(problem: &CgProblem, me: usize) -> LocalView {
     }
 }
 
-fn exchange_halo(
-    node: &CmmdNode,
-    schedule: &Schedule,
-    view: &LocalView,
-    vec: &mut [f64],
-) {
+fn exchange_halo(node: &CmmdNode, schedule: &Schedule, view: &LocalView, vec: &mut [f64]) {
     let parts = node.nodes();
     let outgoing: Vec<Option<Bytes>> = (0..parts)
         .map(|q| {
@@ -210,8 +205,7 @@ fn exchange_halo(
             let targets = &view.recv_local[q];
             assert_eq!(data.len(), targets.len() * 8, "halo payload from {q}");
             for (k, &li) in targets.iter().enumerate() {
-                vec[li] =
-                    f64::from_le_bytes(data[k * 8..k * 8 + 8].try_into().expect("8B"));
+                vec[li] = f64::from_le_bytes(data[k * 8..k * 8 + 8].try_into().expect("8B"));
             }
         }
     }
@@ -312,7 +306,7 @@ mod tests {
             // Every owned row's columns resolved (build_view panics
             // otherwise); ghosts and owned disjoint.
             for g in &view.ghosts {
-                assert_eq!(problem.assignment[*g] == me, false);
+                assert!(problem.assignment[*g] != me);
             }
             assert_eq!(view.index.len(), view.owned.len() + view.ghosts.len());
         }

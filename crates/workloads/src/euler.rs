@@ -172,8 +172,7 @@ fn build_view(problem: &EulerProblem, me: usize) -> EulerView {
     }
     stored.sort_unstable();
     stored.dedup();
-    let index: HashMap<usize, usize> =
-        stored.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let index: HashMap<usize, usize> = stored.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let send_local: Vec<Vec<usize>> = (0..problem.parts)
         .map(|q| {
             problem
@@ -239,9 +238,7 @@ pub fn distributed_euler(
     let mut u: Vec<f64> = view
         .stored
         .iter()
-        .flat_map(|&v| {
-            (0..EULER_VARS).map(move |k| problem.initial[v * EULER_VARS + k])
-        })
+        .flat_map(|&v| (0..EULER_VARS).map(move |k| problem.initial[v * EULER_VARS + k]))
         .collect();
     let mut grad = vec![0.0; ns * EULER_VARS];
     let owned_set: Vec<usize> = view.owned.iter().map(|&v| view.index[&v]).collect();
@@ -278,9 +275,8 @@ pub fn distributed_euler(
                     let targets = &view.recv_local[q];
                     assert_eq!(data.len(), targets.len() * 8);
                     for (i, &li) in targets.iter().enumerate() {
-                        u[li * EULER_VARS + k] = f64::from_le_bytes(
-                            data[i * 8..i * 8 + 8].try_into().expect("8B"),
-                        );
+                        u[li * EULER_VARS + k] =
+                            f64::from_le_bytes(data[i * 8..i * 8 + 8].try_into().expect("8B"));
                     }
                 }
             }

@@ -180,7 +180,10 @@ pub fn distributed_fft2d(
 ) -> Vec<C64> {
     let p = node.nodes();
     let me = node.id();
-    assert!(n.is_multiple_of(p), "array side {n} must divide by node count {p}");
+    assert!(
+        n.is_multiple_of(p),
+        "array side {n} must divide by node count {p}"
+    );
     let rows = n / p;
     assert_eq!(local_rows.len(), rows * n);
     let mut data = local_rows.to_vec();
@@ -240,13 +243,11 @@ pub fn distributed_fft2d(
 /// per node, phase-1 flops, the transpose's complete exchange of
 /// `elem_bytes·n²/P²` bytes per pair (plus pack/unpack memcpys), phase-2
 /// flops. `elem_bytes` is 8 for the paper's single-precision complex data.
-pub fn fft2d_programs(
-    alg: ExchangeAlg,
-    procs: usize,
-    n: usize,
-    elem_bytes: u64,
-) -> Vec<OpProgram> {
-    assert!(n.is_multiple_of(procs), "array side {n} must divide by {procs}");
+pub fn fft2d_programs(alg: ExchangeAlg, procs: usize, n: usize, elem_bytes: u64) -> Vec<OpProgram> {
+    assert!(
+        n.is_multiple_of(procs),
+        "array side {n} must divide by {procs}"
+    );
     let rows = (n / procs) as u64;
     let phase_flops = rows * fft_flops(n);
     let pair_bytes = elem_bytes * rows * rows;

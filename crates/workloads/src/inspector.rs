@@ -274,11 +274,7 @@ mod tests {
         let x: Vec<f64> = (0..len).map(|g| ((g * 37) % 101) as f64 * 0.25).collect();
         // Indirection array: each node reads a seeded-pseudo-random slice.
         let reads: Vec<Vec<usize>> = (0..parts)
-            .map(|p| {
-                (0..40)
-                    .map(|k| (p * 7919 + k * 104729) % len)
-                    .collect()
-            })
+            .map(|p| (0..40).map(|k| (p * 7919 + k * 104729) % len).collect())
             .collect();
         let seq: Vec<f64> = reads
             .iter()
@@ -291,8 +287,7 @@ mod tests {
             let (_, sums) = sim
                 .run_nodes_collect(|node| {
                     let me = node.id();
-                    let local: Vec<f64> =
-                        dist.owned(me).iter().map(|&g| x[g]).collect();
+                    let local: Vec<f64> = dist.owned(me).iter().map(|&g| x[g]).collect();
                     let ghosts = execute_gather(node, &plan, &schedule, &local);
                     reads[me]
                         .iter()

@@ -24,6 +24,6 @@ pub use cg::{cg_pattern, cg_problem, cg_seq, distributed_cg, CgProblem};
 pub use euler::{
     distributed_euler, euler_pattern, euler_problem, euler_seq, EulerProblem, EULER_VARS,
 };
-pub use fft::{distributed_fft2d, dft_naive, fft2d_programs, fft2d_seq, fft_inplace, C64};
+pub use fft::{dft_naive, distributed_fft2d, fft2d_programs, fft2d_seq, fft_inplace, C64};
 pub use inspector::{execute_gather, CommPlan, Distribution, Inspector};
 pub use synthetic::{synthetic_pattern, synthetic_pattern_exact};

@@ -33,12 +33,7 @@ pub fn synthetic_pattern(n: usize, density: f64, msg_bytes: u64, seed: u64) -> P
 /// A seeded random pattern with *exactly* `round(density · n(n−1))`
 /// communicating ordered pairs — used by the Table 11 sweep so the achieved
 /// densities match the nominal ones.
-pub fn synthetic_pattern_exact(
-    n: usize,
-    density: f64,
-    msg_bytes: u64,
-    seed: u64,
-) -> Pattern {
+pub fn synthetic_pattern_exact(n: usize, density: f64, msg_bytes: u64, seed: u64) -> Pattern {
     assert!((0.0..=1.0).contains(&density), "density out of range");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pairs: Vec<(usize, usize)> = (0..n)

@@ -21,7 +21,12 @@ fn main() {
             let report = Simulation::new(n, params.clone())
                 .run_ops(&programs)
                 .expect("broadcast runs");
-            println!("{:<10} {:>10} {:>12}", alg.name(), bytes, format!("{}", report.makespan));
+            println!(
+                "{:<10} {:>10} {:>12}",
+                alg.name(),
+                bytes,
+                format!("{}", report.makespan)
+            );
         }
         println!();
     }

@@ -25,10 +25,15 @@ fn main() {
         "32 nodes, 50% density: greedy (direct) vs crystal router \
          (store-and-forward)\n"
     );
-    println!("{:>10} {:>12} {:>12} {:>8}", "msg bytes", "greedy", "crystal", "winner");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "msg bytes", "greedy", "crystal", "winner"
+    );
     for &bytes in &[2u64, 8, 32, 128, 512, 2048] {
         let pattern = Pattern::seeded_random(32, 0.5, bytes, 42);
-        let g = run_schedule(&gs(&pattern), &params).expect("gs runs").makespan;
+        let g = run_schedule(&gs(&pattern), &params)
+            .expect("gs runs")
+            .makespan;
         let c = run_schedule(&crystal(&pattern), &params)
             .expect("crystal runs")
             .makespan;

@@ -14,11 +14,19 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(128);
     let p: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
-    assert!(n % p == 0, "array side must divide by processor count");
+    assert!(
+        n.is_multiple_of(p),
+        "array side must divide by processor count"
+    );
 
     // Deterministic input.
     let input: Vec<C64> = (0..n * n)
-        .map(|i| C64::new(((i * 37) % 101) as f64 / 101.0, ((i * 11) % 73) as f64 / 73.0))
+        .map(|i| {
+            C64::new(
+                ((i * 37) % 101) as f64 / 101.0,
+                ((i * 11) % 73) as f64 / 73.0,
+            )
+        })
         .collect();
     let mut reference = input.clone();
     fft2d_seq(&mut reference, n);

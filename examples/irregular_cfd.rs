@@ -24,7 +24,10 @@ fn main() {
     );
 
     let params = MachineParams::cm5_1992();
-    println!("{:<10} {:>6} {:>12}  (one halo exchange)", "scheduler", "steps", "time");
+    println!(
+        "{:<10} {:>6} {:>12}  (one halo exchange)",
+        "scheduler", "steps", "time"
+    );
     let mut best = (IrregularAlg::Gs, u64::MAX);
     for alg in IrregularAlg::ALL {
         let schedule = alg.schedule(pattern);
@@ -39,7 +42,10 @@ fn main() {
             best = (alg, report.makespan.as_nanos());
         }
     }
-    println!("\nBest scheduler: {} — running 3 distributed iterations with it.", best.0.name());
+    println!(
+        "\nBest scheduler: {} — running 3 distributed iterations with it.",
+        best.0.name()
+    );
 
     let iters = 3;
     let reference = euler_seq(&problem, iters);

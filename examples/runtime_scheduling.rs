@@ -45,7 +45,10 @@ fn main() {
 
     // Let the paper's schedulers compete on the captured pattern.
     let params = MachineParams::cm5_1992();
-    println!("{:<10} {:>6} {:>12}  (one gather)", "scheduler", "steps", "time");
+    println!(
+        "{:<10} {:>6} {:>12}  (one gather)",
+        "scheduler", "steps", "time"
+    );
     let mut best: Option<(IrregularAlg, u64)> = None;
     for alg in IrregularAlg::ALL {
         let schedule = alg.schedule(&plan.pattern);

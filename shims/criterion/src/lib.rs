@@ -1,0 +1,193 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset its benches use: `Criterion::benchmark_group`,
+//! group-level `sample_size`/`measurement_time`, `bench_function` /
+//! `bench_with_input` with `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a plain
+//! min/mean/max over `sample_size` timed samples after one warm-up —
+//! no bootstrap statistics, HTML reports, or regression baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            _criterion: self,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group: function name + parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a `Display`-able parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b); // warm-up pass
+        b.samples.clear();
+        let deadline = Instant::now() + self.measurement_time;
+        // Always at least one timed sample, then fill until size or deadline.
+        while b.samples.is_empty()
+            || (b.samples.len() < self.sample_size && Instant::now() < deadline)
+        {
+            f(&mut b);
+        }
+        self.report(&id, &b.samples);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b, input); // warm-up pass
+        b.samples.clear();
+        let deadline = Instant::now() + self.measurement_time;
+        // Always at least one timed sample, then fill until size or deadline.
+        while b.samples.is_empty()
+            || (b.samples.len() < self.sample_size && Instant::now() < deadline)
+        {
+            f(&mut b, input);
+        }
+        self.report(&id.id, &b.samples);
+        self
+    }
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            eprintln!("  {}/{id}: no samples", self.name);
+            return;
+        }
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        eprintln!(
+            "  {}/{id}: [{min:?} {mean:?} {max:?}] ({} samples)",
+            self.name,
+            samples.len(),
+        );
+    }
+
+    /// Close the group (kept for API compatibility; reporting is eager).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `f`, keeping its output live via `black_box`.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed());
+        black_box(out);
+    }
+}
+
+/// Bundle benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(200));
+        let mut runs = 0u32;
+        g.bench_with_input(BenchmarkId::new("f", 1), &2u64, |b, &x| {
+            runs += 1;
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(runs >= 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset it uses: [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer and float ranges, and [`Rng::gen_bool`].
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction the real crate's `SmallRng` uses — so streams are
+//! high-quality and fully determined by the seed. The streams do NOT match
+//! real `rand 0.8` `StdRng` output; everything in this repo that consumes
+//! randomness is seeded and compared against its own reproduced numbers,
+//! never against externally published `StdRng` streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose entire stream is determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface over a uniform bit generator.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<UniformRange<T>>,
+        Self: Sized,
+    {
+        let mut next = || self.next_u64();
+        T::sample(&mut next, range.into())
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// Panics if `p` is not in `[0, 1]`, matching the real crate.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: p must be in [0,1], got {p}"
+        );
+        // 53 uniform mantissa bits, same resolution as f64 sampling.
+        let v = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        v < p
+    }
+
+    /// Sample a uniform value of `T` over its full/natural domain.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self.next_u64())
+    }
+}
+
+/// Either-endpoint range carrier so `gen_range` accepts both `a..b` and `a..=b`.
+pub struct UniformRange<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T> From<Range<T>> for UniformRange<T> {
+    fn from(r: Range<T>) -> Self {
+        UniformRange {
+            lo: r.start,
+            hi: r.end,
+            inclusive: false,
+        }
+    }
+}
+
+impl<T: Copy> From<RangeInclusive<T>> for UniformRange<T> {
+    fn from(r: RangeInclusive<T>) -> Self {
+        UniformRange {
+            lo: *r.start(),
+            hi: *r.end(),
+            inclusive: true,
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Sized {
+    fn sample(next: &mut dyn FnMut() -> u64, range: UniformRange<Self>) -> Self;
+}
+
+/// Types with a natural "whole domain" uniform distribution (for `gen()`).
+pub trait StandardSample {
+    fn standard(bits: u64) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(next: &mut dyn FnMut() -> u64, range: UniformRange<$t>) -> $t {
+                let lo = range.lo as i128;
+                let hi = range.hi as i128;
+                let span: u128 = if range.inclusive {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    (hi - lo) as u128 + 1
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                    (hi - lo) as u128
+                };
+                // Multiply-shift mapping without rejection: span is tiny
+                // relative to 2^64 at every call site, and determinism — not
+                // exact uniformity at the 2^-64 level — is the contract here.
+                let v = (next() as u128 * span) >> 64;
+                (lo + v as i128) as $t
+            }
+        }
+        impl StandardSample for $t {
+            fn standard(bits: u64) -> $t {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample(next: &mut dyn FnMut() -> u64, range: UniformRange<f64>) -> f64 {
+        assert!(range.lo <= range.hi, "gen_range: empty range");
+        let unit = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.lo + unit * (range.hi - range.lo)
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+pub mod rngs {
+    use super::SeedableRng;
+
+    /// Deterministic seeded generator: xoshiro256++ with SplitMix64 seeding.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, the standard way to fill xoshiro state.
+            let mut x = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *slot = z ^ (z >> 31);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl StdRng {
+        pub(crate) fn next(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn range_sampling_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: f64 = r.gen_range(-0.5..=0.5);
+            assert!((-0.5..=0.5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,139 @@
+//! Bit-for-bit determinism of the simulator and the parallel sweep
+//! executor.
+//!
+//! The paper's evaluation is only reproducible if the simulated numbers
+//! are a pure function of the configuration: same grid cell → same
+//! `SimReport`, regardless of how many worker threads computed it or how
+//! the OS scheduled them. These tests pin that guarantee at three levels:
+//! one simulation re-run, a grid swept at different `--jobs` values, and
+//! a property test over random configurations.
+
+use cm5_bench::sweep::{
+    exchange_report, irregular_report, run_irregular_grid, ExchangeCell, IrregularCell, SweepRunner,
+};
+use cm5_core::prelude::*;
+use cm5_sim::{MachineParams, SimReport, Simulation};
+use proptest::prelude::*;
+
+/// Exact comparison of every deterministic `SimReport` field (the trace is
+/// compared only when both sides recorded one).
+fn assert_reports_identical(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a.makespan, b.makespan, "{what}: makespan");
+    assert_eq!(a.messages, b.messages, "{what}: messages");
+    assert_eq!(a.payload_bytes, b.payload_bytes, "{what}: payload_bytes");
+    assert_eq!(a.wire_bytes, b.wire_bytes, "{what}: wire_bytes");
+    assert_eq!(a.root_crossings, b.root_crossings, "{what}: root_crossings");
+    assert_eq!(a.collectives, b.collectives, "{what}: collectives");
+    // bytes_per_level is f64 but must match to the bit: both sides
+    // executed the same arithmetic in the same order.
+    assert_eq!(
+        a.bytes_per_level, b.bytes_per_level,
+        "{what}: bytes_per_level"
+    );
+    assert_eq!(a.nodes.len(), b.nodes.len(), "{what}: node count");
+}
+
+/// A small but representative exchange grid: every algorithm, two machine
+/// sizes, three message regimes (latency-bound, mixed, bandwidth-bound).
+fn test_exchange_cells() -> Vec<ExchangeCell> {
+    let mut cells = Vec::new();
+    for &n in &[8usize, 32] {
+        for &bytes in &[0u64, 256, 1920] {
+            for alg in ExchangeAlg::ALL {
+                cells.push(ExchangeCell { alg, n, bytes });
+            }
+        }
+    }
+    cells
+}
+
+#[test]
+fn sweep_output_is_identical_for_any_job_count() {
+    let cells = test_exchange_cells();
+    let baseline = SweepRunner::new(1).run(&cells, |_, &c| exchange_report(c));
+    for jobs in [4usize, 8] {
+        let par = SweepRunner::new(jobs).run(&cells, |_, &c| exchange_report(c));
+        assert_eq!(baseline.len(), par.len());
+        for ((cell, a), b) in cells.iter().zip(&baseline).zip(&par) {
+            assert_reports_identical(
+                a,
+                b,
+                &format!(
+                    "jobs={jobs} {:?} n={} bytes={}",
+                    cell.alg, cell.n, cell.bytes
+                ),
+            );
+        }
+    }
+}
+
+#[test]
+fn irregular_sweep_is_identical_for_any_job_count() {
+    let densities = [0.1, 0.5];
+    let msgs = [64u64, 512];
+    let serial = run_irregular_grid(&SweepRunner::new(1), &densities, &msgs);
+    let par = run_irregular_grid(&SweepRunner::new(8), &densities, &msgs);
+    assert_eq!(serial.len(), par.len());
+    for ((ca, a), (cb, b)) in serial.iter().zip(&par) {
+        assert_eq!(ca, cb, "grid order must not depend on job count");
+        assert_reports_identical(
+            a,
+            b,
+            &format!(
+                "{:?} density={} msg={} seed={}",
+                ca.alg, ca.density, ca.msg, ca.seed
+            ),
+        );
+    }
+}
+
+#[test]
+fn single_irregular_cell_reruns_identically() {
+    let cell = IrregularCell {
+        alg: IrregularAlg::Gs,
+        density: 0.3,
+        msg: 256,
+        seed: 2,
+    };
+    let a = irregular_report(cell);
+    let b = irregular_report(cell);
+    assert_reports_identical(&a, &b, "irregular re-run");
+}
+
+#[test]
+fn traces_are_identical_across_reruns() {
+    let schedule = ExchangeAlg::Bex.schedule(8, 256);
+    let programs = lower(&schedule);
+    let run = || {
+        Simulation::new(8, MachineParams::cm5_1992())
+            .record_trace(true)
+            .run_ops(&programs)
+            .unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_reports_identical(&a, &b, "traced run");
+    assert_eq!(a.trace.len(), b.trace.len());
+    assert_eq!(a.trace, b.trace, "event traces must match event-for-event");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any exchange configuration simulates to the same report twice.
+    #[test]
+    fn exchange_simulation_is_a_pure_function(
+        alg_ix in 0usize..4,
+        n_ix in 0usize..3,
+        bytes in 0u64..2048,
+    ) {
+        let alg = ExchangeAlg::ALL[alg_ix];
+        let n = [4usize, 8, 16][n_ix];
+        let cell = ExchangeCell { alg, n, bytes };
+        let a = exchange_report(cell);
+        let b = exchange_report(cell);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.messages, b.messages);
+        prop_assert_eq!(a.wire_bytes, b.wire_bytes);
+        prop_assert_eq!(a.bytes_per_level, b.bytes_per_level);
+    }
+}

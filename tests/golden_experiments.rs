@@ -1,0 +1,93 @@
+//! Golden regression tests pinning the headline numbers of
+//! EXPERIMENTS.md.
+//!
+//! The simulator is deterministic (integer-nanosecond arithmetic, no
+//! randomness on these paths), so these cells must reproduce to the
+//! microsecond. If a model change legitimately moves them, update both
+//! this file and EXPERIMENTS.md in the same commit — they document the
+//! same numbers.
+
+use cm5_bench::runners::exchange_time;
+use cm5_core::prelude::*;
+
+/// Simulated milliseconds for one Figure 5 cell (32 nodes).
+fn fig5_ms(alg: ExchangeAlg, bytes: u64) -> f64 {
+    exchange_time(alg, 32, bytes).as_millis_f64()
+}
+
+/// Printed values in EXPERIMENTS.md carry three decimals; match to the
+/// rounding tolerance.
+fn assert_ms(actual: f64, golden: f64, what: &str) {
+    assert!(
+        (actual - golden).abs() < 1e-3,
+        "{what}: got {actual:.6} ms, golden {golden:.3} ms"
+    );
+}
+
+#[test]
+fn fig5_zero_byte_row_matches_golden() {
+    // EXPERIMENTS.md Figure 5, 0 B row: LEX 38.2, PEX 3.10, REX 0.50
+    // (best), BEX 3.10.
+    assert_ms(fig5_ms(ExchangeAlg::Lex, 0), 38.230, "LEX 0B");
+    assert_ms(fig5_ms(ExchangeAlg::Pex, 0), 3.100, "PEX 0B");
+    assert_ms(fig5_ms(ExchangeAlg::Rex, 0), 0.504, "REX 0B");
+    assert_ms(fig5_ms(ExchangeAlg::Bex, 0), 3.100, "BEX 0B");
+}
+
+#[test]
+fn fig5_large_message_row_matches_golden() {
+    // EXPERIMENTS.md Figure 5, 1920 B row: the paper's headline result —
+    // BEX 23.4 ms beats PEX 25.2 ms; REX 71.1; LEX 220.8, ~9x worst.
+    assert_ms(fig5_ms(ExchangeAlg::Lex, 1920), 220.776, "LEX 1920B");
+    assert_ms(fig5_ms(ExchangeAlg::Pex, 1920), 25.196, "PEX 1920B");
+    assert_ms(fig5_ms(ExchangeAlg::Rex, 1920), 71.136, "REX 1920B");
+    assert_ms(fig5_ms(ExchangeAlg::Bex, 1920), 23.417, "BEX 1920B");
+}
+
+#[test]
+fn fig5_orderings_match_paper_claims() {
+    // Large messages: BEX < PEX < REX < LEX (the §3.4 ordering).
+    for bytes in [1024u64, 1920, 2048] {
+        let (lex, pex, rex, bex) = (
+            fig5_ms(ExchangeAlg::Lex, bytes),
+            fig5_ms(ExchangeAlg::Pex, bytes),
+            fig5_ms(ExchangeAlg::Rex, bytes),
+            fig5_ms(ExchangeAlg::Bex, bytes),
+        );
+        assert!(bex < pex, "{bytes} B: BEX {bex} !< PEX {pex}");
+        assert!(pex < rex, "{bytes} B: PEX {pex} !< REX {rex}");
+        assert!(rex < lex, "{bytes} B: REX {rex} !< LEX {lex}");
+    }
+}
+
+#[test]
+fn rex_is_best_for_zero_byte_exchanges_at_every_size() {
+    // EXPERIMENTS.md: 0 B REX wins at every machine size (lg N steps of
+    // pure latency), 0.504 ms at 32 nodes and 0.608 ms at 64.
+    for (n, golden_rex) in [(32usize, 0.504f64), (64, 0.608)] {
+        let rex = exchange_time(ExchangeAlg::Rex, n, 0).as_millis_f64();
+        assert_ms(rex, golden_rex, "REX 0B");
+        for alg in [ExchangeAlg::Lex, ExchangeAlg::Pex, ExchangeAlg::Bex] {
+            let other = exchange_time(alg, n, 0).as_millis_f64();
+            assert!(
+                rex < other,
+                "n={n}: REX {rex} ms should beat {} {other} ms at 0 B",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn lex_is_worst_everywhere_in_fig5() {
+    for bytes in [0u64, 256, 1920] {
+        let lex = fig5_ms(ExchangeAlg::Lex, bytes);
+        for alg in [ExchangeAlg::Pex, ExchangeAlg::Rex, ExchangeAlg::Bex] {
+            assert!(
+                fig5_ms(alg, bytes) < lex,
+                "{} should beat LEX at {bytes} B",
+                alg.name()
+            );
+        }
+    }
+}

@@ -141,8 +141,7 @@ fn scan_shift_allgather_compose() {
             // Shift the offset one node to the right.
             let got = shift_payload(node, 1, Bytes::from(offset.to_le_bytes().to_vec()));
             let left = (me + n - 1) % n;
-            let left_offset =
-                usize::from_le_bytes(got.as_ref().try_into().expect("usize bytes"));
+            let left_offset = usize::from_le_bytes(got.as_ref().try_into().expect("usize bytes"));
             assert_eq!(left_offset, (0..left).map(|k| k + 1).sum::<usize>());
             // All-gather everyone's offsets.
             let all = allgather_payload(node, Bytes::from(offset.to_le_bytes().to_vec()));

@@ -34,8 +34,7 @@ fn payload_correctness_across_sizes() {
                 .unwrap();
             for (me, got) in results.iter().enumerate() {
                 for (j, block) in got.iter().enumerate() {
-                    let expect: Vec<u8> =
-                        (0..24).map(|k| (j * 31 + me * 7 + k) as u8).collect();
+                    let expect: Vec<u8> = (0..24).map(|k| (j * 31 + me * 7 + k) as u8).collect();
                     assert_eq!(
                         block.as_ref(),
                         &expect[..],
@@ -148,8 +147,14 @@ fn bex_advantage_exists_only_on_the_fat_tree() {
             .makespan
     };
     // Fat tree: BEX < PEX (the paper's result).
-    let ft_pex = run_on(Topology::FatTree(cm5_sim::FatTree::new(n)), ExchangeAlg::Pex);
-    let ft_bex = run_on(Topology::FatTree(cm5_sim::FatTree::new(n)), ExchangeAlg::Bex);
+    let ft_pex = run_on(
+        Topology::FatTree(cm5_sim::FatTree::new(n)),
+        ExchangeAlg::Pex,
+    );
+    let ft_bex = run_on(
+        Topology::FatTree(cm5_sim::FatTree::new(n)),
+        ExchangeAlg::Bex,
+    );
     assert!(ft_bex < ft_pex, "fat tree: BEX {ft_bex} !< PEX {ft_pex}");
     // Hypercube: PEX ≤ BEX — the advantage vanishes (and typically flips).
     let hc_pex = run_on(Topology::Hypercube(Hypercube::new(n)), ExchangeAlg::Pex);
@@ -160,7 +165,10 @@ fn bex_advantage_exists_only_on_the_fat_tree() {
     );
     // And PEX itself runs faster on its home architecture than on the
     // thinned fat tree.
-    assert!(hc_pex < ft_pex, "hypercube PEX {hc_pex} vs fat tree {ft_pex}");
+    assert!(
+        hc_pex < ft_pex,
+        "hypercube PEX {hc_pex} vs fat tree {ft_pex}"
+    );
 }
 
 /// Simulated runs are a pure function of (programs, params).

@@ -4,9 +4,7 @@
 
 use cm5_core::regular::ExchangeAlg;
 use cm5_sim::{MachineParams, Simulation};
-use cm5_workloads::fft::{
-    distributed_fft2d, fft2d_programs, fft2d_seq, transpose_square, C64,
-};
+use cm5_workloads::fft::{distributed_fft2d, fft2d_programs, fft2d_seq, transpose_square, C64};
 
 fn test_array(n: usize, seed: u64) -> Vec<C64> {
     let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).max(3);
@@ -71,7 +69,9 @@ fn table5_cost_model_orderings() {
     let mut times = Vec::new();
     for alg in ExchangeAlg::ALL {
         let programs = fft2d_programs(alg, p, n, 8);
-        let r = Simulation::new(p, params.clone()).run_ops(&programs).unwrap();
+        let r = Simulation::new(p, params.clone())
+            .run_ops(&programs)
+            .unwrap();
         times.push((alg, r.makespan));
     }
     let t = |a: ExchangeAlg| times.iter().find(|(x, _)| *x == a).unwrap().1;
@@ -81,9 +81,7 @@ fn table5_cost_model_orderings() {
     );
     // Paper Table 5, 256² on 32 procs: Linear/Balanced = 0.215/0.114 ≈ 1.9×
     // (compute dominates at this size). Require at least 1.4×.
-    assert!(
-        t(ExchangeAlg::Lex).as_nanos() * 10 > 14 * t(ExchangeAlg::Bex).as_nanos()
-    );
+    assert!(t(ExchangeAlg::Lex).as_nanos() * 10 > 14 * t(ExchangeAlg::Bex).as_nanos());
     // Pairwise / Balanced / Recursive within a small factor of each other
     // at this size (Table 5 shows them within ~10 % at 32 procs, 256²).
     let fastest = [ExchangeAlg::Pex, ExchangeAlg::Rex, ExchangeAlg::Bex]

@@ -1,0 +1,118 @@
+//! Invariants of the trace profile ([`cm5_sim::trace`]) and the schedule
+//! shape metrics ([`cm5_core::analysis`]), checked on a known workload:
+//! PEX complete exchange on 8 nodes.
+//!
+//! PEX at 8 nodes is small enough to reason about exactly — 7 pairwise
+//! XOR steps, every node sending and receiving once per step — while
+//! exercising every field of [`TraceProfile`] with real contention.
+
+use cm5_core::prelude::*;
+use cm5_sim::trace::{profile, TraceProfile};
+use cm5_sim::{MachineParams, SimReport, Simulation};
+
+const N: usize = 8;
+
+fn traced_pex(bytes: u64) -> (SimReport, TraceProfile) {
+    let schedule = ExchangeAlg::Pex.schedule(N, bytes);
+    let report = Simulation::new(N, MachineParams::cm5_1992())
+        .record_trace(true)
+        .run_ops(&lower(&schedule))
+        .expect("pex run");
+    let prof = profile(&report.trace, N);
+    (report, prof)
+}
+
+#[test]
+fn spans_are_contiguous_and_well_formed() {
+    let (_, prof) = traced_pex(512);
+    assert!(!prof.spans.is_empty());
+    for span in &prof.spans {
+        assert!(
+            span.from < span.to,
+            "empty or inverted span {:?}..{:?}",
+            span.from,
+            span.to
+        );
+    }
+    for pair in prof.spans.windows(2) {
+        assert_eq!(
+            pair[0].to, pair[1].from,
+            "concurrency profile must tile time with no gaps"
+        );
+    }
+}
+
+#[test]
+fn peak_equals_max_over_spans() {
+    let (_, prof) = traced_pex(512);
+    let max = prof.spans.iter().map(|s| s.concurrent).max().unwrap();
+    assert_eq!(prof.peak_concurrency, max);
+    // Pairwise steps run disjoint pairs concurrently.
+    assert!(prof.peak_concurrency >= 2, "peak {}", prof.peak_concurrency);
+    // Never more in flight than messages exist.
+    assert!(prof.peak_concurrency as u64 <= N as u64 * (N as u64 - 1));
+}
+
+#[test]
+fn mean_and_busy_time_recompute_from_spans() {
+    let (_, prof) = traced_pex(512);
+    let mut weighted = 0.0f64;
+    let mut total = 0u64;
+    let mut busy = 0u64;
+    for s in &prof.spans {
+        let dur = (s.to - s.from).as_nanos();
+        total += dur;
+        weighted += s.concurrent as f64 * dur as f64;
+        if s.concurrent > 0 {
+            busy += dur;
+        }
+    }
+    let mean = weighted / total as f64;
+    assert!(
+        (prof.mean_concurrency - mean).abs() < 1e-9,
+        "mean {} vs recomputed {mean}",
+        prof.mean_concurrency
+    );
+    assert_eq!(prof.busy_network_time.as_nanos(), busy);
+    assert!(busy <= total);
+}
+
+#[test]
+fn pex_sends_and_receives_are_uniform() {
+    // Complete exchange: every node sends to and receives from each of
+    // the other N-1 nodes exactly once.
+    let (report, prof) = traced_pex(256);
+    assert_eq!(prof.sends_per_node, vec![(N - 1) as u64; N]);
+    assert_eq!(prof.recvs_per_node, vec![(N - 1) as u64; N]);
+    assert_eq!(report.messages, (N * (N - 1)) as u64);
+}
+
+#[test]
+fn profile_spans_cover_every_delivery() {
+    // The in-flight count integrates to (number of messages) x (mean
+    // transfer duration); at minimum, total span time with traffic must
+    // be positive and end no later than the makespan.
+    let (report, prof) = traced_pex(1024);
+    assert!(prof.busy_network_time.as_nanos() > 0);
+    let last = prof.spans.last().unwrap();
+    assert!(last.to <= cm5_sim::SimTime::ZERO + report.makespan);
+}
+
+#[test]
+fn pex_schedule_summary_shape() {
+    let schedule = ExchangeAlg::Pex.schedule(N, 256);
+    let summary = ScheduleSummary::of(&schedule, &cm5_sim::FatTree::new(N));
+    assert_eq!(summary.steps, N - 1, "PEX runs N-1 pairwise XOR steps");
+    assert_eq!(summary.ops, N * (N - 1) / 2, "each step pairs all nodes");
+    assert_eq!(summary.crossings.len(), summary.steps);
+    assert_eq!(
+        summary.max_crossings_per_step,
+        summary.crossings.iter().copied().max().unwrap()
+    );
+    assert!(summary.all_global_steps <= summary.steps);
+    // XOR partners with bit 2 set cross the 8-node tree's root: steps
+    // 4..7 are all-global (every pair spans the two 4-node subtrees).
+    assert_eq!(summary.all_global_steps, 4);
+    assert_eq!(summary.idle.len(), summary.steps);
+    assert_eq!(summary.mean_idle, 0.0, "complete exchange idles nobody");
+}
