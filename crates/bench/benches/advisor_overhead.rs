@@ -1,0 +1,56 @@
+//! Advisor overhead: what a runtime pays to ask "which algorithm?".
+//!
+//! Three regimes, coldest to hottest: pricing every candidate from
+//! scratch (`recommend_uncached`), a fresh advisor whose cache misses on
+//! every call, and the steady state where the quantized decision key
+//! hits the memoized answer. The cached path is the one `--alg auto`
+//! and the workloads inspector sit on, so it must stay trivially cheap
+//! next to even a single 40 µs message overhead.
+
+use cm5_model::prelude::*;
+use cm5_sim::{FatTree, MachineParams};
+use cm5_workloads::synthetic::synthetic_pattern_exact;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let params = MachineParams::cm5_1992();
+    let tree = FatTree::new(32);
+    let exchange = Workload::Exchange { n: 32, bytes: 1024 };
+    let pattern = synthetic_pattern_exact(32, 0.25, 256, 0x7AB1E);
+    let stats = PatternStats::of(&pattern, &tree);
+    let irregular = Workload::Irregular(stats.clone());
+
+    let mut g = c.benchmark_group("advisor_overhead");
+    g.sample_size(50)
+        .measurement_time(std::time::Duration::from_secs(2));
+
+    g.bench_function("uncached_exchange", |b| {
+        b.iter(|| black_box(Advisor::recommend_uncached(&exchange, &params, &tree)))
+    });
+    g.bench_function("uncached_irregular", |b| {
+        b.iter(|| black_box(Advisor::recommend_uncached(&irregular, &params, &tree)))
+    });
+    g.bench_function("cold_cache_exchange", |b| {
+        b.iter(|| {
+            let advisor = Advisor::new();
+            black_box(advisor.recommend(&exchange, &params, &tree))
+        })
+    });
+    let warm = Advisor::new();
+    warm.recommend(&exchange, &params, &tree);
+    warm.recommend(&irregular, &params, &tree);
+    g.bench_function("cached_exchange", |b| {
+        b.iter(|| black_box(warm.recommend(&exchange, &params, &tree)))
+    });
+    g.bench_function("cached_irregular", |b| {
+        b.iter(|| black_box(warm.recommend(&irregular, &params, &tree)))
+    });
+    g.bench_function("stats_pass_32x32", |b| {
+        b.iter(|| black_box(PatternStats::of(&pattern, &tree)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,7 +7,11 @@
 //! cargo run --release -p cm5-bench --bin report -- --jobs 4   # 4 workers
 //! ```
 //!
-//! Sections: `fig5 fig6 fig7 fig8 table5 fig10 fig11 table11 table12`.
+//! Sections: `fig5 fig6 fig7 fig8 table5 fig10 fig11 table11 table12
+//! model`.
+//! `model` scores the `cm5-model` advisor's predicted winners against the
+//! simulated winners on every grid; `--gate F` makes the binary exit
+//! nonzero if Fig 5 + Table 11 agreement falls below `F` (CI hook).
 //! `--jobs N` fans the grid cells across `N` worker threads (`0` = one per
 //! hardware thread); output is byte-identical to the serial run because
 //! results are merged in canonical grid order before printing.
@@ -15,6 +19,7 @@
 //! ratios and crossover locations are the reproduction targets (see
 //! EXPERIMENTS.md).
 
+use cm5_bench::model_validation as mv;
 use cm5_bench::paper::{TABLE_11, TABLE_12, TABLE_5};
 use cm5_bench::runners::*;
 use cm5_bench::sweep::SweepRunner;
@@ -26,6 +31,9 @@ static CSV_DIR: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::Onc
 
 /// Worker pool shared by every section (`--jobs N`, default serial).
 static JOBS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
+/// Minimum Fig 5 + Table 11 winner-agreement fraction (`--gate F`).
+static GATE: std::sync::OnceLock<Option<f64>> = std::sync::OnceLock::new();
 
 fn runner() -> SweepRunner {
     SweepRunner::new(*JOBS.get().unwrap_or(&1))
@@ -53,12 +61,22 @@ fn main() {
     let mut args: Vec<String> = Vec::new();
     let mut csv_dir = None;
     let mut jobs = 1usize;
+    let mut gate = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         if a == "--csv" {
             let dir = it.next().unwrap_or_else(|| "report_csv".to_string());
             std::fs::create_dir_all(&dir).expect("create csv dir");
             csv_dir = Some(std::path::PathBuf::from(dir));
+        } else if a == "--gate" {
+            let f = it.next().unwrap_or_else(|| {
+                eprintln!("--gate needs an agreement fraction, e.g. 0.90");
+                std::process::exit(2);
+            });
+            gate = Some(f.parse().unwrap_or_else(|_| {
+                eprintln!("--gate: not a number: {f}");
+                std::process::exit(2);
+            }));
         } else if a == "--jobs" {
             let n = it.next().unwrap_or_else(|| {
                 eprintln!("--jobs needs a thread count (0 = all cores)");
@@ -74,6 +92,7 @@ fn main() {
     }
     CSV_DIR.set(csv_dir).expect("set once");
     JOBS.set(jobs).expect("set once");
+    GATE.set(gate).expect("set once");
     let want =
         |s: &str| args.is_empty() && s != "beyond" || args.iter().any(|a| a == s || a == "all");
 
@@ -106,6 +125,9 @@ fn main() {
     }
     if want("beyond") {
         beyond();
+    }
+    if want("model") {
+        model();
     }
 }
 
@@ -481,4 +503,108 @@ fn beyond() {
         "on the hypercube, PEX's XOR steps are congestion-free and BEX's \n\
          rotation only hurts — the paper's §3.4 result is a fat-tree fact."
     );
+}
+
+/// Model validation: the `cm5-model` advisor scored against the simulator
+/// on every grid, plus the four regime boundaries (`report model`).
+fn model() {
+    header(
+        "Model validation — advisor-predicted vs simulated winners",
+        "not in the paper; scores the cm5-model closed-form cost models: \
+         the advisor should pick the simulated winner (or a runner-up it \
+         prices within 10%) on >= 90% of Fig 5 + Table 11 cells",
+    );
+    let runner = runner();
+    let fig5 = mv::fig5_grid(&runner);
+    let scaling = mv::scaling_grid(&runner);
+    let fig10 = mv::fig10_grid(&runner);
+    let fig11 = mv::fig11_grid(&runner);
+    let table11 = mv::table11_grid(&runner);
+
+    let mut rows = Vec::new();
+    for grid in [&fig5, &scaling, &fig10, &fig11, &table11] {
+        println!("\n{}:", grid.name);
+        println!(
+            "{:>14} {:>16} {:>16} {:>10} {:>10} {:>7}",
+            "cell", "sim winner", "advisor pick", "sim ms", "pred ms", "agree"
+        );
+        for c in &grid.cells {
+            let (s, p) = (c.sim_winner(), c.pick());
+            println!(
+                "{:>14} {:>16} {:>16} {:>10.3} {:>10.3} {:>7}",
+                c.label,
+                c.algs[s].name(),
+                c.algs[p].name(),
+                c.sim_ms[s],
+                c.pred_ms[p],
+                if c.agrees() { "yes" } else { "MISS" }
+            );
+            rows.push(vec![
+                grid.name.to_string(),
+                c.label.clone(),
+                c.algs[s].name().to_string(),
+                c.algs[p].name().to_string(),
+                format!("{:.4}", c.sim_ms[s]),
+                format!("{:.4}", c.pred_ms[p]),
+                (c.agrees() as u8).to_string(),
+            ]);
+        }
+        println!(
+            "  agreement {:>5.1}%   mean |model error| {:>5.1}%",
+            grid.agreement() * 100.0,
+            grid.mean_abs_err() * 100.0
+        );
+    }
+    write_csv(
+        "model_validation",
+        &[
+            "grid",
+            "cell",
+            "sim_winner",
+            "advisor_pick",
+            "sim_best_ms",
+            "pred_best_ms",
+            "agree",
+        ],
+        &rows,
+    );
+
+    println!("\nregime boundaries (paper §3-§4 discussion):");
+    let bounds = mv::boundaries(&fig5, &scaling, &fig11, &table11);
+    for b in &bounds {
+        println!("  {}", b.claim);
+        println!(
+            "    sim: {:<38} model: {:<38} {}",
+            b.simulated,
+            b.modeled,
+            if b.reproduced {
+                "reproduced"
+            } else {
+                "DIVERGES"
+            }
+        );
+    }
+
+    let gated_cells = fig5.cells.len() + table11.cells.len();
+    let gated_hits = fig5
+        .cells
+        .iter()
+        .chain(&table11.cells)
+        .filter(|c| c.agrees())
+        .count();
+    let gated = gated_hits as f64 / gated_cells as f64;
+    println!(
+        "\ngate metric (Fig 5 + Table 11): {gated_hits}/{gated_cells} cells agree = {:.1}%",
+        gated * 100.0
+    );
+    if let Some(Some(min)) = GATE.get() {
+        if gated < *min {
+            eprintln!(
+                "model gate FAILED: agreement {:.3} below required {:.3}",
+                gated, min
+            );
+            std::process::exit(1);
+        }
+        println!("gate passed (>= {:.0}% required)", min * 100.0);
+    }
 }

@@ -6,6 +6,7 @@
 //! every figure and table, side by side with the paper's published numbers
 //! where the paper gives them).
 
+pub mod model_validation;
 pub mod paper;
 pub mod runners;
 pub mod sweep;

@@ -1,0 +1,465 @@
+//! Model validation: score the `cm5-model` advisor against the simulator.
+//!
+//! Walks the same grids the paper's figures and tables walk — Figure 5,
+//! the Figure 6–8 machine-size sweep, Figures 10/11 and Table 11 — and,
+//! per cell, compares the algorithm the [`cm5_model::Advisor`] picks from
+//! its closed-form cost models against the winner the simulator actually
+//! produces. A cell *agrees* when the picks coincide, or when the
+//! simulated winner was predicted within 10 % of the pick (the models
+//! cannot be asked to split near-ties they price as near-ties).
+//!
+//! The `report model` section prints these grids plus the four regime
+//! boundaries the paper's discussion hangs on (BEX-vs-PEX message-size
+//! crossover, REX's 0-byte supremacy, the REB/system-broadcast crossover
+//! at 256 nodes, the GS/BS density flip), and `--gate F` turns the
+//! Fig 5 + Table 11 agreement fraction into a CI exit code.
+
+use cm5_core::prelude::*;
+use cm5_model::prelude::*;
+use cm5_sim::{FatTree, MachineParams};
+use cm5_workloads::synthetic::synthetic_pattern_exact;
+
+use crate::runners::{
+    broadcast_time, exchange_time, irregular_time, FIG10_MSG_SIZES, FIG5_MSG_SIZES, MACHINE_SIZES,
+    TABLE11_SEEDS,
+};
+use crate::sweep::SweepRunner;
+
+/// Message sizes of the Figure 6–8 machine-size sweep (bytes).
+pub const SCALING_MSG_SIZES: [u64; 4] = [0, 256, 512, 1920];
+/// Message sizes of the Figure 11 machine-size sweep (bytes).
+pub const FIG11_MSG_SIZES: [u64; 4] = [256, 1024, 2048, 8192];
+/// A sim winner predicted within this factor of the pick still agrees.
+pub const MARGIN: f64 = 1.10;
+
+/// One grid cell: every candidate priced by the model and timed by the
+/// simulator, in the same (candidate) order.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Human-readable cell coordinates, e.g. `n=32 b=1920`.
+    pub label: String,
+    /// Candidate algorithms, in `Workload::candidates` order.
+    pub algs: Vec<Algorithm>,
+    /// Simulated milliseconds per candidate.
+    pub sim_ms: Vec<f64>,
+    /// Model-predicted milliseconds per candidate.
+    pub pred_ms: Vec<f64>,
+}
+
+impl Cell {
+    /// Index of the simulated winner.
+    pub fn sim_winner(&self) -> usize {
+        argmin(&self.sim_ms)
+    }
+
+    /// Index of the advisor's pick (the predicted winner).
+    pub fn pick(&self) -> usize {
+        argmin(&self.pred_ms)
+    }
+
+    /// Does the advisor's pick agree with the simulator, under the
+    /// 10 %-predicted-margin forgiveness?
+    pub fn agrees(&self) -> bool {
+        let (s, p) = (self.sim_winner(), self.pick());
+        s == p || self.pred_ms[s] <= MARGIN * self.pred_ms[p]
+    }
+
+    /// Mean relative model error across this cell's candidates.
+    pub fn mean_abs_err(&self) -> f64 {
+        let total: f64 = self
+            .sim_ms
+            .iter()
+            .zip(&self.pred_ms)
+            .map(|(&s, &p)| ((p - s) / s).abs())
+            .sum();
+        total / self.sim_ms.len() as f64
+    }
+}
+
+/// A scored grid of cells.
+#[derive(Debug, Clone)]
+pub struct GridReport {
+    /// Which figure or table this grid reproduces.
+    pub name: &'static str,
+    /// One entry per grid cell.
+    pub cells: Vec<Cell>,
+}
+
+impl GridReport {
+    /// Fraction of cells whose pick agrees with the simulator.
+    pub fn agreement(&self) -> f64 {
+        let hits = self.cells.iter().filter(|c| c.agrees()).count();
+        hits as f64 / self.cells.len().max(1) as f64
+    }
+
+    /// Mean relative model error across all cells and candidates.
+    pub fn mean_abs_err(&self) -> f64 {
+        let total: f64 = self.cells.iter().map(Cell::mean_abs_err).sum();
+        total / self.cells.len().max(1) as f64
+    }
+}
+
+fn argmin(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Advisor predictions re-ordered into canonical `Workload::candidates`
+/// order (the `Recommendation` sorts its candidate list by predicted
+/// time; the simulated grids are laid out in `ALL` order).
+fn predictions(w: &Workload, params: &MachineParams, tree: &FatTree) -> (Vec<Algorithm>, Vec<f64>) {
+    let rec = Advisor::recommend_uncached(w, params, tree);
+    let algs = w.candidates();
+    let ms: Vec<f64> = algs
+        .iter()
+        .map(|a| {
+            rec.candidates
+                .iter()
+                .find(|(c, _)| c == a)
+                .expect("every candidate priced")
+                .1
+                .as_millis_f64()
+        })
+        .collect();
+    (algs, ms)
+}
+
+/// Exchange grid over `(n, bytes)` points: all four §3 algorithms,
+/// simulated in parallel and priced by the advisor.
+pub fn exchange_grid(
+    runner: &SweepRunner,
+    name: &'static str,
+    points: &[(usize, u64)],
+) -> GridReport {
+    let params = MachineParams::cm5_1992();
+    let sims: Vec<(ExchangeAlg, usize, u64)> = points
+        .iter()
+        .flat_map(|&(n, bytes)| ExchangeAlg::ALL.map(move |alg| (alg, n, bytes)))
+        .collect();
+    let ms = runner.run(&sims, |_, &(alg, n, bytes)| {
+        exchange_time(alg, n, bytes).as_millis_f64()
+    });
+    let cells = points
+        .iter()
+        .enumerate()
+        .map(|(i, &(n, bytes))| {
+            let tree = FatTree::new(n);
+            let w = Workload::Exchange { n, bytes };
+            let (algs, pred_ms) = predictions(&w, &params, &tree);
+            let k = ExchangeAlg::ALL.len();
+            Cell {
+                label: format!("n={n} b={bytes}"),
+                algs,
+                sim_ms: ms[i * k..(i + 1) * k].to_vec(),
+                pred_ms,
+            }
+        })
+        .collect();
+    GridReport { name, cells }
+}
+
+/// Broadcast grid over `(n, bytes)` points: LIB, REB and the system
+/// broadcast, simulated in parallel and priced by the advisor.
+pub fn broadcast_grid(
+    runner: &SweepRunner,
+    name: &'static str,
+    points: &[(usize, u64)],
+) -> GridReport {
+    let params = MachineParams::cm5_1992();
+    let sims: Vec<(BroadcastAlg, usize, u64)> = points
+        .iter()
+        .flat_map(|&(n, bytes)| BroadcastAlg::ALL.map(move |alg| (alg, n, bytes)))
+        .collect();
+    let ms = runner.run(&sims, |_, &(alg, n, bytes)| {
+        broadcast_time(alg, n, bytes).as_millis_f64()
+    });
+    let cells = points
+        .iter()
+        .enumerate()
+        .map(|(i, &(n, bytes))| {
+            let tree = FatTree::new(n);
+            let w = Workload::Broadcast { n, bytes };
+            let (algs, pred_ms) = predictions(&w, &params, &tree);
+            let k = BroadcastAlg::ALL.len();
+            Cell {
+                label: format!("n={n} b={bytes}"),
+                algs,
+                sim_ms: ms[i * k..(i + 1) * k].to_vec(),
+                pred_ms,
+            }
+        })
+        .collect();
+    GridReport { name, cells }
+}
+
+/// The Figure 5 grid: 32 nodes, every Figure 5 message size.
+pub fn fig5_grid(runner: &SweepRunner) -> GridReport {
+    let points: Vec<(usize, u64)> = FIG5_MSG_SIZES.iter().map(|&b| (32, b)).collect();
+    exchange_grid(runner, "Figure 5 (exchange, 32 nodes)", &points)
+}
+
+/// The Figure 6–8 grid: every machine size × {0, 256, 512, 1920} B.
+pub fn scaling_grid(runner: &SweepRunner) -> GridReport {
+    let points: Vec<(usize, u64)> = SCALING_MSG_SIZES
+        .iter()
+        .flat_map(|&b| MACHINE_SIZES.map(move |n| (n, b)))
+        .collect();
+    exchange_grid(runner, "Figures 6-8 (exchange scaling)", &points)
+}
+
+/// The Figure 10 grid: broadcast on 32 nodes, every Figure 10 size.
+pub fn fig10_grid(runner: &SweepRunner) -> GridReport {
+    let points: Vec<(usize, u64)> = FIG10_MSG_SIZES.iter().map(|&b| (32, b)).collect();
+    broadcast_grid(runner, "Figure 10 (broadcast, 32 nodes)", &points)
+}
+
+/// The Figure 11 grid: broadcast, every machine size × Figure 11 size.
+pub fn fig11_grid(runner: &SweepRunner) -> GridReport {
+    let points: Vec<(usize, u64)> = FIG11_MSG_SIZES
+        .iter()
+        .flat_map(|&b| MACHINE_SIZES.map(move |n| (n, b)))
+        .collect();
+    broadcast_grid(runner, "Figure 11 (broadcast scaling)", &points)
+}
+
+/// The Table 11 grid: 32 nodes, 4 densities × 2 message sizes; both the
+/// simulated times and the model predictions are per-cell means over the
+/// same [`TABLE11_SEEDS`] synthetic patterns the report section uses.
+pub fn table11_grid(runner: &SweepRunner) -> GridReport {
+    let params = MachineParams::cm5_1992();
+    let tree = FatTree::new(32);
+    let points: [(f64, u64); 8] = [
+        (0.10, 256),
+        (0.10, 512),
+        (0.25, 256),
+        (0.25, 512),
+        (0.50, 256),
+        (0.50, 512),
+        (0.75, 256),
+        (0.75, 512),
+    ];
+    let sims: Vec<(IrregularAlg, f64, u64, u64)> = points
+        .iter()
+        .flat_map(|&(density, msg)| {
+            (0..TABLE11_SEEDS)
+                .flat_map(move |seed| IrregularAlg::ALL.map(move |alg| (alg, density, msg, seed)))
+        })
+        .collect();
+    let ms = runner.run(&sims, |_, &(alg, density, msg, seed)| {
+        let pattern = synthetic_pattern_exact(32, density, msg, 0x7AB1E + seed);
+        irregular_time(alg, &pattern).as_millis_f64()
+    });
+    let k = IrregularAlg::ALL.len();
+    let cells = points
+        .iter()
+        .enumerate()
+        .map(|(i, &(density, msg))| {
+            let mut sim_ms = vec![0.0; k];
+            let mut pred_ms = vec![0.0; k];
+            let mut algs = Vec::new();
+            for seed in 0..TABLE11_SEEDS {
+                let base = (i as u64 * TABLE11_SEEDS + seed) as usize * k;
+                for (a, s) in sim_ms.iter_mut().enumerate() {
+                    *s += ms[base + a] / TABLE11_SEEDS as f64;
+                }
+                let pattern = synthetic_pattern_exact(32, density, msg, 0x7AB1E + seed);
+                let stats = PatternStats::of(&pattern, &tree);
+                let w = Workload::Irregular(stats);
+                let (cand, pred) = predictions(&w, &params, &tree);
+                algs = cand;
+                for (a, p) in pred_ms.iter_mut().enumerate() {
+                    *p += pred[a] / TABLE11_SEEDS as f64;
+                }
+            }
+            Cell {
+                label: format!("d={:.0}% b={msg}", density * 100.0),
+                algs,
+                sim_ms,
+                pred_ms,
+            }
+        })
+        .collect();
+    GridReport {
+        name: "Table 11 (irregular, 32 nodes)",
+        cells,
+    }
+}
+
+/// One of the four regime boundaries the paper's discussion identifies.
+#[derive(Debug, Clone)]
+pub struct Boundary {
+    /// What the paper claims.
+    pub claim: &'static str,
+    /// Where the simulator puts the boundary.
+    pub simulated: String,
+    /// Where the cost models put the boundary.
+    pub modeled: String,
+    /// Do they coincide?
+    pub reproduced: bool,
+}
+
+/// Locate the four regime boundaries in both the simulated grids and the
+/// model's predictions. Reuses already-scored grids, so this is free.
+pub fn boundaries(
+    fig5: &GridReport,
+    scaling: &GridReport,
+    fig11: &GridReport,
+    table11: &GridReport,
+) -> Vec<Boundary> {
+    let mut out = Vec::new();
+
+    // 1. BEX pulls ahead of PEX on 32 nodes once messages are non-zero.
+    // "Leads" means a >0.5 % margin: the paper calls the small-message
+    // cells indistinguishable, so sub-noise gaps must not move the
+    // boundary.
+    let lead = |c: &Cell, a: Algorithm, b: Algorithm, ms: &dyn Fn(&Cell, usize) -> f64| {
+        let (ia, ib) = (
+            c.algs.iter().position(|&x| x == a).expect("candidate"),
+            c.algs.iter().position(|&x| x == b).expect("candidate"),
+        );
+        ms(c, ia) < 0.995 * ms(c, ib)
+    };
+    let bex = Algorithm::Exchange(ExchangeAlg::Bex);
+    let pex = Algorithm::Exchange(ExchangeAlg::Pex);
+    let first_bex = |by: &dyn Fn(&Cell, usize) -> f64| {
+        fig5.cells
+            .iter()
+            .zip(&FIG5_MSG_SIZES)
+            .find(|(c, _)| lead(c, bex, pex, by))
+            .map_or("never".to_string(), |(_, b)| format!("{b} B"))
+    };
+    let sim_at = first_bex(&|c: &Cell, i: usize| c.sim_ms[i]);
+    let model_at = first_bex(&|c: &Cell, i: usize| c.pred_ms[i]);
+    out.push(Boundary {
+        claim: "BEX overtakes PEX on 32 nodes once messages are non-trivial",
+        reproduced: sim_at == model_at,
+        simulated: format!("BEX leads from {sim_at}"),
+        modeled: format!("BEX leads from {model_at}"),
+    });
+
+    // 2. REX wins the 0-byte exchange at every machine size.
+    let rex = Algorithm::Exchange(ExchangeAlg::Rex);
+    let zero_cells: Vec<&Cell> = scaling
+        .cells
+        .iter()
+        .filter(|c| c.label.ends_with(" b=0"))
+        .collect();
+    let sim_all = zero_cells.iter().all(|c| c.algs[c.sim_winner()] == rex);
+    let model_all = zero_cells.iter().all(|c| c.algs[c.pick()] == rex);
+    out.push(Boundary {
+        claim: "REX wins the 0-byte exchange at every size through N=256",
+        reproduced: sim_all == model_all,
+        simulated: format!(
+            "REX best in {}/{} sizes",
+            zero_cells
+                .iter()
+                .filter(|c| c.algs[c.sim_winner()] == rex)
+                .count(),
+            zero_cells.len()
+        ),
+        modeled: format!(
+            "REX best in {}/{} sizes",
+            zero_cells
+                .iter()
+                .filter(|c| c.algs[c.pick()] == rex)
+                .count(),
+            zero_cells.len()
+        ),
+    });
+
+    // 3. The REB/system crossover message size at 256 nodes.
+    let reb = Algorithm::Broadcast(BroadcastAlg::Recursive);
+    let sys = Algorithm::Broadcast(BroadcastAlg::System);
+    let cross = |by: &dyn Fn(&Cell, usize) -> f64| {
+        fig11
+            .cells
+            .iter()
+            .zip(
+                FIG11_MSG_SIZES
+                    .iter()
+                    .flat_map(|&b| MACHINE_SIZES.map(move |n| (n, b))),
+            )
+            .filter(|(_, (n, _))| *n == 256)
+            .filter(|(c, _)| lead(c, sys, reb, by))
+            .last()
+            .map_or("never".to_string(), |(_, (_, b))| format!("{b} B"))
+    };
+    let sim_at = cross(&|c: &Cell, i: usize| c.sim_ms[i]);
+    let model_at = cross(&|c: &Cell, i: usize| c.pred_ms[i]);
+    out.push(Boundary {
+        claim: "system broadcast still beats REB at 1-2 KB on 256 nodes",
+        reproduced: sim_at == model_at,
+        simulated: format!("system leads through {sim_at}"),
+        modeled: format!("system leads through {model_at}"),
+    });
+
+    // 4. GS stops winning at 50 % density (Table 11's flip).
+    let gs = Algorithm::Irregular(IrregularAlg::Gs);
+    let flip = |by: &dyn Fn(&Cell, usize) -> f64| {
+        table11
+            .cells
+            .iter()
+            .find(|c| {
+                let best = argmin(&(0..c.algs.len()).map(|i| by(c, i)).collect::<Vec<_>>());
+                c.algs[best] != gs
+            })
+            .map_or("never".to_string(), |c| c.label.clone())
+    };
+    let sim_at = flip(&|c: &Cell, i: usize| c.sim_ms[i]);
+    let model_at = flip(&|c: &Cell, i: usize| c.pred_ms[i]);
+    out.push(Boundary {
+        claim: "GS best below 50 % density; PS/BS take over at >= 50 %",
+        reproduced: sim_at.split_whitespace().next() == model_at.split_whitespace().next(),
+        simulated: format!("first non-GS win at {sim_at}"),
+        modeled: format!("first non-GS win at {model_at}"),
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_grid_agrees_and_prices_accurately() {
+        let grid = fig5_grid(&SweepRunner::new(0));
+        assert_eq!(grid.cells.len(), FIG5_MSG_SIZES.len());
+        assert!(
+            grid.agreement() >= 0.9,
+            "fig5 agreement {:.2} below gate",
+            grid.agreement()
+        );
+        assert!(
+            grid.mean_abs_err() < 0.15,
+            "fig5 mean model error {:.3} too large",
+            grid.mean_abs_err()
+        );
+    }
+
+    #[test]
+    fn cell_margin_forgiveness() {
+        let near_tie = Cell {
+            label: "t".into(),
+            algs: vec![
+                Algorithm::Irregular(IrregularAlg::Ps),
+                Algorithm::Irregular(IrregularAlg::Bs),
+            ],
+            sim_ms: vec![2.0, 1.9],
+            pred_ms: vec![1.0, 1.05],
+        };
+        // Sim winner (Bs) was predicted within 10% of the pick (Ps).
+        assert_ne!(near_tie.sim_winner(), near_tie.pick());
+        assert!(near_tie.agrees());
+        let clear_miss = Cell {
+            pred_ms: vec![1.0, 1.5],
+            ..near_tie
+        };
+        assert!(!clear_miss.agrees());
+    }
+}

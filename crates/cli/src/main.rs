@@ -16,6 +16,7 @@ use std::process::ExitCode;
 
 use cm5_core::irregular::crystal;
 use cm5_core::prelude::*;
+use cm5_model::prelude::*;
 use cm5_sim::{FatTree, MachineParams, SimReport, Simulation};
 
 /// Minimal `--key value` / `--flag` argument map (no external deps).
@@ -83,6 +84,24 @@ impl Args {
                 .parse()
                 .map_err(|_| format!("--{name} expects a number, got '{v}'")),
         }
+    }
+
+    /// Reject any flag this command does not understand. A typo like
+    /// `--byte` must fail loudly, not silently fall back to a default.
+    fn check_flags(&self, allowed: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.flags {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown flag '--{k}' (valid flags: {})\n\n{USAGE}",
+                    allowed
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -153,7 +172,27 @@ fn topology(args: &Args, n: usize) -> Result<cm5_sim::Topology, String> {
     }
 }
 
+/// Price every candidate with the cost models and print the pick.
+fn advise_print(w: &Workload, params: &MachineParams, n: usize) -> Recommendation {
+    let rec = Advisor::recommend_uncached(w, params, &FatTree::new(n));
+    println!(
+        "advisor    : {} (predicted {})",
+        rec.algorithm, rec.predicted
+    );
+    for (alg, t) in &rec.candidates {
+        let mark = if *alg == rec.algorithm { "->" } else { "  " };
+        println!("  {mark} {:<16} predicted {t}", alg.name());
+    }
+    if rec.runner_up.is_some() {
+        println!("margin     : runner-up {:.1}% behind", rec.margin * 100.0);
+    }
+    rec
+}
+
 fn cmd_exchange(args: &Args) -> Result<(), String> {
+    args.check_flags(&[
+        "alg", "n", "bytes", "machine", "topology", "async", "render",
+    ])?;
     let n = args.usize_or("n", 32)?;
     let bytes = args.u64_or("bytes", 1024)?;
     let params = machine(args)?;
@@ -162,7 +201,14 @@ fn cmd_exchange(args: &Args) -> Result<(), String> {
         "pex" => ExchangeAlg::Pex,
         "rex" => ExchangeAlg::Rex,
         "bex" => ExchangeAlg::Bex,
-        other => return Err(format!("unknown --alg '{other}' (lex|pex|rex|bex)")),
+        "auto" => {
+            let rec = advise_print(&Workload::Exchange { n, bytes }, &params, n);
+            match rec.algorithm {
+                Algorithm::Exchange(a) => a,
+                other => return Err(format!("advisor returned non-exchange pick {other}")),
+            }
+        }
+        other => return Err(format!("unknown --alg '{other}' (lex|pex|rex|bex|auto)")),
     };
     let schedule = alg.schedule(n, bytes);
     println!(
@@ -188,6 +234,7 @@ fn cmd_exchange(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_broadcast(args: &Args) -> Result<(), String> {
+    args.check_flags(&["alg", "n", "bytes", "root", "machine"])?;
     let n = args.usize_or("n", 32)?;
     let bytes = args.u64_or("bytes", 1024)?;
     let root = args.usize_or("root", 0)?;
@@ -196,7 +243,14 @@ fn cmd_broadcast(args: &Args) -> Result<(), String> {
         "lib" => BroadcastAlg::Linear,
         "reb" => BroadcastAlg::Recursive,
         "system" => BroadcastAlg::System,
-        other => return Err(format!("unknown --alg '{other}' (lib|reb|system)")),
+        "auto" => {
+            let rec = advise_print(&Workload::Broadcast { n, bytes }, &params, n);
+            match rec.algorithm {
+                Algorithm::Broadcast(a) => a,
+                other => return Err(format!("advisor returned non-broadcast pick {other}")),
+            }
+        }
+        other => return Err(format!("unknown --alg '{other}' (lib|reb|system|auto)")),
     };
     println!(
         "{} broadcast, {n} nodes, {bytes} B from node {root}",
@@ -229,17 +283,35 @@ fn irregular_pattern(args: &Args, n: usize) -> Result<Pattern, String> {
 }
 
 fn cmd_irregular(args: &Args) -> Result<(), String> {
+    args.check_flags(&[
+        "alg", "n", "density", "bytes", "seed", "pattern", "machine", "async", "render",
+    ])?;
     let n = args.usize_or("n", 32)?;
     let params = machine(args)?;
     let pattern = irregular_pattern(args, n)?;
-    let name = args.get("alg").unwrap_or("gs").to_string();
+    let mut name = args.get("alg").unwrap_or("gs").to_string();
+    if name == "auto" {
+        let stats = PatternStats::of(&pattern, &FatTree::new(n));
+        let rec = advise_print(&Workload::Irregular(stats), &params, n);
+        name = match rec.algorithm {
+            Algorithm::Irregular(IrregularAlg::Ls) => "ls".into(),
+            Algorithm::Irregular(IrregularAlg::Ps) => "ps".into(),
+            Algorithm::Irregular(IrregularAlg::Bs) => "bs".into(),
+            Algorithm::Irregular(IrregularAlg::Gs) => "gs".into(),
+            other => return Err(format!("advisor returned non-irregular pick {other}")),
+        };
+    }
     let schedule = match name.as_str() {
         "ls" => ls(&pattern),
         "ps" => ps(&pattern),
         "bs" => bs(&pattern),
         "gs" => gs(&pattern),
         "crystal" => crystal(&pattern),
-        other => return Err(format!("unknown --alg '{other}' (ls|ps|bs|gs|crystal)")),
+        other => {
+            return Err(format!(
+                "unknown --alg '{other}' (ls|ps|bs|gs|crystal|auto)"
+            ))
+        }
     };
     println!(
         "{name} scheduling, {n} nodes, pattern density {:.0}%, avg msg {:.0} B",
@@ -255,6 +327,7 @@ fn cmd_irregular(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_workload(args: &Args) -> Result<(), String> {
+    args.check_flags(&["name", "n", "machine"])?;
     let n = args.usize_or("n", 32)?;
     let params = machine(args)?;
     let name = args.get("name").unwrap_or("euler2k");
@@ -289,8 +362,61 @@ fn cmd_workload(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `cm5 advise` — price the candidates without simulating anything.
+fn cmd_advise(args: &Args) -> Result<(), String> {
+    args.check_flags(&[
+        "n", "bytes", "density", "seed", "pattern", "name", "machine",
+    ])?;
+    let n = args.usize_or("n", 32)?;
+    let params = machine(args)?;
+    let family = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("advise needs a workload family: exchange | broadcast | irregular")?;
+    let w = match family {
+        "exchange" => Workload::Exchange {
+            n,
+            bytes: args.u64_or("bytes", 1024)?,
+        },
+        "broadcast" => Workload::Broadcast {
+            n,
+            bytes: args.u64_or("bytes", 1024)?,
+        },
+        "irregular" => {
+            let pattern = match args.get("name") {
+                Some("cg") => cm5_workloads::cg_pattern(n),
+                Some("euler545") => cm5_workloads::euler_pattern(545, n),
+                Some("euler2k") => cm5_workloads::euler_pattern(2048, n),
+                Some("euler3k") => cm5_workloads::euler_pattern(3072, n),
+                Some("euler9k") => cm5_workloads::euler_pattern(9216, n),
+                Some(other) => {
+                    return Err(format!(
+                        "unknown --name '{other}' (cg|euler545|euler2k|euler3k|euler9k)"
+                    ))
+                }
+                None => irregular_pattern(args, n)?,
+            };
+            println!(
+                "pattern    : {n} nodes, density {:.0}%, avg msg {:.0} B",
+                pattern.density() * 100.0,
+                pattern.avg_msg_bytes()
+            );
+            Workload::Irregular(PatternStats::of(&pattern, &FatTree::new(n)))
+        }
+        other => {
+            return Err(format!(
+                "unknown advise family '{other}' (exchange | broadcast | irregular)"
+            ))
+        }
+    };
+    advise_print(&w, &params, n);
+    Ok(())
+}
+
 fn cmd_sweep(args: &Args) -> Result<(), String> {
     use cm5_bench::sweep::{run_exchange_grid, run_irregular_grid, SweepRunner};
+    args.check_flags(&["grid", "jobs"])?;
     let runner = SweepRunner::new(args.usize_or("jobs", 0)?);
     match args.get("grid").unwrap_or("exchange") {
         "exchange" => {
@@ -350,12 +476,16 @@ const USAGE: &str = "\
 cm5 — schedule and simulate CM-5 communication patterns
 
 USAGE:
-  cm5 exchange  [--alg lex|pex|rex|bex] [-n N] [--bytes B] [--machine 1992|vector|buffered]
+  cm5 exchange  [--alg lex|pex|rex|bex|auto] [-n N] [--bytes B] [--machine 1992|vector|buffered]
                 [--topology fat-tree|hypercube] [--async] [--render]
-  cm5 broadcast [--alg lib|reb|system] [-n N] [--bytes B] [--root R]
-  cm5 irregular [--alg ls|ps|bs|gs|crystal] [-n N] [--density D] [--bytes B] [--seed S] [--pattern paper] [--render]
+  cm5 broadcast [--alg lib|reb|system|auto] [-n N] [--bytes B] [--root R]
+  cm5 irregular [--alg ls|ps|bs|gs|crystal|auto] [-n N] [--density D] [--bytes B] [--seed S] [--pattern paper] [--render]
   cm5 workload  [--name cg|euler545|euler2k|euler3k|euler9k] [-n N]
+  cm5 advise    exchange|broadcast|irregular [-n N] [--bytes B] [--density D] [--name W]
   cm5 sweep     [--grid exchange|irregular] [--jobs N]   (0 = one worker per core)
+
+`--alg auto` asks the cm5-model cost models to pick; `cm5 advise` prints
+the prediction table without running the simulator.
 
 The full paper evaluation: cargo run --release -p cm5-bench --bin report
 ";
@@ -367,6 +497,7 @@ fn dispatch(raw: &[String]) -> Result<(), String> {
         Some("broadcast") => cmd_broadcast(&args),
         Some("irregular") => cmd_irregular(&args),
         Some("workload") => cmd_workload(&args),
+        Some("advise") => cmd_advise(&args),
         Some("sweep") => cmd_sweep(&args),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
         None => Err(USAGE.to_string()),
@@ -428,6 +559,45 @@ mod tests {
         assert!(dispatch(&argv("irregular --pattern paper --n 16")).is_err());
         assert!(dispatch(&argv("sweep --grid torus")).is_err());
         assert!(dispatch(&argv("")).is_err());
+    }
+
+    #[test]
+    fn bad_alg_and_machine_name_the_valid_values() {
+        for cmd in ["exchange", "broadcast", "irregular"] {
+            let err = dispatch(&argv(&format!("{cmd} --alg zzz --n 8"))).unwrap_err();
+            assert!(err.contains("auto"), "{cmd}: {err}");
+        }
+        let err = dispatch(&argv("exchange --machine cm2 --n 8")).unwrap_err();
+        assert!(err.contains("1992 | vector | buffered"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_the_valid_set() {
+        let err = dispatch(&argv("exchange --n 8 --byte 64")).unwrap_err();
+        assert!(err.contains("unknown flag '--byte'"), "{err}");
+        assert!(err.contains("--bytes"), "{err}");
+        assert!(err.contains("USAGE"), "{err}");
+        assert!(dispatch(&argv("broadcast --n 8 --render")).is_err());
+        assert!(dispatch(&argv("sweep --alg gs")).is_err());
+        assert!(dispatch(&argv("advise exchange --root 3")).is_err());
+    }
+
+    #[test]
+    fn auto_alg_runs_end_to_end() {
+        dispatch(&argv("exchange --alg auto --n 8 --bytes 64")).unwrap();
+        dispatch(&argv("broadcast --alg auto --n 8 --bytes 512")).unwrap();
+        dispatch(&argv("irregular --alg auto --n 8 --density 0.3")).unwrap();
+    }
+
+    #[test]
+    fn advise_commands_run() {
+        dispatch(&argv("advise exchange --n 32 --bytes 1024")).unwrap();
+        dispatch(&argv("advise broadcast --n 64 --bytes 4096")).unwrap();
+        dispatch(&argv("advise irregular --n 32 --density 0.25 --bytes 256")).unwrap();
+        dispatch(&argv("advise irregular --name euler545 --n 8")).unwrap();
+        assert!(dispatch(&argv("advise")).is_err());
+        assert!(dispatch(&argv("advise fft")).is_err());
+        assert!(dispatch(&argv("advise irregular --name bogus")).is_err());
     }
 
     #[test]

@@ -115,6 +115,28 @@ pub struct CommPlan {
     pub elem_bytes: u64,
 }
 
+impl CommPlan {
+    /// Let the `cm5-model` advisor pick the scheduler for this plan's
+    /// pattern, and build that schedule — the runtime path: the
+    /// inspector has just discovered who talks to whom, and nobody has
+    /// simulated anything yet. The advisor's decision cache makes
+    /// repeated calls (one per solver phase, say) O(1) after the first.
+    pub fn auto_schedule(
+        &self,
+        advisor: &cm5_model::Advisor,
+        params: &cm5_sim::MachineParams,
+        tree: &cm5_sim::FatTree,
+    ) -> (cm5_model::Recommendation, Schedule) {
+        let stats = cm5_model::PatternStats::of(&self.pattern, tree);
+        let rec = advisor.recommend_pattern(&stats, params, tree);
+        let alg = match rec.algorithm {
+            cm5_model::Algorithm::Irregular(a) => a,
+            ref other => unreachable!("irregular workload priced as {other}"),
+        };
+        (rec, alg.schedule(&self.pattern))
+    }
+}
+
 /// The inspector: runs once per access pattern.
 pub struct Inspector;
 
@@ -305,6 +327,62 @@ mod tests {
                 assert_eq!(got, want, "{}: node {p}", alg.name());
             }
         }
+    }
+
+    /// The advisor-driven path: `auto_schedule` must return a schedule
+    /// of the plan's own pattern whose executor gather is still exact,
+    /// and the pick must match pricing the stats directly.
+    #[test]
+    fn auto_schedule_gathers_correctly() {
+        use cm5_model::prelude::*;
+        use cm5_sim::FatTree;
+        let parts = 8;
+        let len = 128;
+        let dist = Distribution::cyclic(len, parts);
+        let x: Vec<f64> = (0..len).map(|g| (g * g % 61) as f64).collect();
+        let reads: Vec<Vec<usize>> = (0..parts)
+            .map(|p| (0..24).map(|k| (p * 31 + k * 17) % len).collect())
+            .collect();
+        let plan = Inspector::analyze(&dist, &reads, 8);
+        let params = MachineParams::cm5_1992();
+        let tree = FatTree::new(parts);
+        let advisor = Advisor::new();
+        let (rec, schedule) = plan.auto_schedule(&advisor, &params, &tree);
+        assert!(matches!(rec.algorithm, Algorithm::Irregular(_)));
+        let direct = Advisor::recommend_uncached(
+            &Workload::Irregular(PatternStats::of(&plan.pattern, &tree)),
+            &params,
+            &tree,
+        );
+        assert_eq!(rec, direct);
+        // Second call hits the decision cache and must agree.
+        let (rec2, _) = plan.auto_schedule(&advisor, &params, &tree);
+        assert_eq!(rec, rec2);
+        assert_eq!(advisor.cache_len(), 1);
+        // The chosen schedule still moves the right data.
+        let seq: Vec<f64> = reads
+            .iter()
+            .map(|r| r.iter().map(|&g| x[g]).sum())
+            .collect();
+        let sim = Simulation::new(parts, params);
+        let (_, sums) = sim
+            .run_nodes_collect(|node| {
+                let me = node.id();
+                let local: Vec<f64> = dist.owned(me).iter().map(|&g| x[g]).collect();
+                let ghosts = execute_gather(node, &plan, &schedule, &local);
+                reads[me]
+                    .iter()
+                    .map(|&g| {
+                        if dist.owner(g) == me {
+                            local[dist.local(g)]
+                        } else {
+                            ghosts[&g]
+                        }
+                    })
+                    .sum::<f64>()
+            })
+            .unwrap();
+        assert_eq!(sums, seq);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Calibration probe for the `cm5-model` irregular cost models.
+//!
+//! Sweeps the Table 11 grid per seed and prints, side by side: the
+//! simulated makespan of each scheduler, the actual schedule length,
+//! the pattern statistics the models see, and the model's prediction.
+//! Run it after touching `cm5_model::cost::calib` to inspect residuals:
+//!
+//! ```sh
+//! cargo run --release -p cm5-examples --example model_probe
+//! ```
+
+use cm5_bench::runners::irregular_time;
+use cm5_core::prelude::*;
+use cm5_model::prelude::*;
+use cm5_sim::{FatTree, MachineParams};
+use cm5_workloads::synthetic::synthetic_pattern_exact;
+
+fn main() {
+    let params = MachineParams::cm5_1992();
+    let tree = FatTree::new(32);
+    println!(
+        "{:>5} {:>4} {:>4} | {:>4} | {:>9} {:>9} {:>7} | {:>7} {:>7}",
+        "dens", "msg", "seed", "alg", "sim ms", "model ms", "err %", "steps", "maxdeg"
+    );
+    for &density in &[0.10, 0.25, 0.50, 0.75] {
+        for &msg in &[256u64, 512] {
+            for seed in 0..5u64 {
+                let pattern = synthetic_pattern_exact(32, density, msg, 0x7AB1E + seed);
+                let stats = PatternStats::of(&pattern, &tree);
+                for alg in IrregularAlg::ALL {
+                    let sim = irregular_time(alg, &pattern).as_millis_f64();
+                    let w = Workload::Irregular(stats.clone());
+                    let model = predict(Algorithm::Irregular(alg), &w, &params, &tree)
+                        .unwrap()
+                        .as_millis_f64();
+                    let steps = alg.schedule(&pattern).num_steps();
+                    println!(
+                        "{:>5.2} {:>4} {:>4} | {:>4} | {:>9.3} {:>9.3} {:>6.1}% | {:>7} {:>7}",
+                        density,
+                        msg,
+                        seed,
+                        alg.name().chars().take(4).collect::<String>(),
+                        sim,
+                        model,
+                        (model - sim) / sim * 100.0,
+                        steps,
+                        stats.max_pair_degree,
+                    );
+                }
+                println!(
+                    "    stats: maxout={} maxin={} pairdeg={} ps_occ={:.3} bs_occ={:.3} dens={:.3}",
+                    stats.max_out_degree,
+                    stats.max_in_degree,
+                    stats.max_pair_degree,
+                    stats.ps_occupancy,
+                    stats.bs_occupancy,
+                    stats.density,
+                );
+            }
+        }
+    }
+}

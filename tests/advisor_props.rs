@@ -1,0 +1,108 @@
+//! Property tests for the `cm5-model` Advisor.
+//!
+//! The advisor sits on the runtime path (`--alg auto`, the workloads
+//! inspector), so two properties are load-bearing:
+//!
+//! * **Purity** — `recommend` is a function of `(workload, machine,
+//!   tree)` alone: re-asking, with or without a cache between the calls,
+//!   returns the identical `Recommendation`.
+//! * **Cache transparency** — the memoized path never changes an answer
+//!   relative to the uncached computation, for any workload, including
+//!   workloads that collide in the same quantized `DecisionKey` bucket.
+
+use cm5_core::prelude::*;
+use cm5_model::prelude::*;
+use cm5_sim::{FatTree, MachineParams};
+use proptest::prelude::*;
+
+/// All three workload families over power-of-two machines (8..=256
+/// nodes; irregular patterns capped at 32, the paper's partition size).
+fn any_workload() -> impl Strategy<Value = Workload> {
+    (0u8..3, 3usize..9, 0u64..16384, 0.05f64..0.9, any::<u64>()).prop_map(
+        |(kind, k, bytes, density, seed)| {
+            let n = 1usize << k;
+            match kind {
+                0 => Workload::Exchange {
+                    n,
+                    bytes: bytes % 4096,
+                },
+                1 => Workload::Broadcast { n, bytes },
+                _ => {
+                    let n = n.min(32);
+                    let pattern = Pattern::seeded_random(n, density, bytes % 2048 + 1, seed);
+                    Workload::Irregular(PatternStats::of(&pattern, &FatTree::new(n)))
+                }
+            }
+        },
+    )
+}
+
+fn machines() -> impl Strategy<Value = MachineParams> {
+    (0u8..3).prop_map(|i| match i {
+        0 => MachineParams::cm5_1992(),
+        1 => MachineParams::cm5_vector_1993(),
+        _ => MachineParams::cm5_1992_buffered(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same inputs, fresh advisors, repeated queries: one answer.
+    #[test]
+    fn recommend_is_pure(w in any_workload(), params in machines()) {
+        let tree = FatTree::new(w.nodes());
+        let a = Advisor::new().recommend(&w, &params, &tree);
+        let b = Advisor::new().recommend(&w, &params, &tree);
+        prop_assert_eq!(&a, &b);
+        let advisor = Advisor::new();
+        let first = advisor.recommend(&w, &params, &tree);
+        let second = advisor.recommend(&w, &params, &tree);
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(&a, &first);
+    }
+
+    /// The decision cache never changes an answer vs the uncached path,
+    /// even after the cache has been warmed by other workloads.
+    #[test]
+    fn cache_is_transparent(
+        ws in prop::collection::vec(any_workload(), 1..6),
+        params in machines(),
+    ) {
+        let advisor = Advisor::new();
+        for w in &ws {
+            let tree = FatTree::new(w.nodes());
+            let cached = advisor.recommend(w, &params, &tree);
+            let uncached = Advisor::recommend_uncached(w, &params, &tree);
+            prop_assert_eq!(&cached, &uncached);
+        }
+        // Replay in reverse: every query now hits the warm cache and
+        // must still match the pure computation.
+        for w in ws.iter().rev() {
+            let tree = FatTree::new(w.nodes());
+            let cached = advisor.recommend(w, &params, &tree);
+            let uncached = Advisor::recommend_uncached(w, &params, &tree);
+            prop_assert_eq!(&cached, &uncached);
+        }
+    }
+
+    /// The pick is always a member of the candidate list, the list is
+    /// sorted by predicted time, and the margin matches the top two.
+    #[test]
+    fn recommendation_is_internally_consistent(w in any_workload(), params in machines()) {
+        let tree = FatTree::new(w.nodes());
+        let rec = Advisor::new().recommend(&w, &params, &tree);
+        prop_assert_eq!(rec.candidates[0].0, rec.algorithm);
+        prop_assert_eq!(rec.candidates[0].1, rec.predicted);
+        for pair in rec.candidates.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].1, "candidates sorted");
+        }
+        match rec.runner_up {
+            Some(ru) => {
+                prop_assert_eq!(rec.candidates[1].0, ru);
+                prop_assert!(rec.margin >= 0.0);
+            }
+            None => prop_assert_eq!(rec.candidates.len(), 1),
+        }
+    }
+}

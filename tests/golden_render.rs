@@ -1,0 +1,42 @@
+//! Golden tests for `cm5_core::analysis::render_schedule`.
+//!
+//! The rendered step diagram is part of the CLI's user-facing output
+//! (`--render`), so its exact shape is pinned here on the two schedules
+//! the paper itself draws: PEX on 8 nodes (Table 2's XOR steps — every
+//! node paired every step, globals jumping from 0 to 4 when the XOR
+//! crosses the root) and GS on the paper's 8-node pattern P (Table 10 —
+//! ragged steps mixing exchanges, one-way sends and idle nodes).
+
+use cm5_core::prelude::*;
+use cm5_sim::FatTree;
+
+#[test]
+fn pex_8_nodes_renders_the_xor_step_table() {
+    let rendered = render_schedule(&ExchangeAlg::Pex.schedule(8, 64), &FatTree::new(8));
+    let expected = "\
+step |  0  1  2  3  4  5  6  7 | globals
+   0 |  ↔  ↔  ↔  ↔  ↔  ↔  ↔  ↔ | 0
+   1 |  ↔  ↔  ↔  ↔  ↔  ↔  ↔  ↔ | 0
+   2 |  ↔  ↔  ↔  ↔  ↔  ↔  ↔  ↔ | 0
+   3 |  ↔  ↔  ↔  ↔  ↔  ↔  ↔  ↔ | 4
+   4 |  ↔  ↔  ↔  ↔  ↔  ↔  ↔  ↔ | 4
+   5 |  ↔  ↔  ↔  ↔  ↔  ↔  ↔  ↔ | 4
+   6 |  ↔  ↔  ↔  ↔  ↔  ↔  ↔  ↔ | 4
+";
+    assert_eq!(rendered, expected);
+}
+
+#[test]
+fn gs_on_paper_pattern_p_renders_the_ragged_steps() {
+    let rendered = render_schedule(&gs(&Pattern::paper_pattern_p(256)), &FatTree::new(8));
+    let expected = "\
+step |  0  1  2  3  4  5  6  7 | globals
+   0 |  ↔  ↔  ↔  ↔  ↔  ↔  ↔  ↔ | 0
+   1 |  ↔  ↔  ↔  ↔  ↔  ↔  ↔  ↔ | 0
+   2 |  ←  ↔  ·  ↔  ↔  ←  ↔  → | 4
+   3 |  ↔  ↔  ·  ↔  ↔  ↔  ↔  · | 3
+   4 |  ·  →  ←  →  →  ←  ←  · | 3
+   5 |  ·  ↔  ←  ·  ·  ·  →  ↔ | 2
+";
+    assert_eq!(rendered, expected);
+}
