@@ -1,0 +1,45 @@
+//! The network hot path end to end: complete exchanges and a dense
+//! irregular schedule under the incremental max-min solver, plus the
+//! 128-node REX cell re-run under the retained `--rates full` oracle so
+//! the solver speedup (the PR's ≥3× target) shows up in the same output.
+
+use cm5_bench::perf::perf_cases;
+use cm5_sim::{MachineParams, RateSolver, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_hot_loop");
+    g.sample_size(20);
+    let cases = perf_cases();
+    for case in &cases {
+        g.bench_with_input(
+            BenchmarkId::new("incremental", case.name),
+            &case.programs,
+            |b, programs| {
+                let sim = Simulation::new(case.n, MachineParams::cm5_1992());
+                b.iter(|| black_box(sim.run_ops(programs).unwrap().messages))
+            },
+        );
+    }
+    // The ablation oracle on the heaviest regular cell: wall-clock here
+    // divided by incremental/rex_128 above is the solver speedup.
+    let rex_128 = cases
+        .iter()
+        .find(|c| c.name == "rex_128")
+        .expect("rex_128 in the perf grid");
+    g.bench_with_input(
+        BenchmarkId::new("full_oracle", rex_128.name),
+        &rex_128.programs,
+        |b, programs| {
+            let mut params = MachineParams::cm5_1992();
+            params.rate_solver = RateSolver::Full;
+            let sim = Simulation::new(rex_128.n, params);
+            b.iter(|| black_box(sim.run_ops(programs).unwrap().messages))
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

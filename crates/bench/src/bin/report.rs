@@ -12,6 +12,12 @@
 //! `model` scores the `cm5-model` advisor's predicted winners against the
 //! simulated winners on every grid; `--gate F` makes the binary exit
 //! nonzero if Fig 5 + Table 11 agreement falls below `F` (CI hook).
+//! `perf` (opt-in, like `beyond`) measures the *simulator's* host cost —
+//! wall-clock, events/sec, incremental-vs-full solver speedup — and writes
+//! `BENCH_sim.json`; `--quick` runs one repetition per case, `--baseline F`
+//! exits nonzero if any grid's events/sec falls below the floors in `F`.
+//! `perf` is excluded from the default section set so default output stays
+//! byte-identical across runs and `--jobs` values (wall-clock never is).
 //! `--jobs N` fans the grid cells across `N` worker threads (`0` = one per
 //! hardware thread); output is byte-identical to the serial run because
 //! results are merged in canonical grid order before printing.
@@ -34,6 +40,15 @@ static JOBS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
 
 /// Minimum Fig 5 + Table 11 winner-agreement fraction (`--gate F`).
 static GATE: std::sync::OnceLock<Option<f64>> = std::sync::OnceLock::new();
+
+/// `--quick`: one timed repetition per perf case instead of three.
+static QUICK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+
+/// `--baseline F`: events/sec floors the perf section must clear.
+static BASELINE: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
+
+/// `--bench-json PATH`: where the perf section writes its artifact.
+static BENCH_JSON: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();
 
 fn runner() -> SweepRunner {
     SweepRunner::new(*JOBS.get().unwrap_or(&1))
@@ -62,9 +77,26 @@ fn main() {
     let mut csv_dir = None;
     let mut jobs = 1usize;
     let mut gate = None;
+    let mut quick = false;
+    let mut baseline = None;
+    let mut bench_json = std::path::PathBuf::from("BENCH_sim.json");
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
-        if a == "--csv" {
+        if a == "--quick" {
+            quick = true;
+        } else if a == "--baseline" {
+            let f = it.next().unwrap_or_else(|| {
+                eprintln!("--baseline needs a floors file (name min_events_per_sec lines)");
+                std::process::exit(2);
+            });
+            baseline = Some(std::path::PathBuf::from(f));
+        } else if a == "--bench-json" {
+            let f = it.next().unwrap_or_else(|| {
+                eprintln!("--bench-json needs a path");
+                std::process::exit(2);
+            });
+            bench_json = std::path::PathBuf::from(f);
+        } else if a == "--csv" {
             let dir = it.next().unwrap_or_else(|| "report_csv".to_string());
             std::fs::create_dir_all(&dir).expect("create csv dir");
             csv_dir = Some(std::path::PathBuf::from(dir));
@@ -93,8 +125,14 @@ fn main() {
     CSV_DIR.set(csv_dir).expect("set once");
     JOBS.set(jobs).expect("set once");
     GATE.set(gate).expect("set once");
-    let want =
-        |s: &str| args.is_empty() && s != "beyond" || args.iter().any(|a| a == s || a == "all");
+    QUICK.set(quick).expect("set once");
+    BASELINE.set(baseline).expect("set once");
+    BENCH_JSON.set(bench_json).expect("set once");
+    // `beyond` and `perf` are opt-in: the default section set must stay
+    // byte-identical across runs, and perf output includes wall-clock.
+    let want = |s: &str| {
+        args.is_empty() && s != "beyond" && s != "perf" || args.iter().any(|a| a == s || a == "all")
+    };
 
     if want("fig5") {
         fig5();
@@ -128,6 +166,9 @@ fn main() {
     }
     if want("model") {
         model();
+    }
+    if want("perf") {
+        perf();
     }
 }
 
@@ -503,6 +544,65 @@ fn beyond() {
         "on the hypercube, PEX's XOR steps are congestion-free and BEX's \n\
          rotation only hurts — the paper's §3.4 result is a fat-tree fact."
     );
+}
+
+/// Simulator performance (`report perf`): host-side cost of the hot loop
+/// and the incremental solver's speedup over the full-recompute oracle.
+fn perf() {
+    use cm5_bench::perf as p;
+    header(
+        "Simulator performance — host cost of the hot loop (opt-in)",
+        "not in the paper; measures the simulator itself. Incremental \
+         max-min solver vs the retained --rates full oracle",
+    );
+    let quick = *QUICK.get().unwrap_or(&false);
+    let reps = if quick { 1 } else { 3 };
+    let measurements = p::run_perf_suite(reps);
+    println!(
+        "{:>8} {:>6} {:>11} {:>10} {:>12} {:>11} {:>10} {:>9}",
+        "grid", "nodes", "wall ms", "events", "events/sec", "recomputes", "peakflows", "speedup"
+    );
+    for m in &measurements {
+        println!(
+            "{:>8} {:>6} {:>11.3} {:>10} {:>12.0} {:>11} {:>10} {:>8.2}x",
+            m.name,
+            m.n,
+            m.wall_secs * 1e3,
+            m.events,
+            m.events_per_sec,
+            m.recomputes,
+            m.flows_peak,
+            m.speedup_vs_full
+        );
+    }
+    let json_path = BENCH_JSON.get().expect("set in main");
+    let json = p::to_json(&measurements, quick);
+    match std::fs::write(json_path, &json) {
+        Ok(()) => println!("\nwrote {}", json_path.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", json_path.display());
+            std::process::exit(1);
+        }
+    }
+    if let Some(Some(path)) = BASELINE.get().map(|b| b.as_ref()) {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("could not read baseline {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let floors = p::parse_baseline(&text);
+        let failures = p::check_baseline(&measurements, &floors);
+        if failures.is_empty() {
+            println!(
+                "perf gate passed: every grid above its events/sec floor ({})",
+                path.display()
+            );
+        } else {
+            for (name, got, floor) in &failures {
+                eprintln!("perf gate FAILED: {name}: {got:.0} events/sec < floor {floor:.0}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Model validation: the `cm5-model` advisor scored against the simulator

@@ -8,5 +8,6 @@
 
 pub mod model_validation;
 pub mod paper;
+pub mod perf;
 pub mod runners;
 pub mod sweep;

@@ -1,0 +1,272 @@
+//! Simulator performance suite: measures the *host* cost of representative
+//! workloads (as opposed to the simulated times every other module reports).
+//!
+//! The grid exercises the network hot path from three directions: REX keeps
+//! few flows alive but churns them quickly, PEX holds a full bisection of
+//! simultaneous flows, and the greedy irregular schedule at 75 % density
+//! admits large unbalanced batches. Each case also runs once under the
+//! retained full-recompute oracle (`--rates full`) so the speedup of the
+//! incremental solver is part of the measurement.
+//!
+//! Used by `report perf` (and `cm5 bench`), which serialise the results to
+//! `BENCH_sim.json`, and by the `sim_hot_loop` Criterion bench.
+
+use std::time::Instant;
+
+use cm5_core::prelude::*;
+use cm5_sim::{MachineParams, OpProgram, RateSolver, SimReport, Simulation};
+use cm5_workloads::synthetic::synthetic_pattern_exact;
+
+/// One workload of the performance grid.
+pub struct PerfCase {
+    /// Short stable identifier (`rex_128`, `gs_75`...), used as the JSON key
+    /// and the baseline-file key.
+    pub name: &'static str,
+    /// Human description printed by `report perf`.
+    pub what: &'static str,
+    /// Machine size.
+    pub n: usize,
+    /// Lowered per-node programs.
+    pub programs: Vec<OpProgram>,
+}
+
+/// Host-side measurements for one [`PerfCase`].
+#[derive(Debug, Clone)]
+pub struct PerfMeasurement {
+    /// Case identifier.
+    pub name: String,
+    /// Machine size.
+    pub n: usize,
+    /// Simulation repetitions timed (best run reported).
+    pub reps: u32,
+    /// Engine wall-clock seconds of the best incremental run.
+    pub wall_secs: f64,
+    /// Engine events processed per run.
+    pub events: u64,
+    /// Events per wall-clock second (best run).
+    pub events_per_sec: f64,
+    /// Whole simulations ("grid cells") per wall-clock second.
+    pub cells_per_sec: f64,
+    /// Rate recomputations per run under the incremental solver.
+    pub recomputes: u64,
+    /// Flows admitted per run.
+    pub flows: u64,
+    /// Peak simultaneous flows.
+    pub flows_peak: usize,
+    /// Wall-clock of the same workload under [`RateSolver::Full`], seconds.
+    pub full_wall_secs: f64,
+    /// `full_wall_secs / wall_secs` — the incremental solver's speedup.
+    pub speedup_vs_full: f64,
+    /// Simulated makespan (sanity anchor: must not depend on the solver).
+    pub makespan_ms: f64,
+}
+
+/// The standard grid: REX/PEX at 64 and 128 nodes, greedy irregular at
+/// 75 % density on 32 nodes.
+pub fn perf_cases() -> Vec<PerfCase> {
+    let mut cases = Vec::new();
+    for &n in &[64usize, 128] {
+        for (alg, tag) in [(ExchangeAlg::Rex, "rex"), (ExchangeAlg::Pex, "pex")] {
+            cases.push(PerfCase {
+                name: match (tag, n) {
+                    ("rex", 64) => "rex_64",
+                    ("rex", 128) => "rex_128",
+                    ("pex", 64) => "pex_64",
+                    _ => "pex_128",
+                },
+                what: if tag == "rex" {
+                    "recursive exchange (flow churn)"
+                } else {
+                    "pairwise exchange (full bisection)"
+                },
+                n,
+                programs: lower(&alg.schedule(n, 1024)),
+            });
+        }
+    }
+    let pattern = synthetic_pattern_exact(32, 0.75, 256, 0x7AB1E);
+    cases.push(PerfCase {
+        name: "gs_75",
+        what: "greedy irregular, 75% density (batched admissions)",
+        n: 32,
+        programs: lower(&gs(&pattern)),
+    });
+    cases
+}
+
+fn run_with(case: &PerfCase, solver: RateSolver) -> SimReport {
+    let mut params = MachineParams::cm5_1992();
+    params.rate_solver = solver;
+    Simulation::new(case.n, params)
+        .run_ops(&case.programs)
+        .unwrap_or_else(|e| panic!("perf case {}: {e}", case.name))
+}
+
+/// Run the whole suite. `reps` incremental repetitions per case (the best
+/// run is reported, damping scheduler noise); the full-recompute oracle
+/// runs `max(1, reps / 2)` times.
+pub fn run_perf_suite(reps: u32) -> Vec<PerfMeasurement> {
+    assert!(reps > 0, "at least one repetition");
+    perf_cases()
+        .iter()
+        .map(|case| {
+            // Warm-up: page in code and the allocator before timing.
+            let warm = run_with(case, RateSolver::Incremental);
+            let mut best = f64::INFINITY;
+            let mut report = warm;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let r = run_with(case, RateSolver::Incremental);
+                let wall = start.elapsed().as_secs_f64();
+                if wall < best {
+                    best = wall;
+                    report = r;
+                }
+            }
+            let mut full_best = f64::INFINITY;
+            let mut full_makespan = None;
+            for _ in 0..reps.div_ceil(2) {
+                let start = Instant::now();
+                let r = run_with(case, RateSolver::Full);
+                full_best = full_best.min(start.elapsed().as_secs_f64());
+                full_makespan = Some(r.makespan);
+            }
+            assert_eq!(
+                Some(report.makespan),
+                full_makespan,
+                "{}: solvers must agree on simulated time",
+                case.name
+            );
+            PerfMeasurement {
+                name: case.name.to_string(),
+                n: case.n,
+                reps,
+                wall_secs: best,
+                events: report.perf.events,
+                events_per_sec: if best > 0.0 {
+                    report.perf.events as f64 / best
+                } else {
+                    0.0
+                },
+                cells_per_sec: if best > 0.0 { 1.0 / best } else { 0.0 },
+                recomputes: report.perf.recomputes,
+                flows: report.perf.flows,
+                flows_peak: report.perf.flows_peak,
+                full_wall_secs: full_best,
+                speedup_vs_full: if best > 0.0 { full_best / best } else { 0.0 },
+                makespan_ms: report.makespan.as_millis_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Serialise measurements as the `BENCH_sim.json` artifact (hand-rolled —
+/// the build is offline and the schema is flat).
+pub fn to_json(measurements: &[PerfMeasurement], quick: bool) -> String {
+    let mut out = String::from("{\n  \"schema\": \"cm5-bench-sim-perf/1\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n  \"grids\": [\n"));
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"reps\": {}, \
+             \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}, \
+             \"cells_per_sec\": {:.3}, \"recomputes\": {}, \"flows\": {}, \
+             \"flows_peak\": {}, \"full_wall_secs\": {:.6}, \
+             \"speedup_vs_full\": {:.2}, \"makespan_ms\": {:.4}}}{}\n",
+            m.name,
+            m.n,
+            m.reps,
+            m.wall_secs,
+            m.events,
+            m.events_per_sec,
+            m.cells_per_sec,
+            m.recomputes,
+            m.flows,
+            m.flows_peak,
+            m.full_wall_secs,
+            m.speedup_vs_full,
+            m.makespan_ms,
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse a perf baseline file: `name  min_events_per_sec` pairs, `#`
+/// comments and blank lines ignored. Returns `(name, floor)` pairs.
+pub fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                return None;
+            }
+            let mut parts = line.split_whitespace();
+            let name = parts.next()?.to_string();
+            let floor: f64 = parts.next()?.parse().ok()?;
+            Some((name, floor))
+        })
+        .collect()
+}
+
+/// Check measurements against a baseline. Returns the list of failures
+/// (`name, got, floor`); empty means the gate passes. Unknown baseline
+/// names are ignored (a renamed grid fails open, loudly, in CI review).
+pub fn check_baseline(
+    measurements: &[PerfMeasurement],
+    baseline: &[(String, f64)],
+) -> Vec<(String, f64, f64)> {
+    let mut failures = Vec::new();
+    for (name, floor) in baseline {
+        if let Some(m) = measurements.iter().find(|m| &m.name == name) {
+            if m.events_per_sec < *floor {
+                failures.push((name.clone(), m.events_per_sec, *floor));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_and_serialises() {
+        let ms = run_perf_suite(1);
+        assert_eq!(ms.len(), 5);
+        for m in &ms {
+            assert!(m.events > 0, "{}", m.name);
+            assert!(m.flows > 0, "{}", m.name);
+            assert!(m.makespan_ms > 0.0, "{}", m.name);
+        }
+        let json = to_json(&ms, true);
+        assert!(json.contains("\"schema\": \"cm5-bench-sim-perf/1\""));
+        assert!(json.contains("\"rex_128\""));
+        assert_eq!(json.matches("\"name\"").count(), 5);
+    }
+
+    #[test]
+    fn baseline_parses_and_gates() {
+        let base = parse_baseline("# comment\nrex_64 1000.0\n\npex_64  2e3 # trailing\n");
+        assert_eq!(base.len(), 2);
+        let ms = vec![PerfMeasurement {
+            name: "rex_64".into(),
+            n: 64,
+            reps: 1,
+            wall_secs: 1.0,
+            events: 500,
+            events_per_sec: 500.0,
+            cells_per_sec: 1.0,
+            recomputes: 1,
+            flows: 1,
+            flows_peak: 1,
+            full_wall_secs: 2.0,
+            speedup_vs_full: 2.0,
+            makespan_ms: 1.0,
+        }];
+        let failures = check_baseline(&ms, &base);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "rex_64");
+    }
+}

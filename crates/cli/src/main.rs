@@ -6,6 +6,7 @@
 //! cm5 irregular --alg gs  -n 32 --density 0.25 --bytes 256 [--seed 7] [--pattern paper] [--render]
 //! cm5 workload  --name euler2k [-n 32] [--alg gs]
 //! cm5 sweep     [--grid exchange|irregular] [--jobs N]
+//! cm5 bench     [--quick] [--json PATH]
 //! ```
 //!
 //! Every command prints the schedule's shape metrics and the simulated run
@@ -106,14 +107,31 @@ impl Args {
 }
 
 fn machine(args: &Args) -> Result<MachineParams, String> {
-    match args.get("machine").unwrap_or("1992") {
-        "1992" => Ok(MachineParams::cm5_1992()),
-        "vector" => Ok(MachineParams::cm5_vector_1993()),
-        "buffered" => Ok(MachineParams::cm5_1992_buffered()),
-        other => Err(format!(
-            "unknown --machine '{other}' (expected 1992 | vector | buffered)"
-        )),
+    let mut params = match args.get("machine").unwrap_or("1992") {
+        "1992" => MachineParams::cm5_1992(),
+        "vector" => MachineParams::cm5_vector_1993(),
+        "buffered" => MachineParams::cm5_1992_buffered(),
+        other => {
+            return Err(format!(
+                "unknown --machine '{other}' (expected 1992 | vector | buffered)"
+            ))
+        }
+    };
+    // `--rates full` swaps in the original full-recompute rate solver — an
+    // ablation/differential-testing hook; simulated results are identical
+    // by construction, only the host cost changes.
+    match args.get("rates") {
+        None if !args.has("rates") => {}
+        Some("incremental") => params.rate_solver = cm5_sim::RateSolver::Incremental,
+        Some("full") => params.rate_solver = cm5_sim::RateSolver::Full,
+        other => {
+            return Err(format!(
+                "--rates expects full | incremental, got '{}'",
+                other.unwrap_or("")
+            ))
+        }
     }
+    Ok(params)
 }
 
 fn print_report(schedule: Option<&Schedule>, report: &SimReport, n: usize) {
@@ -191,7 +209,7 @@ fn advise_print(w: &Workload, params: &MachineParams, n: usize) -> Recommendatio
 
 fn cmd_exchange(args: &Args) -> Result<(), String> {
     args.check_flags(&[
-        "alg", "n", "bytes", "machine", "topology", "async", "render",
+        "alg", "n", "bytes", "machine", "rates", "topology", "async", "render",
     ])?;
     let n = args.usize_or("n", 32)?;
     let bytes = args.u64_or("bytes", 1024)?;
@@ -234,7 +252,7 @@ fn cmd_exchange(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_broadcast(args: &Args) -> Result<(), String> {
-    args.check_flags(&["alg", "n", "bytes", "root", "machine"])?;
+    args.check_flags(&["alg", "n", "bytes", "root", "machine", "rates"])?;
     let n = args.usize_or("n", 32)?;
     let bytes = args.u64_or("bytes", 1024)?;
     let root = args.usize_or("root", 0)?;
@@ -284,7 +302,7 @@ fn irregular_pattern(args: &Args, n: usize) -> Result<Pattern, String> {
 
 fn cmd_irregular(args: &Args) -> Result<(), String> {
     args.check_flags(&[
-        "alg", "n", "density", "bytes", "seed", "pattern", "machine", "async", "render",
+        "alg", "n", "density", "bytes", "seed", "pattern", "machine", "rates", "async", "render",
     ])?;
     let n = args.usize_or("n", 32)?;
     let params = machine(args)?;
@@ -327,7 +345,7 @@ fn cmd_irregular(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_workload(args: &Args) -> Result<(), String> {
-    args.check_flags(&["name", "n", "machine"])?;
+    args.check_flags(&["name", "n", "machine", "rates"])?;
     let n = args.usize_or("n", 32)?;
     let params = machine(args)?;
     let name = args.get("name").unwrap_or("euler2k");
@@ -472,6 +490,40 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `cm5 bench` — time the simulator itself (host cost, not simulated time)
+/// and write the `BENCH_sim.json` artifact.
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    use cm5_bench::perf;
+    args.check_flags(&["quick", "json"])?;
+    let quick = args.has("quick");
+    let reps = if quick { 1 } else { 3 };
+    println!(
+        "simulator performance suite ({reps} rep{} per grid, best run):",
+        if reps == 1 { "" } else { "s" }
+    );
+    let measurements = perf::run_perf_suite(reps);
+    println!(
+        "{:>8} {:>6} {:>11} {:>12} {:>10} {:>9}",
+        "grid", "nodes", "wall ms", "events/sec", "cells/sec", "speedup"
+    );
+    for m in &measurements {
+        println!(
+            "{:>8} {:>6} {:>11.3} {:>12.0} {:>10.1} {:>8.2}x",
+            m.name,
+            m.n,
+            m.wall_secs * 1e3,
+            m.events_per_sec,
+            m.cells_per_sec,
+            m.speedup_vs_full
+        );
+    }
+    let path = args.get("json").unwrap_or("BENCH_sim.json");
+    std::fs::write(path, perf::to_json(&measurements, quick))
+        .map_err(|e| format!("could not write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
 const USAGE: &str = "\
 cm5 — schedule and simulate CM-5 communication patterns
 
@@ -483,9 +535,13 @@ USAGE:
   cm5 workload  [--name cg|euler545|euler2k|euler3k|euler9k] [-n N]
   cm5 advise    exchange|broadcast|irregular [-n N] [--bytes B] [--density D] [--name W]
   cm5 sweep     [--grid exchange|irregular] [--jobs N]   (0 = one worker per core)
+  cm5 bench     [--quick] [--json PATH]   (simulator host-cost suite -> BENCH_sim.json)
 
 `--alg auto` asks the cm5-model cost models to pick; `cm5 advise` prints
 the prediction table without running the simulator.
+Simulating commands also take `--rates full|incremental` to select the
+network rate solver (`full` = the original per-admission recompute,
+kept as an ablation/differential-testing oracle; results are identical).
 
 The full paper evaluation: cargo run --release -p cm5-bench --bin report
 ";
@@ -499,6 +555,7 @@ fn dispatch(raw: &[String]) -> Result<(), String> {
         Some("workload") => cmd_workload(&args),
         Some("advise") => cmd_advise(&args),
         Some("sweep") => cmd_sweep(&args),
+        Some("bench") => cmd_bench(&args),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
         None => Err(USAGE.to_string()),
     }
@@ -613,5 +670,29 @@ mod tests {
     fn async_flag_changes_lex() {
         // Smoke: both paths run; the async one must not be slower.
         dispatch(&argv("exchange --alg lex --n 8 --bytes 128 --async")).unwrap();
+    }
+
+    #[test]
+    fn rates_flag_selects_the_solver() {
+        dispatch(&argv("exchange --alg pex --n 8 --bytes 64 --rates full")).unwrap();
+        dispatch(&argv(
+            "exchange --alg pex --n 8 --bytes 64 --rates incremental",
+        ))
+        .unwrap();
+        dispatch(&argv("irregular --alg gs --n 8 --density 0.3 --rates full")).unwrap();
+        let err = dispatch(&argv("exchange --n 8 --rates eventually")).unwrap_err();
+        assert!(err.contains("full | incremental"), "{err}");
+    }
+
+    #[test]
+    fn bench_writes_the_json_artifact() {
+        let path = std::env::temp_dir().join("cm5_cli_bench_test.json");
+        let path_s = path.to_str().unwrap();
+        dispatch(&argv(&format!("bench --quick --json {path_s}"))).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("cm5-bench-sim-perf/1"), "{json}");
+        assert!(json.contains("\"rex_128\""), "{json}");
+        std::fs::remove_file(&path).ok();
+        assert!(dispatch(&argv("bench --jobs 3")).is_err());
     }
 }

@@ -14,14 +14,15 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
 
 use bytes::Bytes;
 
 use crate::error::SimError;
-use crate::network::Network;
+use crate::network::{Flow, Network};
 use crate::ops::{Action, OpProgram, OpSource, ProgramSource, ReduceOp, Resume};
-use crate::params::{MachineParams, SendMode};
-use crate::stats::{NodeReport, SimReport, TraceEvent, TraceKind};
+use crate::params::{MachineParams, RateSolver, SendMode};
+use crate::stats::{NodeReport, SimPerf, SimReport, TraceEvent, TraceKind};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{FatTree, Topology};
 
@@ -253,6 +254,18 @@ struct Engine<'a, S: ProgramSource> {
     seq: u64,
     net_gen: u64,
     msg_seq: u64,
+    /// Batched admissions (incremental solver): network mutations at
+    /// `pending_net_at` whose completion check is not yet scheduled.
+    pending_net: bool,
+    pending_net_at: SimTime,
+    /// Event sequence number reserved at the *last* mutation of the batch,
+    /// so the eventual NetCheck occupies exactly the queue position the
+    /// eager per-mutation path would have given it.
+    pending_net_seq: u64,
+    /// Reused drain buffer for completed flows.
+    completed_buf: Vec<Flow>,
+    events_processed: u64,
+    started: Instant,
     done_count: usize,
     // aggregate stats
     messages_done: u64,
@@ -273,6 +286,11 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
     ) -> Engine<'a, S> {
         let n = topo.nodes();
         let network = Network::new_on(topo.clone(), params);
+        // Pre-size per-node buffers from the program shape (capacity only;
+        // a zero hint is always safe).
+        let shape = source.shape();
+        let inbound = |i: usize| shape.inbound.get(i).copied().unwrap_or(0) as usize;
+        let async_inbound = |i: usize| shape.async_inbound.get(i).copied().unwrap_or(0) as usize;
         Engine {
             source,
             params,
@@ -292,9 +310,11 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
             pending_recv: (0..n).map(|_| None).collect(),
             sends_to: vec![Vec::new(); n],
             messages: HashMap::new(),
-            arrived: (0..n).map(|_| Vec::new()).collect(),
+            arrived: (0..n).map(|i| Vec::with_capacity(inbound(i))).collect(),
             async_queue: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
-            async_by_dst: (0..n).map(|_| Vec::new()).collect(),
+            async_by_dst: (0..n)
+                .map(|i| Vec::with_capacity(async_inbound(i)))
+                .collect(),
             async_state: (0..n).map(|_| HashMap::new()).collect(),
             next_handle: 0,
             collective: None,
@@ -302,13 +322,24 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
             seq: 0,
             net_gen: 0,
             msg_seq: 0,
+            pending_net: false,
+            pending_net_at: SimTime::ZERO,
+            pending_net_seq: 0,
+            completed_buf: Vec::new(),
+            events_processed: 0,
+            started: Instant::now(),
             done_count: 0,
             messages_done: 0,
             payload_bytes: 0,
             wire_bytes: 0,
             root_crossings: 0,
             collectives_done: 0,
-            trace: Vec::new(),
+            trace: if record_trace {
+                // MsgStart + MsgDone per message, NodeDone per node.
+                Vec::with_capacity(2 * shape.messages as usize + n)
+            } else {
+                Vec::new()
+            },
             record_trace,
         }
     }
@@ -330,10 +361,27 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
     }
 
     fn run(&mut self) -> Result<SimReport, SimError> {
+        self.started = Instant::now();
         for node in 0..self.n() {
             self.push(SimTime::ZERO, Ev::Advance { node });
         }
-        while let Some(Reverse(entry)) = self.events.pop() {
+        loop {
+            let Some(Reverse(entry)) = self.events.pop() else {
+                if self.flush_net() {
+                    continue;
+                }
+                break;
+            };
+            // A batched network mutation must schedule its completion check
+            // before any event that sorts after the reserved queue position.
+            if self.pending_net
+                && (entry.time, entry.seq) > (self.pending_net_at, self.pending_net_seq)
+            {
+                self.flush_net();
+                self.events.push(Reverse(entry));
+                continue;
+            }
+            self.events_processed += 1;
             let t = entry.time;
             match entry.ev {
                 Ev::Advance { node } => self.handle_advance(node)?,
@@ -404,6 +452,13 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
             bytes_per_level: self.network.bytes_per_level(),
             collectives: self.collectives_done,
             trace: std::mem::take(&mut self.trace),
+            perf: SimPerf {
+                events: self.events_processed,
+                recomputes: self.network.recompute_count(),
+                flows: self.network.flows_admitted(),
+                flows_peak: self.network.flows_peak(),
+                wall_secs: self.started.elapsed().as_secs_f64(),
+            },
         }
     }
 
@@ -806,7 +861,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
             self.root_crossings += 1;
         }
         self.trace(t, TraceKind::MsgStart { src, dst, bytes });
-        self.reschedule_net();
+        self.note_net_mutation(t);
         msg_id
     }
 
@@ -819,11 +874,60 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
         }
     }
 
+    /// Record a network mutation at `t`. The eager solver reschedules the
+    /// completion check immediately, once per mutation, exactly as the
+    /// original engine did. The incremental solver batches: it reserves the
+    /// event sequence number the eager path would have used and defers both
+    /// the rate recompute and the scheduling until the whole same-timestamp
+    /// batch has been admitted ([`Engine::flush_net`]).
+    fn note_net_mutation(&mut self, t: SimTime) {
+        match self.params.rate_solver {
+            RateSolver::Full => self.reschedule_net(),
+            RateSolver::Incremental => {
+                debug_assert!(
+                    !self.pending_net || self.pending_net_at == t,
+                    "a pending batch must be flushed before time advances"
+                );
+                // Bump the generation *now*, exactly as the eager path
+                // does: any NetCheck already in the queue — including one
+                // at this very timestamp with a smaller sequence number —
+                // must be stale from this point on.
+                self.net_gen += 1;
+                let seq = self.seq;
+                self.seq += 1;
+                self.pending_net = true;
+                self.pending_net_at = t;
+                self.pending_net_seq = seq;
+            }
+        }
+    }
+
+    /// Schedule the completion check for a batch of same-timestamp network
+    /// mutations. Returns whether a batch was pending.
+    fn flush_net(&mut self) -> bool {
+        if !self.pending_net {
+            return false;
+        }
+        self.pending_net = false;
+        // `next_completion` triggers the one rate recompute for the batch.
+        // The generation was already bumped at the last mutation.
+        if let Some(tc) = self.network.next_completion() {
+            let gen = self.net_gen;
+            self.events.push(Reverse(EvEntry {
+                time: tc,
+                seq: self.pending_net_seq,
+                ev: Ev::NetCheck { gen },
+            }));
+        }
+        true
+    }
+
     /// Collect flows that completed at `t` and resume their endpoints.
     fn handle_net(&mut self, t: SimTime) {
         self.network.advance_to(t);
-        let completed = self.network.take_completed();
-        for flow in completed {
+        let mut completed = std::mem::take(&mut self.completed_buf);
+        self.network.drain_completed_into(&mut completed);
+        for flow in completed.drain(..) {
             let msg = self
                 .messages
                 .remove(&flow.token)
@@ -875,7 +979,8 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
                 self.resume_node(msg.dst, recv_at, recv_resume);
             }
         }
-        self.reschedule_net();
+        self.completed_buf = completed;
+        self.note_net_mutation(t);
     }
 
     /// An async send's bytes have fully drained: mark its handle complete

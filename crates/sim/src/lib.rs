@@ -59,7 +59,7 @@ pub use cmmd::{CmmdNode, Received, SendHandle};
 pub use engine::Simulation;
 pub use error::SimError;
 pub use ops::{Op, OpProgram, ReduceOp, ANY_TAG};
-pub use params::{FairnessModel, MachineParams, SendMode};
-pub use stats::{NodeReport, SimReport, TraceEvent, TraceKind};
+pub use params::{FairnessModel, MachineParams, RateSolver, SendMode};
+pub use stats::{NodeReport, SimPerf, SimReport, TraceEvent, TraceKind};
 pub use time::{SimDuration, SimTime};
 pub use topology::{FatTree, Hypercube, LinkDir, LinkId, RouteRef, RouteTable, Topology};

@@ -180,12 +180,33 @@ impl Resume {
     }
 }
 
+/// Rough shape of a workload, used by the engine to pre-size its buffers.
+/// Capacities only — a wrong (or default zero) hint never changes simulated
+/// results, it just costs reallocations.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SourceShape {
+    /// Total point-to-point messages the programs will send.
+    pub messages: u64,
+    /// Per-node count of inbound messages (empty if unknown).
+    pub inbound: Vec<u64>,
+    /// Per-node count of inbound messages from non-blocking sends
+    /// (empty if unknown).
+    pub async_inbound: Vec<u64>,
+}
+
 /// Internal: a stream of actions per node.
 pub(crate) trait ProgramSource {
     /// Deliver the completion of the node's previous action and obtain its
     /// next one. For op programs this is a vector lookup; for the thread
     /// frontend it blocks until the node's real code reaches its next call.
     fn next(&mut self, node: usize, resume: Resume) -> Result<Action, SimError>;
+
+    /// Best-effort workload shape for engine buffer pre-sizing. Sources
+    /// that cannot know ahead of time (the thread frontend) use the
+    /// default empty hint.
+    fn shape(&self) -> SourceShape {
+        SourceShape::default()
+    }
 }
 
 /// Op-program adapter: walks per-node vectors, converting [`Op`] to
@@ -207,6 +228,36 @@ impl<'a> OpSource<'a> {
 }
 
 impl ProgramSource for OpSource<'_> {
+    fn shape(&self) -> SourceShape {
+        let n = self.programs.len();
+        let mut shape = SourceShape {
+            messages: 0,
+            inbound: vec![0; n],
+            async_inbound: vec![0; n],
+        };
+        for prog in self.programs {
+            for op in prog {
+                match *op {
+                    Op::Send { to, .. } => {
+                        shape.messages += 1;
+                        if to < n {
+                            shape.inbound[to] += 1;
+                        }
+                    }
+                    Op::Isend { to, .. } => {
+                        shape.messages += 1;
+                        if to < n {
+                            shape.inbound[to] += 1;
+                            shape.async_inbound[to] += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        shape
+    }
+
     fn next(&mut self, node: usize, _resume: Resume) -> Result<Action, SimError> {
         let i = self.cursor[node];
         let Some(op) = self.programs[node].get(i) else {

@@ -29,6 +29,23 @@ pub enum FairnessModel {
     EqualShare,
 }
 
+/// Which implementation of the flow-rate solver the network uses.
+///
+/// Both produce bit-identical rates, completion times, and reports; the
+/// difference is purely wall-clock cost. `Full` is retained as the
+/// differential-testing oracle and as the `--rates full` ablation flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateSolver {
+    /// Batched admissions, slab flow store, persistent scratch buffers and
+    /// an indexed completion queue: one rate recomputation per timestamp
+    /// with zero per-call allocation (the default).
+    Incremental,
+    /// The original solver: a full recomputation with fresh allocations on
+    /// every flow add/remove, an O(flows) completion scan, and eager
+    /// per-event byte integration.
+    Full,
+}
+
 /// When a blocking send may start moving bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendMode {
@@ -93,6 +110,9 @@ pub struct MachineParams {
     pub send_mode: SendMode,
     /// Link-sharing model.
     pub fairness: FairnessModel,
+    /// Flow-rate solver implementation (results are identical; see
+    /// [`RateSolver`]).
+    pub rate_solver: RateSolver,
 }
 
 impl MachineParams {
@@ -124,6 +144,7 @@ impl MachineParams {
             flops_per_sec: 2.0e6,
             send_mode: SendMode::Rendezvous,
             fairness: FairnessModel::MaxMin,
+            rate_solver: RateSolver::Incremental,
         }
     }
 

@@ -18,6 +18,36 @@ pub struct NodeReport {
     pub finished_at: SimTime,
 }
 
+/// Simulator performance counters: the *host* cost of a run, as opposed to
+/// everything else in [`SimReport`], which is *simulated* machine behaviour.
+/// Deterministic fields (events, recomputes, flows) are a pure function of
+/// the configuration; `wall_secs` is not and must never feed back into
+/// simulated results.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimPerf {
+    /// Discrete events processed by the engine loop.
+    pub events: u64,
+    /// Rate recomputations performed by the network solver.
+    pub recomputes: u64,
+    /// Total flows admitted to the network.
+    pub flows: u64,
+    /// Peak simultaneous active flows.
+    pub flows_peak: usize,
+    /// Host wall-clock seconds spent in the engine loop.
+    pub wall_secs: f64,
+}
+
+impl SimPerf {
+    /// Events processed per host wall-clock second (0 when unmeasured).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Everything measured during one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -41,6 +71,9 @@ pub struct SimReport {
     /// Optional event trace (enabled via
     /// [`crate::engine::Simulation::record_trace`]).
     pub trace: Vec<TraceEvent>,
+    /// Host-side performance counters for the run (never part of the
+    /// simulated results; excluded from determinism comparisons).
+    pub perf: SimPerf,
 }
 
 impl SimReport {

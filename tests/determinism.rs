@@ -67,6 +67,44 @@ fn sweep_output_is_identical_for_any_job_count() {
     }
 }
 
+/// Parallel sweeps under the (default) incremental rate solver still land
+/// exactly on the pinned Figure 5 numbers, at every `--jobs` value. This
+/// closes the loop the per-run goldens can't: a solver or executor change
+/// that shifted results only under parallel execution would slip past
+/// `golden_experiments` (single-threaded) and past the jobs-vs-jobs
+/// comparison above (both sides equally wrong).
+#[test]
+fn parallel_sweeps_match_pinned_fig5_numbers() {
+    // (n, bytes, alg, expected ms) from Figure 5 of the paper, as pinned
+    // by tests/golden_experiments.rs.
+    let pinned: &[(usize, u64, ExchangeAlg, f64)] = &[
+        (32, 0, ExchangeAlg::Lex, 38.230),
+        (32, 0, ExchangeAlg::Pex, 3.100),
+        (32, 0, ExchangeAlg::Rex, 0.504),
+        (32, 0, ExchangeAlg::Bex, 3.100),
+        (32, 1920, ExchangeAlg::Lex, 220.776),
+        (32, 1920, ExchangeAlg::Pex, 25.196),
+        (32, 1920, ExchangeAlg::Rex, 71.136),
+        (32, 1920, ExchangeAlg::Bex, 23.417),
+        (64, 0, ExchangeAlg::Rex, 0.608),
+    ];
+    let cells: Vec<ExchangeCell> = pinned
+        .iter()
+        .map(|&(n, bytes, alg, _)| ExchangeCell { alg, n, bytes })
+        .collect();
+    for jobs in [1usize, 4] {
+        let reports = SweepRunner::new(jobs).run(&cells, |_, &c| exchange_report(c));
+        for (&(n, bytes, alg, expect_ms), report) in pinned.iter().zip(&reports) {
+            let got_ms = report.makespan.as_secs_f64() * 1e3;
+            assert!(
+                (got_ms - expect_ms).abs() < 1e-3,
+                "jobs={jobs} {alg:?} n={n} bytes={bytes}: \
+                 got {got_ms:.3} ms, pinned {expect_ms:.3} ms"
+            );
+        }
+    }
+}
+
 #[test]
 fn irregular_sweep_is_identical_for_any_job_count() {
     let densities = [0.1, 0.5];
