@@ -25,6 +25,8 @@
 //! ratios and crossover locations are the reproduction targets (see
 //! EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 use cm5_bench::model_validation as mv;
 use cm5_bench::paper::{TABLE_11, TABLE_12, TABLE_5};
 use cm5_bench::runners::*;

@@ -6,6 +6,8 @@
 //! every figure and table, side by side with the paper's published numbers
 //! where the paper gives them).
 
+#![forbid(unsafe_code)]
+
 pub mod model_validation;
 pub mod paper;
 pub mod perf;

@@ -13,6 +13,8 @@
 //! report. For the paper's full evaluation use
 //! `cargo run --release -p cm5-bench --bin report`.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use cm5_core::irregular::crystal;
@@ -524,6 +526,248 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One lint target: a named schedule plus the pattern it must conserve and
+/// the policy its algorithm family promises.
+struct LintTarget {
+    name: String,
+    schedule: Schedule,
+    pattern: Option<Pattern>,
+    opts: cm5_verify::VerifyOptions,
+}
+
+impl LintTarget {
+    fn new(
+        name: impl Into<String>,
+        schedule: Schedule,
+        pattern: Option<Pattern>,
+        opts: cm5_verify::VerifyOptions,
+    ) -> LintTarget {
+        LintTarget {
+            name: name.into(),
+            schedule,
+            pattern,
+            opts,
+        }
+    }
+}
+
+/// The builtin matrix `cm5 lint --all` sweeps: every generator family at
+/// several sizes and densities. CI runs this and fails on any error or
+/// warning (contention advice is expected — that is the paper's point).
+fn lint_all_targets(params: &MachineParams) -> Vec<LintTarget> {
+    use cm5_verify::{broadcast_policy, exchange_policy, irregular_policy};
+    let with_params = |mut o: cm5_verify::VerifyOptions| {
+        o.params = params.clone();
+        o
+    };
+    let mut targets = Vec::new();
+    for alg in ExchangeAlg::ALL {
+        for n in [4usize, 8, 32, 256] {
+            targets.push(LintTarget::new(
+                format!("{} n={n}", alg.name()),
+                alg.schedule(n, 1024),
+                Some(Pattern::complete_exchange(n, 1024)),
+                with_params(exchange_policy(alg)),
+            ));
+        }
+    }
+    for n in [8usize, 32] {
+        targets.push(LintTarget::new(
+            format!("lib n={n}"),
+            lib_linear(n, 0, 4096),
+            None,
+            with_params(broadcast_policy(BroadcastAlg::Linear)),
+        ));
+        targets.push(LintTarget::new(
+            format!("reb n={n}"),
+            reb(n, 0, 4096),
+            None,
+            with_params(broadcast_policy(BroadcastAlg::Recursive)),
+        ));
+    }
+    for alg in IrregularAlg::ALL {
+        for density in [0.10, 0.25, 0.50, 0.75] {
+            let pattern = Pattern::seeded_random(32, density, 256, 0x7AB1E);
+            targets.push(LintTarget::new(
+                format!("{} n=32 density={:.0}%", alg.name(), density * 100.0),
+                alg.schedule(&pattern),
+                Some(pattern),
+                with_params(irregular_policy(alg)),
+            ));
+        }
+        let paper = Pattern::paper_pattern_p(256);
+        targets.push(LintTarget::new(
+            format!("{} n=8 pattern=paper", alg.name()),
+            alg.schedule(&paper),
+            Some(paper),
+            with_params(irregular_policy(alg)),
+        ));
+    }
+    let pattern = Pattern::seeded_random(32, 0.25, 256, 0x7AB1E);
+    targets.push(LintTarget::new(
+        "crystal n=32 density=25%",
+        crystal(&pattern),
+        Some(pattern),
+        with_params(cm5_verify::VerifyOptions::default()),
+    ));
+    targets
+}
+
+/// `cm5 lint` — statically verify a schedule (deadlock freedom, byte
+/// conservation, step shape, predicted contention) without simulating it.
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    use cm5_verify::{
+        broadcast_policy, exchange_policy, irregular_policy, verify_programs, verify_schedule,
+    };
+    args.check_flags(&[
+        "alg",
+        "n",
+        "bytes",
+        "density",
+        "seed",
+        "pattern",
+        "pattern-file",
+        "root",
+        "machine",
+        "all",
+        "json",
+        "async",
+        "inject",
+    ])?;
+    let params = machine(args)?;
+    let json = args.has("json");
+
+    if args.has("all") {
+        let targets = lint_all_targets(&params);
+        let mut dirty = 0usize;
+        let mut rows = Vec::new();
+        for t in &targets {
+            let report = verify_schedule(&t.schedule, t.pattern.as_ref(), &t.opts);
+            let clean = report.is_clean();
+            if !clean {
+                dirty += 1;
+            }
+            if json {
+                rows.push(format!(
+                    "{{\"target\":\"{}\",\"report\":{}}}",
+                    t.name,
+                    report.render_json()
+                ));
+            } else {
+                println!(
+                    "{} {:<28} {}",
+                    if clean { "ok  " } else { "FAIL" },
+                    t.name,
+                    report.summary()
+                );
+                if !clean {
+                    print!("{}", report.render_human());
+                }
+            }
+        }
+        if json {
+            println!("{{\"targets\":[{}],\"dirty\":{dirty}}}", rows.join(","));
+        } else {
+            println!("{} targets, {} dirty", targets.len(), dirty);
+        }
+        return if dirty == 0 {
+            Ok(())
+        } else {
+            Err(format!("{dirty} schedule(s) failed verification"))
+        };
+    }
+
+    // Single target: build (schedule, pattern, policy) from the algorithm
+    // family, mirroring the exchange/broadcast/irregular commands.
+    let n = args.usize_or("n", 32)?;
+    let bytes = args.u64_or("bytes", 1024)?;
+    let name = args.get("alg").unwrap_or("bex");
+    let (schedule, pattern, mut opts) = match name {
+        "lex" | "pex" | "rex" | "bex" => {
+            let alg = match name {
+                "lex" => ExchangeAlg::Lex,
+                "pex" => ExchangeAlg::Pex,
+                "rex" => ExchangeAlg::Rex,
+                _ => ExchangeAlg::Bex,
+            };
+            (
+                alg.schedule(n, bytes),
+                Some(Pattern::complete_exchange(n, bytes)),
+                exchange_policy(alg),
+            )
+        }
+        "lib" | "reb" => {
+            let root = args.usize_or("root", 0)?;
+            let schedule = if name == "lib" {
+                lib_linear(n, root, bytes)
+            } else {
+                reb(n, root, bytes)
+            };
+            (schedule, None, broadcast_policy(BroadcastAlg::Recursive))
+        }
+        "ls" | "ps" | "bs" | "gs" | "crystal" => {
+            let pattern = match args.get("pattern-file") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("could not read {path}: {e}"))?;
+                    Pattern::parse_text(&text)?
+                }
+                None => irregular_pattern(args, n)?,
+            };
+            let (schedule, opts) = match name {
+                "ls" => (ls(&pattern), irregular_policy(IrregularAlg::Ls)),
+                "ps" => (ps(&pattern), irregular_policy(IrregularAlg::Ps)),
+                "bs" => (bs(&pattern), irregular_policy(IrregularAlg::Bs)),
+                "gs" => (gs(&pattern), irregular_policy(IrregularAlg::Gs)),
+                _ => (crystal(&pattern), cm5_verify::VerifyOptions::default()),
+            };
+            (schedule, Some(pattern), opts)
+        }
+        other => {
+            return Err(format!(
+                "unknown --alg '{other}' (lex|pex|rex|bex|lib|reb|ls|ps|bs|gs|crystal)"
+            ))
+        }
+    };
+    opts.params = params;
+    opts.lower.async_sends = args.has("async");
+
+    let report = match args.get("inject") {
+        Some(kind) => {
+            // Demo mode: break the lowered programs on purpose and show the
+            // verifier catching it (EXPERIMENTS.md transcripts).
+            let mut programs = lower_with(&schedule, &opts.lower);
+            let desc = cm5_verify::mutate::inject_demo(&mut programs, kind)
+                .ok_or_else(|| format!("unknown --inject '{kind}' (swap-order|drop-recv|retag)"))?;
+            if !json {
+                println!("injected   : {desc}");
+            }
+            verify_programs(&programs)
+        }
+        None => verify_schedule(&schedule, pattern.as_ref(), &opts),
+    };
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        println!(
+            "lint {name}: {} nodes, {} steps — {}",
+            schedule.n(),
+            schedule.num_steps(),
+            report.summary()
+        );
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "schedule failed verification: {}",
+            report.summary()
+        ))
+    }
+}
+
 const USAGE: &str = "\
 cm5 — schedule and simulate CM-5 communication patterns
 
@@ -535,10 +779,18 @@ USAGE:
   cm5 workload  [--name cg|euler545|euler2k|euler3k|euler9k] [-n N]
   cm5 advise    exchange|broadcast|irregular [-n N] [--bytes B] [--density D] [--name W]
   cm5 sweep     [--grid exchange|irregular] [--jobs N]   (0 = one worker per core)
+  cm5 lint      [--alg lex|..|bex|lib|reb|ls|..|gs|crystal] [-n N] [--bytes B] [--density D]
+                [--seed S] [--pattern paper] [--pattern-file PATH] [--all] [--json] [--async]
+                [--inject swap-order|drop-recv|retag]
   cm5 bench     [--quick] [--json PATH]   (simulator host-cost suite -> BENCH_sim.json)
 
 `--alg auto` asks the cm5-model cost models to pick; `cm5 advise` prints
 the prediction table without running the simulator.
+`cm5 lint` statically verifies a schedule before it runs: CMMD deadlock
+analysis, byte conservation against the pattern, step-shape lints, and
+predicted fat-tree hotspots. `--all` sweeps every builtin generator
+(the CI gate); `--inject` deliberately breaks the lowered programs to
+demonstrate a finding.
 Simulating commands also take `--rates full|incremental` to select the
 network rate solver (`full` = the original per-admission recompute,
 kept as an ablation/differential-testing oracle; results are identical).
@@ -555,6 +807,7 @@ fn dispatch(raw: &[String]) -> Result<(), String> {
         Some("workload") => cmd_workload(&args),
         Some("advise") => cmd_advise(&args),
         Some("sweep") => cmd_sweep(&args),
+        Some("lint") => cmd_lint(&args),
         Some("bench") => cmd_bench(&args),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
         None => Err(USAGE.to_string()),
@@ -682,6 +935,37 @@ mod tests {
         dispatch(&argv("irregular --alg gs --n 8 --density 0.3 --rates full")).unwrap();
         let err = dispatch(&argv("exchange --n 8 --rates eventually")).unwrap_err();
         assert!(err.contains("full | incremental"), "{err}");
+    }
+
+    #[test]
+    fn lint_passes_builtins_and_catches_injected_faults() {
+        dispatch(&argv("lint --alg bex --n 32 --bytes 1024")).unwrap();
+        dispatch(&argv("lint --alg lex --n 8 --json")).unwrap();
+        dispatch(&argv("lint --alg gs --n 8 --pattern paper")).unwrap();
+        dispatch(&argv("lint --alg crystal --n 16 --density 0.3")).unwrap();
+        dispatch(&argv("lint --alg reb --n 32 --bytes 4096")).unwrap();
+        // Injected faults must flip the exit status.
+        assert!(dispatch(&argv("lint --alg pex --n 8 --inject swap-order")).is_err());
+        assert!(dispatch(&argv("lint --alg lex --n 8 --inject drop-recv")).is_err());
+        assert!(dispatch(&argv("lint --alg gs --n 8 --inject retag --json")).is_err());
+        assert!(dispatch(&argv("lint --alg pex --inject nonsense")).is_err());
+        assert!(dispatch(&argv("lint --alg zzz")).is_err());
+    }
+
+    #[test]
+    fn lint_all_sweeps_every_builtin() {
+        dispatch(&argv("lint --all")).unwrap();
+        dispatch(&argv("lint --all --json")).unwrap();
+    }
+
+    #[test]
+    fn lint_reads_a_pattern_file() {
+        let path = std::env::temp_dir().join("cm5_cli_lint_pattern.txt");
+        std::fs::write(&path, Pattern::paper_pattern_p(64).to_string()).unwrap();
+        let path_s = path.to_str().unwrap();
+        dispatch(&argv(&format!("lint --alg gs --pattern-file {path_s}"))).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(dispatch(&argv("lint --alg gs --pattern-file /nonexistent/p.txt")).is_err());
     }
 
     #[test]

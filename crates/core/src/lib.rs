@@ -31,6 +31,7 @@
 //! assert!(report.makespan.as_millis_f64() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

@@ -100,6 +100,52 @@ impl Pattern {
         p
     }
 
+    /// Parse a pattern from text: one row per line, whitespace-separated
+    /// byte counts, `#`-to-end-of-line comments, blank lines skipped. The
+    /// matrix must be square with a zero diagonal. This is the `cm5 lint
+    /// --pattern-file` format, and [`Pattern`]'s `Display` output round-trips
+    /// through it.
+    pub fn parse_text(text: &str) -> Result<Pattern, String> {
+        let mut rows: Vec<Vec<u64>> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let row: Result<Vec<u64>, String> = line
+                .split_whitespace()
+                .map(|w| {
+                    w.parse::<u64>()
+                        .map_err(|_| format!("line {}: '{w}' is not a byte count", lineno + 1))
+                })
+                .collect();
+            rows.push(row?);
+        }
+        let n = rows.len();
+        if n < 2 {
+            return Err(format!("pattern needs at least 2 rows, got {n}"));
+        }
+        let mut p = Pattern::new(n);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n {
+                return Err(format!(
+                    "row {i} has {} entries but the matrix has {n} rows",
+                    row.len()
+                ));
+            }
+            for (j, &b) in row.iter().enumerate() {
+                if i == j {
+                    if b != 0 {
+                        return Err(format!("diagonal entry ({i},{i}) must be 0, got {b}"));
+                    }
+                } else {
+                    p.set(i, j, b);
+                }
+            }
+        }
+        Ok(p)
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {
@@ -234,6 +280,28 @@ mod tests {
         assert_eq!(p.nonzero_pairs(), 2);
         assert!((p.density() - 2.0 / 12.0).abs() < 1e-12);
         assert_eq!(p.avg_msg_bytes(), 100.0);
+    }
+
+    #[test]
+    fn parse_text_roundtrips_display() {
+        let p = Pattern::paper_pattern_p(256);
+        let parsed = Pattern::parse_text(&p.to_string()).unwrap();
+        assert_eq!(p, parsed);
+    }
+
+    #[test]
+    fn parse_text_accepts_comments_and_rejects_malformed() {
+        let p = Pattern::parse_text("# halo exchange\n0 8\n8 0  # back-edge\n").unwrap();
+        assert_eq!(p.get(0, 1), 8);
+        assert_eq!(p.get(1, 0), 8);
+        assert!(Pattern::parse_text("0 1\n1").unwrap_err().contains("row 1"));
+        assert!(Pattern::parse_text("0 x\n1 0")
+            .unwrap_err()
+            .contains("byte count"));
+        assert!(Pattern::parse_text("5 1\n1 0")
+            .unwrap_err()
+            .contains("diagonal"));
+        assert!(Pattern::parse_text("").is_err());
     }
 
     #[test]

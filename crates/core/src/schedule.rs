@@ -81,6 +81,11 @@ impl Step {
 }
 
 /// Validation failures for a schedule.
+///
+/// Every variant carries a stable machine-readable diagnostic code (see
+/// [`ScheduleError::code`]) shared with the `cm5-verify` crate, and
+/// `Display` renders `"V0xx: message"` — so core checks and the full
+/// verifier report identical text for the same fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleError {
     /// A node appears in more than one op of a step that claims pairwise
@@ -110,10 +115,39 @@ pub enum ScheduleError {
         /// The offending node id.
         node: usize,
     },
+    /// An op sends a message from a node to itself.
+    SelfMessage {
+        /// The step index.
+        step: usize,
+        /// The node messaging itself.
+        node: usize,
+    },
+}
+
+impl ScheduleError {
+    /// The stable diagnostic code of this error (`"V001"`…), matching
+    /// `cm5-verify`'s code table.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ScheduleError::BadNode { .. } => "V001",
+            ScheduleError::SelfMessage { .. } => "V002",
+            ScheduleError::NodeConflict { .. } => "V010",
+            ScheduleError::Coverage {
+                expected, actual, ..
+            } => {
+                if actual < expected {
+                    "V012"
+                } else {
+                    "V013"
+                }
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: ", self.code())?;
         match self {
             ScheduleError::NodeConflict { step, node } => {
                 write!(f, "node {node} appears twice in step {step}")
@@ -129,6 +163,9 @@ impl std::fmt::Display for ScheduleError {
             ),
             ScheduleError::BadNode { step, node } => {
                 write!(f, "step {step} references invalid node {node}")
+            }
+            ScheduleError::SelfMessage { step, node } => {
+                write!(f, "step {step} sends a message from node {node} to itself")
             }
         }
     }
@@ -185,7 +222,7 @@ impl Schedule {
         }
     }
 
-    /// Basic structural checks: node ids in range.
+    /// Basic structural checks: node ids in range, no self-messages.
     pub fn check_nodes(&self) -> Result<(), ScheduleError> {
         for (s, step) in self.steps.iter().enumerate() {
             for op in &step.ops {
@@ -194,6 +231,9 @@ impl Schedule {
                     if node >= self.n {
                         return Err(ScheduleError::BadNode { step: s, node });
                     }
+                }
+                if a == b {
+                    return Err(ScheduleError::SelfMessage { step: s, node: a });
                 }
             }
         }
@@ -377,6 +417,47 @@ mod tests {
             s.check_nodes().unwrap_err(),
             ScheduleError::BadNode { node: 9, .. }
         ));
+    }
+
+    #[test]
+    fn errors_render_with_stable_codes() {
+        let e = ScheduleError::NodeConflict { step: 0, node: 1 };
+        assert_eq!(e.code(), "V010");
+        assert_eq!(e.to_string(), "V010: node 1 appears twice in step 0");
+        let missing = ScheduleError::Coverage {
+            from: 0,
+            to: 1,
+            expected: 10,
+            actual: 0,
+        };
+        assert_eq!(missing.code(), "V012");
+        let excess = ScheduleError::Coverage {
+            from: 0,
+            to: 1,
+            expected: 10,
+            actual: 20,
+        };
+        assert_eq!(excess.code(), "V013");
+        assert_eq!(ScheduleError::BadNode { step: 2, node: 9 }.code(), "V001");
+        assert!(ScheduleError::SelfMessage { step: 1, node: 3 }
+            .to_string()
+            .starts_with("V002: "));
+    }
+
+    #[test]
+    fn self_message_detected() {
+        let mut s = Schedule::new(4);
+        s.push_step(Step {
+            ops: vec![CommOp::Send {
+                from: 2,
+                to: 2,
+                bytes: 8,
+            }],
+        });
+        assert_eq!(
+            s.check_nodes().unwrap_err(),
+            ScheduleError::SelfMessage { step: 0, node: 2 }
+        );
     }
 
     #[test]

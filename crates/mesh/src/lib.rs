@@ -21,6 +21,7 @@
 //! assert!(pattern.density() > 0.1 && pattern.density() < 0.9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csr;

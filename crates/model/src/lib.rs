@@ -27,6 +27,8 @@
 //! sweeps the paper's grids and scores model-predicted against
 //! simulated winners (see EXPERIMENTS.md "Model validation").
 
+#![forbid(unsafe_code)]
+
 pub mod advisor;
 pub mod cost;
 pub mod stats;

@@ -613,7 +613,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
         let req = self.async_queue[node]
             .pop_front()
             .expect("post-async without queued send");
-        debug_assert_eq!(req.ready, t);
+        invariant_eq!(req.ready, t);
         match self.params.send_mode {
             SendMode::Rendezvous => {
                 let dst = req.dst;
@@ -884,7 +884,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
         match self.params.rate_solver {
             RateSolver::Full => self.reschedule_net(),
             RateSolver::Incremental => {
-                debug_assert!(
+                invariant!(
                     !self.pending_net || self.pending_net_at == t,
                     "a pending batch must be flushed before time advances"
                 );
@@ -1035,7 +1035,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
                 ),
             });
         }
-        debug_assert!(!st.arrived[node], "double collective arrival");
+        invariant!(!st.arrived[node], "double collective arrival");
         st.arrived[node] = true;
         st.count += 1;
         st.max_time = st.max_time.max(t);

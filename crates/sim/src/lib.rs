@@ -42,6 +42,33 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Internal-consistency assertion. Compiles to [`debug_assert!`] normally;
+/// the `strict-invariants` feature (enabled in CI) upgrades every site to an
+/// unconditional [`assert!`] so release-mode test runs still police the
+/// simulator's invariants (monotone time, positive active-flow rates,
+/// max-min progress, collective arrival discipline).
+macro_rules! invariant {
+    ($($arg:tt)*) => {
+        if cfg!(feature = "strict-invariants") {
+            assert!($($arg)*);
+        } else {
+            debug_assert!($($arg)*);
+        }
+    };
+}
+
+/// Equality form of [`invariant!`].
+macro_rules! invariant_eq {
+    ($($arg:tt)*) => {
+        if cfg!(feature = "strict-invariants") {
+            assert_eq!($($arg)*);
+        } else {
+            debug_assert_eq!($($arg)*);
+        }
+    };
+}
 
 pub mod cmmd;
 pub mod engine;

@@ -239,7 +239,7 @@ impl Network {
     /// flow progress immediately; the incremental solver merely records the
     /// time and folds integration into the next recompute/drain point.
     pub fn advance_to(&mut self, t: SimTime) {
-        debug_assert!(t >= self.now, "network time must be monotone");
+        invariant!(t >= self.now, "network time must be monotone");
         match self.solver {
             RateSolver::Full => {
                 self.now = t;
@@ -280,7 +280,7 @@ impl Network {
     /// (incremental solver; the eager solver is never dirty).
     fn ensure_rates(&mut self) {
         if self.dirty {
-            debug_assert_eq!(self.synced_at, self.now, "dirty implies synced");
+            invariant_eq!(self.synced_at, self.now, "dirty implies synced");
             self.sync_to_now();
             self.recompute_incremental();
             self.dirty = false;
@@ -446,7 +446,7 @@ impl Network {
                     let t = if f.remaining <= COMPLETE_EPS {
                         self.now
                     } else {
-                        debug_assert!(f.rate > 0.0, "active flow with zero rate");
+                        invariant!(f.rate > 0.0, "active flow with zero rate");
                         self.now + SimDuration::from_rate(f.remaining, f.rate)
                     };
                     best = Some(match best {
@@ -527,7 +527,7 @@ impl Network {
             let time = if f.remaining <= COMPLETE_EPS {
                 self.now
             } else {
-                debug_assert!(f.rate > 0.0, "active flow with zero rate");
+                invariant!(f.rate > 0.0, "active flow with zero rate");
                 self.now + SimDuration::from_rate(f.remaining, f.rate)
             };
             self.completions.push(Reverse(CompEntry {
@@ -614,7 +614,7 @@ fn max_min_fill(
         for &(_, s) in unfrozen.iter() {
             level = level.min(slots[s as usize].as_ref().expect("flow").cap);
         }
-        debug_assert!(level.is_finite() && level > 0.0, "degenerate water level");
+        invariant!(level.is_finite() && level > 0.0, "degenerate water level");
         let tol = level * (1.0 + 1e-9);
         // Freeze flows whose own cap binds at this level.
         next.clear();
@@ -656,7 +656,7 @@ fn max_min_fill(
                 next.push((id, s));
             }
         }
-        debug_assert!(
+        invariant!(
             next.len() < unfrozen.len(),
             "max-min filling must make progress"
         );

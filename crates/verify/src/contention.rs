@@ -1,0 +1,246 @@
+//! Static per-step contention analysis over the fat tree.
+//!
+//! For every step the analyzer lays each directed transfer onto its
+//! up-then-down route and charges it the per-flow software cap
+//! (`MachineParams::flow_cap`), then compares per-link demand against link
+//! capacity. Because blocking lowering serializes the two directions of an
+//! exchange (Figure 2: the lower node receives first, Figure 3 for
+//! store-and-forward), the two directions are charged to separate *phases*
+//! and the worse phase is reported — charging both at once would predict
+//! 2× hotspots that the machine never sees.
+//!
+//! A step whose worst oversubscribed link is a root link exceeds the
+//! bisection capacity — the paper's "all-global step" hazard that BEX
+//! exists to spread (§3.4) — and is reported as [`Code::RootHotspot`];
+//! oversubscription below the root (e.g. LEX's n−1-way fan-in into one
+//! receiver's leaf link) is [`Code::LinkHotspot`]. Both are *advice*: the
+//! schedule is correct, just predictably slow.
+
+use cm5_core::schedule::{CommOp, Schedule};
+use cm5_sim::{FatTree, MachineParams};
+
+use crate::diag::{Code, Diagnostic, Span};
+
+/// Tolerance on the oversubscription ratio: exactly-at-capacity steps
+/// (e.g. GS packing four crossings under a 4-node group's root link) are
+/// not hotspots.
+const OVER_EPS: f64 = 1e-9;
+
+/// Worst oversubscribed link of one phase.
+struct Worst {
+    ratio: f64,
+    link_idx: usize,
+    flows: usize,
+    demand: f64,
+    capacity: f64,
+}
+
+/// Analyze one schedule; returns at most one advice diagnostic per step
+/// (the worst link over both phases).
+pub fn analyze_contention(schedule: &Schedule, params: &MachineParams) -> Vec<Diagnostic> {
+    let n = schedule.n();
+    if n < 2 {
+        return Vec::new();
+    }
+    let tree = FatTree::new(n);
+    let links = tree.link_count();
+    let capacity: Vec<f64> = (0..links)
+        .map(|idx| tree.link_capacity(tree.link_from_index(idx), params))
+        .collect();
+    let cap = params.flow_cap();
+    let saf = schedule.store_and_forward;
+
+    let mut diags = Vec::new();
+    let mut demand = vec![0.0f64; links];
+    let mut flows = vec![0usize; links];
+    for (s, step) in schedule.steps().iter().enumerate() {
+        let mut worst: Option<Worst> = None;
+        // Phase 0 = the transfers that go first under blocking lowering
+        // (plain sends, plus the first exchange direction); phase 1 = the
+        // return direction of every exchange.
+        for phase in 0..2 {
+            demand.fill(0.0);
+            flows.fill(0);
+            for op in &step.ops {
+                let (src, dst, bytes) = match (*op, phase) {
+                    (CommOp::Send { from, to, bytes }, 0) => (from, to, bytes),
+                    (CommOp::Send { .. }, _) => continue,
+                    // Direct exchanges: higher node sends first (Figure 2);
+                    // store-and-forward: lower node sends first (Figure 3).
+                    (
+                        CommOp::Exchange {
+                            a,
+                            b,
+                            bytes_ab,
+                            bytes_ba,
+                        },
+                        0,
+                    ) => {
+                        if saf {
+                            (a, b, bytes_ab)
+                        } else {
+                            (b, a, bytes_ba)
+                        }
+                    }
+                    (
+                        CommOp::Exchange {
+                            a,
+                            b,
+                            bytes_ab,
+                            bytes_ba,
+                        },
+                        _,
+                    ) => {
+                        if saf {
+                            (b, a, bytes_ba)
+                        } else {
+                            (a, b, bytes_ab)
+                        }
+                    }
+                };
+                if bytes == 0 || src == dst || src >= n || dst >= n {
+                    continue; // zero-byte/malformed ops carry no bandwidth
+                }
+                for link in tree.route(src, dst) {
+                    demand[link] += cap;
+                    flows[link] += 1;
+                }
+            }
+            for idx in 0..links {
+                if capacity[idx] <= 0.0 {
+                    continue;
+                }
+                let ratio = demand[idx] / capacity[idx];
+                if ratio > 1.0 + OVER_EPS && worst.as_ref().is_none_or(|w| ratio > w.ratio) {
+                    worst = Some(Worst {
+                        ratio,
+                        link_idx: idx,
+                        flows: flows[idx],
+                        demand: demand[idx],
+                        capacity: capacity[idx],
+                    });
+                }
+            }
+        }
+        if let Some(w) = worst {
+            let link = tree.link_from_index(w.link_idx);
+            let is_root = link.level == tree.levels() - 1;
+            let code = if is_root {
+                Code::RootHotspot
+            } else {
+                Code::LinkHotspot
+            };
+            let kind = if is_root {
+                "exceeds bisection (root link) capacity"
+            } else {
+                "oversubscribes a link"
+            };
+            diags.push(Diagnostic::new(
+                code,
+                Span::step(s),
+                format!(
+                    "predicted hotspot: step {s} {kind} — {} concurrent flows demand {:.0} MB/s on {:?}-link level {} group {} ({:.0} MB/s capacity, {:.1}x oversubscribed)",
+                    w.flows,
+                    w.demand / 1e6,
+                    link.dir,
+                    link.level,
+                    link.group,
+                    w.capacity / 1e6,
+                    w.ratio
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm5_core::prelude::*;
+
+    fn advice(schedule: &Schedule) -> Vec<Diagnostic> {
+        analyze_contention(schedule, &MachineParams::cm5_1992())
+    }
+
+    /// PEX on 32 nodes runs 16 consecutive all-global steps: 16 flows per
+    /// phase over an 80 MB/s root link = 2× oversubscribed. This is the
+    /// paper's Figure 5 story, surfaced statically.
+    #[test]
+    fn pex_32_has_root_hotspots() {
+        let d = advice(&pex(32, 1024));
+        let roots = d.iter().filter(|x| x.code == Code::RootHotspot).count();
+        assert_eq!(roots, 16, "{d:?}");
+        assert!(d[0].message.contains("2.0x"), "{}", d[0].message);
+    }
+
+    /// BEX balances crossings (2/16/14 per step at n=32) so only the single
+    /// unavoidable all-global step hits PEX's 2.0× peak; the tail steps sit
+    /// at a milder 1.75×. REX concentrates the whole bisection load in its
+    /// one top-level exchange step.
+    #[test]
+    fn bex_32_flattens_the_root_peak_and_rex_concentrates_it() {
+        let d = advice(&bex(32, 1024));
+        let roots: Vec<_> = d.iter().filter(|x| x.code == Code::RootHotspot).collect();
+        assert_eq!(roots.len(), 16, "{d:?}");
+        let peaks = roots.iter().filter(|x| x.message.contains("2.0x")).count();
+        assert_eq!(peaks, 1, "only the all-global step peaks: {roots:?}");
+        assert!(roots
+            .iter()
+            .all(|x| { x.message.contains("2.0x") || x.message.contains("1.8x") }));
+
+        let d = advice(&rex(32, 1024));
+        let roots = d.iter().filter(|x| x.code == Code::RootHotspot).count();
+        assert_eq!(roots, 1, "REX crosses the root in exactly one step: {d:?}");
+    }
+
+    /// LEX's fan-in serializes at the receiver's leaf link: 7 flows against
+    /// a 20 MB/s leaf = 3.5× — reported below the root.
+    #[test]
+    fn lex_8_has_leaf_hotspots() {
+        let d = advice(&lex(8, 1024));
+        assert_eq!(d.len(), 8, "one per step: {d:?}");
+        assert!(d.iter().all(|x| x.code == Code::LinkHotspot));
+        assert!(d[0].message.contains("3.5x"), "{}", d[0].message);
+    }
+
+    /// Small pairwise steps fit: PEX on 8 nodes has 4 crossings per global
+    /// step against a 40 MB/s level-1 link — exactly at capacity, no
+    /// hotspot (the tolerance keeps exact fits quiet).
+    #[test]
+    fn pex_8_fits_bisection() {
+        assert!(advice(&pex(8, 1024)).is_empty());
+    }
+
+    /// Zero-byte ops carry no bandwidth.
+    #[test]
+    fn zero_byte_ops_ignored() {
+        let mut s = Schedule::new(8);
+        let mut step = Step::default();
+        for i in 0..4usize {
+            step.ops.push(CommOp::Send {
+                from: i,
+                to: 4,
+                bytes: 0,
+            });
+        }
+        s.push_step(step);
+        assert!(advice(&s).is_empty());
+    }
+
+    /// The exchange directions are phased, not summed: a single exchange
+    /// pair never oversubscribes its own leaf links.
+    #[test]
+    fn single_exchange_is_quiet() {
+        let mut s = Schedule::new(4);
+        s.push_step(Step {
+            ops: vec![CommOp::Exchange {
+                a: 0,
+                b: 1,
+                bytes_ab: 1 << 20,
+                bytes_ba: 1 << 20,
+            }],
+        });
+        assert!(advice(&s).is_empty());
+    }
+}

@@ -1,0 +1,673 @@
+//! Blocking-semantics (CMMD rendezvous) deadlock analysis.
+//!
+//! The analysis runs the lowered per-node programs through an *un-timed*
+//! abstract execution that mirrors the simulator's matching rules exactly:
+//! a blocking `Send` completes only when the destination posts a `Recv`
+//! naming its source and tag (and vice versa), `Isend` posts without
+//! blocking, `WaitAll` blocks until every outstanding `Isend` has matched,
+//! and collectives synchronize all nodes. Local ops (`Compute`, `Memcpy`,
+//! `Flops`) always complete and are skipped.
+//!
+//! Because every receive names its source and tags are matched exactly,
+//! rendezvous matching is *confluent*: firing one enabled match never
+//! disables another, so whether the programs complete is independent of
+//! timing — which is why a static analysis can promise anything about the
+//! simulator. (`RecvAny` breaks this; see [`RECV_ANY_NOTE`].) When the
+//! abstract execution gets stuck, the blocked nodes form a wait-for graph;
+//! the analyzer extracts its cycles as [`Code::DeadlockCycle`] witnesses
+//! and reports chains that end at a finished partner as [`Code::StuckOp`].
+
+use cm5_sim::{Op, OpProgram};
+
+use crate::diag::{Code, Diagnostic, Span};
+
+/// Caveat for programs using `RecvAny`: which sender a wildcard receive
+/// matches depends on message timing, so the analysis resolves it
+/// deterministically (lowest pending sender first). Schedule lowering never
+/// emits `RecvAny`, so the differential guarantee is unaffected.
+pub const RECV_ANY_NOTE: &str =
+    "recv-any matching is timing-dependent; the analysis resolves it lowest-sender-first";
+
+/// What a blocked node is waiting on.
+// `WaitAll` deliberately mirrors `Op::WaitAll`, not the enum name.
+#[allow(clippy::enum_variant_names)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wait {
+    /// Blocking send to `to` with `tag`, unmatched.
+    Send { to: usize, tag: u32 },
+    /// Blocking receive from `from` with `tag`, unmatched.
+    Recv { from: usize, tag: u32 },
+    /// Wildcard receive with `tag`, unmatched.
+    RecvAny { tag: u32 },
+    /// `WaitAll` with outstanding isends (first unmatched destination).
+    WaitAll { first_to: usize },
+    /// Parked at a collective (index into [`CollKind`] description).
+    Collective,
+}
+
+/// Collective kinds must line up across nodes (the engine reports a
+/// mismatch as an error; the abstract execution does the same).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CollKind {
+    Barrier,
+    Bcast { root: usize },
+    Reduce,
+    Scan,
+}
+
+impl CollKind {
+    fn name(&self) -> String {
+        match self {
+            CollKind::Barrier => "barrier".into(),
+            CollKind::Bcast { root } => format!("system-bcast(root {root})"),
+            CollKind::Reduce => "reduce".into(),
+            CollKind::Scan => "scan".into(),
+        }
+    }
+}
+
+struct State<'a> {
+    programs: &'a [OpProgram],
+    pc: Vec<usize>,
+    done: Vec<bool>,
+    wait: Vec<Option<Wait>>,
+    coll: Vec<Option<CollKind>>,
+    /// Unmatched isends per sender, in post order: `(to, tag, op_index)`.
+    async_out: Vec<Vec<(usize, u32, usize)>>,
+    queue: std::collections::VecDeque<usize>,
+    queued: Vec<bool>,
+}
+
+impl<'a> State<'a> {
+    fn new(programs: &'a [OpProgram]) -> State<'a> {
+        let n = programs.len();
+        State {
+            programs,
+            pc: vec![0; n],
+            done: vec![false; n],
+            wait: vec![None; n],
+            coll: vec![None; n],
+            async_out: vec![Vec::new(); n],
+            queue: (0..n).collect(),
+            queued: vec![true; n],
+        }
+    }
+
+    fn enqueue(&mut self, node: usize) {
+        if !self.queued[node] && !self.done[node] {
+            self.queued[node] = true;
+            self.queue.push_back(node);
+        }
+    }
+
+    /// Whether node `to`'s parked receive matches a message `(from, tag)`.
+    fn recv_matches(&self, to: usize, from: usize, tag: u32) -> bool {
+        match self.wait[to] {
+            Some(Wait::Recv { from: f, tag: t }) => f == from && t == tag,
+            Some(Wait::RecvAny { tag: t }) => t == tag,
+            _ => false,
+        }
+    }
+
+    /// Complete node `to`'s parked receive and let it continue.
+    fn complete_recv(&mut self, to: usize) {
+        self.wait[to] = None;
+        self.pc[to] += 1;
+        self.enqueue(to);
+    }
+
+    /// Try to consume an unmatched isend `from → to` with `tag`. On success
+    /// the sender's `WaitAll` (if parked) may unblock.
+    fn take_isend(&mut self, from: usize, to: usize, tag: u32) -> bool {
+        let Some(pos) = self.async_out[from]
+            .iter()
+            .position(|&(t, g, _)| t == to && g == tag)
+        else {
+            return false;
+        };
+        self.async_out[from].remove(pos);
+        if self.async_out[from].is_empty() && matches!(self.wait[from], Some(Wait::WaitAll { .. }))
+        {
+            self.wait[from] = None;
+            self.pc[from] += 1; // past the WaitAll
+            self.enqueue(from);
+        }
+        true
+    }
+
+    /// Lowest-id sender with a message `(→ me, tag)` available: a parked
+    /// blocking send, or an unmatched isend.
+    fn find_any_sender(&self, me: usize, tag: u32) -> Option<(usize, bool)> {
+        for from in 0..self.programs.len() {
+            if from == me {
+                continue;
+            }
+            if self.wait[from] == Some(Wait::Send { to: me, tag }) {
+                return Some((from, false));
+            }
+            if self.async_out[from]
+                .iter()
+                .any(|&(t, g, _)| t == me && g == tag)
+            {
+                return Some((from, true));
+            }
+        }
+        None
+    }
+
+    /// Run node `i` forward until it blocks or finishes.
+    fn advance(&mut self, i: usize) {
+        self.wait[i] = None;
+        self.coll[i] = None;
+        loop {
+            let Some(op) = self.programs[i].get(self.pc[i]) else {
+                self.done[i] = true;
+                return;
+            };
+            match *op {
+                Op::Compute(_) | Op::Memcpy { .. } | Op::Flops { .. } => {
+                    self.pc[i] += 1;
+                }
+                Op::Send { to, tag, .. } => {
+                    if self.recv_matches(to, i, tag) {
+                        self.complete_recv(to);
+                        self.pc[i] += 1;
+                    } else {
+                        self.wait[i] = Some(Wait::Send { to, tag });
+                        return;
+                    }
+                }
+                Op::Isend { to, tag, .. } => {
+                    if self.recv_matches(to, i, tag) {
+                        self.complete_recv(to);
+                    } else {
+                        self.async_out[i].push((to, tag, self.pc[i]));
+                    }
+                    self.pc[i] += 1;
+                }
+                Op::WaitAll => {
+                    if self.async_out[i].is_empty() {
+                        self.pc[i] += 1;
+                    } else {
+                        let first_to = self.async_out[i][0].0;
+                        self.wait[i] = Some(Wait::WaitAll { first_to });
+                        return;
+                    }
+                }
+                Op::Recv { from, tag } => {
+                    if self.wait[from] == Some(Wait::Send { to: i, tag }) {
+                        self.wait[from] = None;
+                        self.pc[from] += 1;
+                        self.enqueue(from);
+                        self.pc[i] += 1;
+                    } else if self.take_isend(from, i, tag) {
+                        self.pc[i] += 1;
+                    } else {
+                        self.wait[i] = Some(Wait::Recv { from, tag });
+                        return;
+                    }
+                }
+                Op::RecvAny { tag } => match self.find_any_sender(i, tag) {
+                    Some((from, true)) => {
+                        let taken = self.take_isend(from, i, tag);
+                        debug_assert!(taken, "indexed isend must be consumable");
+                        self.pc[i] += 1;
+                    }
+                    Some((from, false)) => {
+                        self.wait[from] = None;
+                        self.pc[from] += 1;
+                        self.enqueue(from);
+                        self.pc[i] += 1;
+                    }
+                    None => {
+                        self.wait[i] = Some(Wait::RecvAny { tag });
+                        return;
+                    }
+                },
+                Op::Barrier => {
+                    self.wait[i] = Some(Wait::Collective);
+                    self.coll[i] = Some(CollKind::Barrier);
+                    return;
+                }
+                Op::SystemBcast { root, .. } => {
+                    self.wait[i] = Some(Wait::Collective);
+                    self.coll[i] = Some(CollKind::Bcast { root });
+                    return;
+                }
+                Op::Reduce => {
+                    self.wait[i] = Some(Wait::Collective);
+                    self.coll[i] = Some(CollKind::Reduce);
+                    return;
+                }
+                Op::Scan => {
+                    self.wait[i] = Some(Wait::Collective);
+                    self.coll[i] = Some(CollKind::Scan);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drain the work queue, then release collectives when every live node
+    /// has arrived at one; repeat to fixpoint. Returns a collective-mismatch
+    /// diagnostic if the nodes disagree on which collective they reached.
+    fn run(&mut self) -> Option<Diagnostic> {
+        loop {
+            while let Some(i) = self.queue.pop_front() {
+                self.queued[i] = false;
+                if !self.done[i] {
+                    self.advance(i);
+                }
+            }
+            // Collective release requires EVERY node to arrive: a node that
+            // finishes (or blocks) elsewhere leaves the others waiting
+            // forever — the engine reports that as deadlock, and so do we
+            // (via the stuck analysis).
+            let live: Vec<usize> = (0..self.programs.len())
+                .filter(|&i| !self.done[i])
+                .collect();
+            if live.is_empty() {
+                return None;
+            }
+            if live.len() != self.programs.len() || !live.iter().all(|&i| self.coll[i].is_some()) {
+                return None; // stuck (or waiting on point-to-point): caller reports
+            }
+            let first = self.coll[live[0]].expect("checked above");
+            if let Some(&bad) = live[1..].iter().find(|&&i| self.coll[i] != Some(first)) {
+                let got = self.coll[bad].expect("checked above");
+                return Some(Diagnostic::new(
+                    Code::CollectiveMismatch,
+                    Span::program(bad, self.pc[bad]),
+                    format!(
+                        "node {bad} reached {} while node {} reached {}",
+                        got.name(),
+                        live[0],
+                        first.name()
+                    ),
+                ));
+            }
+            for &i in &live {
+                self.wait[i] = None;
+                self.coll[i] = None;
+                self.pc[i] += 1;
+                self.enqueue(i);
+            }
+        }
+    }
+
+    /// Describe node `i`'s current (blocking) op for witness lines.
+    fn describe(&self, i: usize) -> String {
+        let op = match self.programs[i].get(self.pc[i]) {
+            Some(op) => op,
+            None => return format!("node {i}: finished"),
+        };
+        let desc = match *op {
+            Op::Send { to, bytes, tag } => {
+                format!("blocking send of {bytes} B to node {to} (tag {tag})")
+            }
+            Op::Recv { from, tag } => format!("blocking recv from node {from} (tag {tag})"),
+            Op::RecvAny { tag } => format!("blocking recv-any (tag {tag})"),
+            Op::WaitAll => {
+                let pending: Vec<String> = self.async_out[i]
+                    .iter()
+                    .map(|&(to, tag, _)| format!("{to} (tag {tag})"))
+                    .collect();
+                format!("wait-all on unmatched isends to {}", pending.join(", "))
+            }
+            Op::Barrier => "barrier".into(),
+            Op::SystemBcast { root, bytes } => {
+                format!("system-bcast of {bytes} B from node {root}")
+            }
+            Op::Reduce => "reduce".into(),
+            Op::Scan => "scan".into(),
+            ref other => format!("{other:?}"),
+        };
+        format!("node {i}: op[{}] {desc}", self.pc[i])
+    }
+
+    /// Primary wait target of a blocked node, for the wait-for graph. `None`
+    /// for `RecvAny` (no specific partner).
+    fn target(&self, i: usize) -> Option<usize> {
+        match self.wait[i]? {
+            Wait::Send { to, .. } => Some(to),
+            Wait::Recv { from, .. } => Some(from),
+            Wait::RecvAny { .. } => None,
+            Wait::WaitAll { first_to } => Some(first_to),
+            // A collective waits on the lowest node that has not arrived.
+            Wait::Collective => (0..self.programs.len()).find(|&j| self.coll[j].is_none()),
+        }
+    }
+}
+
+/// Analyze lowered programs for blocking-semantics deadlock. Returns one
+/// [`Code::DeadlockCycle`] per wait-for cycle (with the full witness path),
+/// one [`Code::StuckOp`] per node blocked directly on a finished partner,
+/// and [`Code::CollectiveMismatch`] when nodes reach different collectives.
+/// An empty result proves the programs complete under rendezvous semantics
+/// (up to the `RecvAny` caveat).
+pub fn analyze_programs_deadlock(programs: &[OpProgram]) -> Vec<Diagnostic> {
+    let mut st = State::new(programs);
+    if let Some(mismatch) = st.run() {
+        return vec![mismatch];
+    }
+    let blocked: Vec<usize> = (0..programs.len()).filter(|&i| !st.done[i]).collect();
+    if blocked.is_empty() {
+        return Vec::new();
+    }
+
+    let mut diags = Vec::new();
+    let mut reported = vec![false; programs.len()];
+
+    // The wait-for graph is (at most) functional: each blocked node has one
+    // primary target. Walk each unvisited node's chain; a revisit inside the
+    // current walk is a cycle.
+    let mut color = vec![0u32; programs.len()]; // 0 unvisited, else walk id
+    let mut walk_id = 0u32;
+    for &start in &blocked {
+        if color[start] != 0 {
+            continue;
+        }
+        walk_id += 1;
+        let mut path = vec![start];
+        color[start] = walk_id;
+        let mut cur = start;
+        loop {
+            let Some(next) = st.target(cur) else {
+                // RecvAny with no sender: report directly.
+                if !reported[cur] {
+                    reported[cur] = true;
+                    diags.push(Diagnostic::new(
+                        Code::StuckOp,
+                        Span::program(cur, st.pc[cur]),
+                        format!(
+                            "{} can never match: no node ever sends it a message with this tag ({RECV_ANY_NOTE})",
+                            st.describe(cur)
+                        ),
+                    ));
+                }
+                break;
+            };
+            if st.done[next] {
+                // Chain ends at a finished partner: the node adjacent to it
+                // is provably stuck.
+                if !reported[cur] {
+                    reported[cur] = true;
+                    diags.push(Diagnostic::new(
+                        Code::StuckOp,
+                        Span::program(cur, st.pc[cur]),
+                        format!(
+                            "{} waits on node {next}, which finished without posting a matching operation",
+                            st.describe(cur)
+                        ),
+                    ));
+                }
+                break;
+            }
+            if color[next] == walk_id {
+                // Found a cycle: the suffix of `path` starting at `next`.
+                let pos = path.iter().position(|&p| p == next).expect("on path");
+                let cycle = &path[pos..];
+                let witness: Vec<String> = cycle
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &node)| {
+                        let waits_on = cycle[(k + 1) % cycle.len()];
+                        format!("{} — waits on node {waits_on}", st.describe(node))
+                    })
+                    .collect();
+                for &node in cycle {
+                    reported[node] = true;
+                }
+                diags.push(
+                    Diagnostic::new(
+                        Code::DeadlockCycle,
+                        Span::program(cycle[0], st.pc[cycle[0]]),
+                        format!(
+                            "blocking send/recv cycle of {} node(s): {}",
+                            cycle.len(),
+                            cycle
+                                .iter()
+                                .map(|n| n.to_string())
+                                .collect::<Vec<_>>()
+                                .join(" -> ")
+                        ),
+                    )
+                    .with_witness(witness),
+                );
+                break;
+            }
+            if color[next] != 0 {
+                break; // joins an earlier walk (already reported)
+            }
+            color[next] = walk_id;
+            path.push(next);
+            cur = next;
+        }
+    }
+
+    let swept = blocked.iter().filter(|&&i| !reported[i]).count();
+    if swept > 0 {
+        if let Some(first) = diags.first_mut() {
+            first.witness.push(format!(
+                "({swept} more node(s) blocked transitively behind these)"
+            ));
+        }
+    }
+    diags
+}
+
+/// Program-level structural checks, mirroring the engine's `BadProgram`
+/// errors: point-to-point ops must name a peer inside `0..n` (V001) and
+/// never the node itself (V002).
+pub fn check_program_structure(programs: &[OpProgram]) -> Vec<Diagnostic> {
+    let n = programs.len();
+    let mut diags = Vec::new();
+    for (node, prog) in programs.iter().enumerate() {
+        for (idx, op) in prog.iter().enumerate() {
+            let peer = match *op {
+                Op::Send { to, .. } | Op::Isend { to, .. } => Some(to),
+                Op::Recv { from, .. } => Some(from),
+                Op::SystemBcast { root, .. } => {
+                    if root >= n {
+                        diags.push(Diagnostic::new(
+                            Code::BadNode,
+                            Span::program(node, idx),
+                            format!("system-bcast root {root} out of range 0..{n}"),
+                        ));
+                    }
+                    None
+                }
+                _ => None,
+            };
+            let Some(peer) = peer else { continue };
+            if peer >= n {
+                diags.push(Diagnostic::new(
+                    Code::BadNode,
+                    Span::program(node, idx),
+                    format!("op names node {peer}, out of range 0..{n}"),
+                ));
+            } else if peer == node {
+                diags.push(Diagnostic::new(
+                    Code::SelfMessage,
+                    Span::program(node, idx),
+                    format!("node {node} sends/receives a message to itself"),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(to: usize, tag: u32) -> Op {
+        Op::Send { to, bytes: 8, tag }
+    }
+    fn recv(from: usize, tag: u32) -> Op {
+        Op::Recv { from, tag }
+    }
+
+    #[test]
+    fn figure_2_pairing_completes() {
+        // Lower node receives first (paper Figure 2) — the safe ordering.
+        let progs = vec![vec![recv(1, 0), send(1, 0)], vec![send(0, 0), recv(0, 0)]];
+        assert!(analyze_programs_deadlock(&progs).is_empty());
+    }
+
+    #[test]
+    fn both_recv_first_is_a_cycle_with_witness() {
+        let progs = vec![vec![recv(1, 0), send(1, 0)], vec![recv(0, 0), send(0, 0)]];
+        let diags = analyze_programs_deadlock(&progs);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::DeadlockCycle);
+        assert_eq!(diags[0].witness.len(), 2, "{:?}", diags[0].witness);
+        assert!(diags[0].message.contains("0 -> 1") || diags[0].message.contains("1 -> 0"));
+    }
+
+    #[test]
+    fn both_send_first_is_a_cycle() {
+        let progs = vec![vec![send(1, 0), recv(1, 0)], vec![send(0, 0), recv(0, 0)]];
+        let diags = analyze_programs_deadlock(&progs);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::DeadlockCycle);
+    }
+
+    #[test]
+    fn tag_mismatch_is_a_two_cycle() {
+        // 0 sends tag 1, 1 expects tag 2: each waits on the other.
+        let progs = vec![vec![send(1, 1)], vec![recv(0, 2)]];
+        let diags = analyze_programs_deadlock(&progs);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::DeadlockCycle);
+        assert!(diags[0].witness.iter().any(|w| w.contains("tag 1")));
+        assert!(diags[0].witness.iter().any(|w| w.contains("tag 2")));
+    }
+
+    #[test]
+    fn dropped_recv_reports_stuck_on_finished_partner() {
+        let progs = vec![vec![send(1, 0)], vec![]];
+        let diags = analyze_programs_deadlock(&progs);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::StuckOp);
+        assert!(diags[0].message.contains("finished without posting"));
+    }
+
+    #[test]
+    fn three_cycle_found() {
+        // 0 -> 1 -> 2 -> 0 ring, everyone sends first with no one receiving
+        // until their own send completes.
+        let progs = vec![
+            vec![send(1, 0), recv(2, 0)],
+            vec![send(2, 0), recv(0, 0)],
+            vec![send(0, 0), recv(1, 0)],
+        ];
+        let diags = analyze_programs_deadlock(&progs);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::DeadlockCycle);
+        assert_eq!(diags[0].witness.len(), 3);
+    }
+
+    #[test]
+    fn isend_waitall_completes_and_unblocks() {
+        let progs = vec![
+            vec![
+                Op::Isend {
+                    to: 1,
+                    bytes: 8,
+                    tag: 0,
+                },
+                Op::WaitAll,
+            ],
+            vec![
+                Op::Compute(cm5_sim::SimDuration::from_micros(5)),
+                recv(0, 0),
+            ],
+        ];
+        assert!(analyze_programs_deadlock(&progs).is_empty());
+    }
+
+    #[test]
+    fn unmatched_isend_blocks_waitall() {
+        let progs = vec![
+            vec![
+                Op::Isend {
+                    to: 1,
+                    bytes: 8,
+                    tag: 7,
+                },
+                Op::WaitAll,
+            ],
+            vec![recv(0, 9)],
+        ];
+        let diags = analyze_programs_deadlock(&progs);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::DeadlockCycle);
+        assert!(diags[0].witness.iter().any(|w| w.contains("wait-all")));
+    }
+
+    #[test]
+    fn barrier_alignment_completes_and_misalignment_stalls() {
+        let ok = vec![vec![Op::Barrier], vec![Op::Barrier]];
+        assert!(analyze_programs_deadlock(&ok).is_empty());
+        // Node 1 finishes without the barrier: node 0 waits forever.
+        let stuck = vec![vec![Op::Barrier], vec![]];
+        let diags = analyze_programs_deadlock(&stuck);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::StuckOp);
+    }
+
+    #[test]
+    fn collective_kind_mismatch_reported() {
+        let progs = vec![vec![Op::Barrier], vec![Op::Reduce]];
+        let diags = analyze_programs_deadlock(&progs);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::CollectiveMismatch);
+    }
+
+    #[test]
+    fn recv_any_matches_lowest_sender() {
+        let progs = vec![
+            vec![send(2, 3)],
+            vec![send(2, 3)],
+            vec![Op::RecvAny { tag: 3 }, Op::RecvAny { tag: 3 }],
+        ];
+        assert!(analyze_programs_deadlock(&progs).is_empty());
+        let stuck = vec![vec![], vec![Op::RecvAny { tag: 3 }]];
+        let diags = analyze_programs_deadlock(&stuck);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::StuckOp);
+    }
+
+    #[test]
+    fn structure_checks_catch_bad_peer_and_self_message() {
+        let progs = vec![vec![send(5, 0), send(0, 0)], vec![]];
+        let diags = check_program_structure(&progs);
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].code, Code::BadNode);
+        assert_eq!(diags[1].code, Code::SelfMessage);
+    }
+
+    #[test]
+    fn transitively_blocked_nodes_are_counted() {
+        // 1 and 2 deadlock; 0 waits on 1 behind the cycle.
+        let progs = vec![
+            vec![recv(1, 5)],
+            vec![send(2, 0), recv(2, 0), send(0, 5)],
+            vec![send(1, 0), recv(1, 0)],
+        ];
+        let diags = analyze_programs_deadlock(&progs);
+        assert!(diags.iter().any(|d| d.code == Code::DeadlockCycle));
+        let all_witness: String = diags
+            .iter()
+            .flat_map(|d| d.witness.iter())
+            .cloned()
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            all_witness.contains("blocked transitively"),
+            "{all_witness}"
+        );
+    }
+}

@@ -1,0 +1,571 @@
+//! Conservation and shape lints over a [`Schedule`], plus the top-level
+//! [`verify_schedule`]/[`verify_programs`] entry points.
+//!
+//! The structural and conservation checks subsume `cm5-core`'s ad-hoc
+//! `check_nodes`/`check_pairwise_disjoint`/`check_coverage`: the verifier
+//! reports *every* violation (not just the first), attaches spans, and
+//! renders each finding with the same code-prefixed message the core
+//! `ScheduleError` now displays — one vocabulary across the stack.
+
+use cm5_core::exec::{lower_with, LowerOptions};
+use cm5_core::pattern::Pattern;
+use cm5_core::schedule::{CommOp, Schedule, ScheduleError};
+use cm5_sim::{MachineParams, OpProgram};
+
+use crate::contention::analyze_contention;
+use crate::deadlock::{analyze_programs_deadlock, check_program_structure};
+use crate::diag::{Code, Diagnostic, Diagnostics, Span};
+
+/// What to verify and against which expectations. The policy flags exist
+/// because the paper's linear algorithms *legitimately* serialize (LEX/LS
+/// put one receiver in every op of a step), so step-disjointness is an
+/// error only where the algorithm family promises it.
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Report [`Code::StepConflict`] when a node appears in two ops of one
+    /// step (the pairwise families' invariant).
+    pub expect_disjoint: bool,
+    /// Report [`Code::StepConflict`] when a node *sends* twice or *receives*
+    /// twice in one step. This is the greedy scheduler's weaker invariant:
+    /// Table 10 of the paper has node 0 send to 5 and receive from 7 in the
+    /// same step, so GS promises per-direction availability, not full
+    /// disjointness. Subsumed by `expect_disjoint`.
+    pub expect_directional: bool,
+    /// Report [`Code::NotPermutation`] when a step gives a node several
+    /// send or several receive partners (the regular exchanges' invariant).
+    pub expect_permutation: bool,
+    /// Run the blocking-semantics deadlock analysis on the lowered
+    /// programs.
+    pub check_deadlock: bool,
+    /// Run the static fat-tree contention analysis.
+    pub check_contention: bool,
+    /// Lowering options the deadlock analysis mirrors (async sends change
+    /// the blocking structure).
+    pub lower: LowerOptions,
+    /// Machine parameters for the contention bounds.
+    pub params: MachineParams,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> VerifyOptions {
+        VerifyOptions {
+            expect_disjoint: false,
+            expect_directional: false,
+            expect_permutation: false,
+            check_deadlock: true,
+            check_contention: true,
+            lower: LowerOptions::default(),
+            params: MachineParams::cm5_1992(),
+        }
+    }
+}
+
+/// Statically verify a schedule. `pattern` is the coverage target for
+/// direct schedules (ignored, like `check_coverage`, for store-and-forward
+/// schedules whose ops carry aggregated bytes).
+pub fn verify_schedule(
+    schedule: &Schedule,
+    pattern: Option<&Pattern>,
+    opts: &VerifyOptions,
+) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    structural_lints(schedule, opts, &mut diags);
+    if let Some(p) = pattern {
+        if !schedule.store_and_forward {
+            coverage_lints(schedule, p, &mut diags);
+        }
+    }
+    // Out-of-range or self-addressed ops make the lowered programs
+    // meaningless (and would panic the lowering), so stop here.
+    if diags.has(Code::BadNode) || diags.has(Code::SelfMessage) {
+        return diags;
+    }
+    if opts.check_contention {
+        diags.extend(analyze_contention(schedule, &opts.params));
+    }
+    if opts.check_deadlock {
+        let programs = lower_with(schedule, &opts.lower);
+        diags.extend(analyze_programs_deadlock(&programs));
+    }
+    diags
+}
+
+/// Statically verify lowered per-node programs (the form `cm5 lint
+/// --inject` mutates and the differential harness exercises directly):
+/// program structure plus the deadlock analysis.
+pub fn verify_programs(programs: &[OpProgram]) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let structure = check_program_structure(programs);
+    let malformed = !structure.is_empty();
+    diags.extend(structure);
+    if !malformed {
+        diags.extend(analyze_programs_deadlock(programs));
+    }
+    diags
+}
+
+/// Per-op structural lints (V001/V002/V003) plus the policy-gated step
+/// shape lints (V010/V011/V014).
+fn structural_lints(schedule: &Schedule, opts: &VerifyOptions, diags: &mut Diagnostics) {
+    let n = schedule.n();
+    // A uniformly zero-byte schedule is a latency measurement (the paper's
+    // 88 µs zero-byte exchange, Figure 5's bytes=0 column) — deliberate,
+    // not a bug. V003 only flags a stray zero-byte op among real traffic.
+    let all_zero = schedule.total_bytes() == 0;
+    for (s, step) in schedule.steps().iter().enumerate() {
+        // Node occupancy for V010, directed-pair occupancy for V011, and
+        // per-direction partner counts for V014.
+        let mut seen = vec![false; n];
+        let mut conflicted = vec![false; n];
+        let mut sends: Vec<(usize, usize)> = Vec::with_capacity(step.ops.len() * 2);
+        for (o, op) in step.ops.iter().enumerate() {
+            let (a, b) = op.endpoints();
+            for node in [a, b] {
+                if node >= n {
+                    // Render through ScheduleError so core and verifier
+                    // emit byte-identical messages.
+                    diags.push(Diagnostic::new(
+                        Code::BadNode,
+                        Span::at(s, o),
+                        strip_code(&ScheduleError::BadNode { step: s, node }.to_string()),
+                    ));
+                }
+            }
+            if a == b {
+                diags.push(Diagnostic::new(
+                    Code::SelfMessage,
+                    Span::at(s, o),
+                    strip_code(&ScheduleError::SelfMessage { step: s, node: a }.to_string()),
+                ));
+            }
+            if op.bytes() == 0 && !all_zero {
+                diags.push(Diagnostic::new(
+                    Code::ZeroBytes,
+                    Span::at(s, o),
+                    format!("op moves zero bytes ({op:?})"),
+                ));
+            }
+            if a >= n || b >= n || a == b {
+                continue;
+            }
+            if opts.expect_disjoint {
+                for node in [a, b] {
+                    if seen[node] && !conflicted[node] {
+                        conflicted[node] = true;
+                        diags.push(Diagnostic::new(
+                            Code::StepConflict,
+                            Span::at(s, o),
+                            strip_code(&ScheduleError::NodeConflict { step: s, node }.to_string()),
+                        ));
+                    }
+                    seen[node] = true;
+                }
+            }
+            match *op {
+                CommOp::Exchange { a, b, .. } => {
+                    sends.push((a, b));
+                    sends.push((b, a));
+                }
+                CommOp::Send { from, to, .. } => sends.push((from, to)),
+            }
+        }
+        // V011: the same directed transfer twice in one step shares a tag.
+        let mut sorted = sends.clone();
+        sorted.sort_unstable();
+        let mut reported: Option<(usize, usize)> = None;
+        for w in sorted.windows(2) {
+            if w[0] == w[1] && reported != Some(w[0]) {
+                reported = Some(w[0]);
+                let (from, to) = w[0];
+                diags.push(Diagnostic::new(
+                    Code::DuplicatePair,
+                    Span::step(s),
+                    format!(
+                        "step {s} transfers {from}->{to} twice; both messages carry tag {s}, so delivery order is ambiguous"
+                    ),
+                ));
+            }
+        }
+        if opts.expect_directional && !opts.expect_disjoint {
+            directional_lint(s, &sends, n, diags);
+        }
+        if opts.expect_permutation {
+            permutation_lint(s, &sends, n, diags);
+        }
+    }
+}
+
+/// V010 (directional form): within one step, each node issues at most one
+/// send and at most one receive — two ops may still share a node in
+/// *opposite* directions (GS's Table 10 invariant).
+fn directional_lint(s: usize, sends: &[(usize, usize)], n: usize, diags: &mut Diagnostics) {
+    let mut out = vec![0usize; n];
+    let mut inn = vec![0usize; n];
+    for &(from, to) in sends {
+        out[from] += 1;
+        if out[from] == 2 {
+            diags.push(Diagnostic::new(
+                Code::StepConflict,
+                Span::step(s),
+                format!("node {from} sends twice in step {s}"),
+            ));
+        }
+        inn[to] += 1;
+        if inn[to] == 2 {
+            diags.push(Diagnostic::new(
+                Code::StepConflict,
+                Span::step(s),
+                format!("node {to} receives twice in step {s}"),
+            ));
+        }
+    }
+}
+
+/// V014: within one step, each node must have at most one send partner and
+/// at most one receive partner (each phase of a regular exchange is a
+/// permutation).
+fn permutation_lint(s: usize, sends: &[(usize, usize)], n: usize, diags: &mut Diagnostics) {
+    let mut out = vec![usize::MAX; n];
+    let mut inn = vec![usize::MAX; n];
+    for &(from, to) in sends {
+        if out[from] != usize::MAX && out[from] != to {
+            diags.push(Diagnostic::new(
+                Code::NotPermutation,
+                Span::step(s),
+                format!(
+                    "step {s} is not a permutation: node {from} sends to both {} and {to}",
+                    out[from]
+                ),
+            ));
+        }
+        out[from] = to;
+        if inn[to] != usize::MAX && inn[to] != from {
+            diags.push(Diagnostic::new(
+                Code::NotPermutation,
+                Span::step(s),
+                format!(
+                    "step {s} is not a permutation: node {to} receives from both {} and {from}",
+                    inn[to]
+                ),
+            ));
+        }
+        inn[to] = from;
+    }
+}
+
+/// V012/V013: byte conservation against the pattern, every ordered pair.
+fn coverage_lints(schedule: &Schedule, pattern: &Pattern, diags: &mut Diagnostics) {
+    let n = schedule.n();
+    if pattern.n() != n {
+        diags.push(Diagnostic::new(
+            Code::CoverageMissing,
+            Span::default(),
+            format!(
+                "pattern is over {} nodes but the schedule is over {n}",
+                pattern.n()
+            ),
+        ));
+        return;
+    }
+    let mut moved = vec![0u64; n * n];
+    for step in schedule.steps() {
+        for op in &step.ops {
+            match *op {
+                CommOp::Exchange {
+                    a,
+                    b,
+                    bytes_ab,
+                    bytes_ba,
+                } => {
+                    if a < n && b < n {
+                        moved[a * n + b] += bytes_ab;
+                        moved[b * n + a] += bytes_ba;
+                    }
+                }
+                CommOp::Send { from, to, bytes } => {
+                    if from < n && to < n {
+                        moved[from * n + to] += bytes;
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let expected = pattern.get(i, j);
+            let actual = moved[i * n + j];
+            if expected == actual {
+                continue;
+            }
+            let code = if actual < expected {
+                Code::CoverageMissing
+            } else {
+                Code::CoverageExcess
+            };
+            diags.push(Diagnostic::new(
+                code,
+                Span::default(),
+                strip_code(
+                    &ScheduleError::Coverage {
+                        from: i,
+                        to: j,
+                        expected,
+                        actual,
+                    }
+                    .to_string(),
+                ),
+            ));
+        }
+    }
+}
+
+/// `ScheduleError::Display` now renders `"V0xx: message"`; the diagnostic
+/// stores the bare message (the code lives in `Diagnostic::code`) so the
+/// rendered transcript says the code exactly once — and matches core's
+/// rendering character for character.
+fn strip_code(rendered: &str) -> String {
+    match rendered.split_once(": ") {
+        Some((code, rest)) if code.starts_with('V') => rest.to_string(),
+        _ => rendered.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm5_core::prelude::*;
+
+    fn strict() -> VerifyOptions {
+        VerifyOptions {
+            expect_disjoint: true,
+            expect_permutation: true,
+            ..VerifyOptions::default()
+        }
+    }
+
+    #[test]
+    fn pex_is_clean_and_permutation() {
+        let s = pex(16, 256);
+        let p = Pattern::complete_exchange(16, 256);
+        let d = verify_schedule(&s, Some(&p), &strict());
+        assert!(d.is_clean(), "{}", d.render_human());
+    }
+
+    #[test]
+    fn lex_conflicts_only_under_disjoint_policy() {
+        let s = lex(8, 256);
+        let p = Pattern::complete_exchange(8, 256);
+        let relaxed = verify_schedule(&s, Some(&p), &VerifyOptions::default());
+        assert!(relaxed.is_clean(), "{}", relaxed.render_human());
+        let d = verify_schedule(&s, Some(&p), &strict());
+        assert!(d.has(Code::StepConflict));
+        assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn gs_passes_directional_but_not_full_disjointness() {
+        // Table 10's step 3 has node 0 send to 5 and receive from 7: legal
+        // under GS's per-direction policy, a conflict under the pairwise one.
+        let p = Pattern::paper_pattern_p(64);
+        let s = gs(&p);
+        let d = verify_schedule(&s, Some(&p), &crate::irregular_policy(IrregularAlg::Gs));
+        assert!(d.is_clean(), "{}", d.render_human());
+        let d = verify_schedule(&s, Some(&p), &strict());
+        assert!(d.has(Code::StepConflict));
+    }
+
+    #[test]
+    fn directional_conflict_reported() {
+        let mut s = Schedule::new(4);
+        s.push_step(Step {
+            ops: vec![
+                CommOp::Send {
+                    from: 0,
+                    to: 1,
+                    bytes: 8,
+                },
+                CommOp::Send {
+                    from: 0,
+                    to: 2,
+                    bytes: 8,
+                },
+                CommOp::Send {
+                    from: 3,
+                    to: 1,
+                    bytes: 8,
+                },
+            ],
+        });
+        let opts = VerifyOptions {
+            expect_directional: true,
+            ..VerifyOptions::default()
+        };
+        let d = verify_schedule(&s, None, &opts);
+        let conflicts: Vec<_> = d.iter().filter(|x| x.code == Code::StepConflict).collect();
+        assert_eq!(conflicts.len(), 2, "{}", d.render_human());
+        assert!(conflicts[0].message.contains("sends twice"));
+        assert!(conflicts[1].message.contains("receives twice"));
+    }
+
+    #[test]
+    fn coverage_missing_and_excess_both_reported() {
+        let p = Pattern::complete_exchange(4, 10);
+        let mut s = Schedule::new(4);
+        s.push_step(Step {
+            ops: vec![CommOp::Exchange {
+                a: 0,
+                b: 1,
+                bytes_ab: 10,
+                bytes_ba: 25,
+            }],
+        });
+        let d = verify_schedule(&s, Some(&p), &VerifyOptions::default());
+        assert!(d.has(Code::CoverageMissing)); // every un-covered pair
+        assert!(d.has(Code::CoverageExcess)); // 1->0 moves 25 > 10
+                                              // 12 ordered pairs minus the exact 0->1 = 11 findings.
+        assert_eq!(
+            d.iter()
+                .filter(|x| x.severity == crate::Severity::Error)
+                .count(),
+            11
+        );
+    }
+
+    #[test]
+    fn core_and_verifier_render_identical_messages() {
+        let mut s = Schedule::new(4);
+        s.push_step(Step {
+            ops: vec![
+                CommOp::Send {
+                    from: 0,
+                    to: 9,
+                    bytes: 1,
+                },
+                CommOp::Send {
+                    from: 1,
+                    to: 1,
+                    bytes: 1,
+                },
+            ],
+        });
+        let core_err = s.check_nodes().unwrap_err();
+        let d = verify_schedule(&s, None, &VerifyOptions::default());
+        let bad = d.iter().find(|x| x.code == Code::BadNode).expect("V001");
+        assert_eq!(
+            core_err.to_string(),
+            format!("{}: {}", bad.code, bad.message),
+            "core Display and verifier rendering must agree"
+        );
+        assert_eq!(core_err.code(), bad.code.as_str());
+        assert!(d.has(Code::SelfMessage));
+    }
+
+    #[test]
+    fn duplicate_directed_pair_warns() {
+        let mut s = Schedule::new(4);
+        s.push_step(Step {
+            ops: vec![
+                CommOp::Send {
+                    from: 0,
+                    to: 1,
+                    bytes: 8,
+                },
+                CommOp::Send {
+                    from: 0,
+                    to: 1,
+                    bytes: 8,
+                },
+            ],
+        });
+        let d = verify_schedule(&s, None, &VerifyOptions::default());
+        assert!(d.has(Code::DuplicatePair));
+        assert_eq!(d.count(crate::Severity::Warning), 1, "reported once");
+    }
+
+    #[test]
+    fn non_permutation_step_reported() {
+        let mut s = Schedule::new(4);
+        s.push_step(Step {
+            ops: vec![
+                CommOp::Send {
+                    from: 0,
+                    to: 1,
+                    bytes: 8,
+                },
+                CommOp::Send {
+                    from: 0,
+                    to: 2,
+                    bytes: 8,
+                },
+            ],
+        });
+        let opts = VerifyOptions {
+            expect_permutation: true,
+            ..VerifyOptions::default()
+        };
+        let d = verify_schedule(&s, None, &opts);
+        assert!(d.has(Code::NotPermutation));
+    }
+
+    #[test]
+    fn zero_byte_op_warns_only_amid_real_traffic() {
+        let mut s = Schedule::new(4);
+        s.push_step(Step {
+            ops: vec![
+                CommOp::Send {
+                    from: 0,
+                    to: 1,
+                    bytes: 0,
+                },
+                CommOp::Send {
+                    from: 2,
+                    to: 3,
+                    bytes: 64,
+                },
+            ],
+        });
+        let d = verify_schedule(&s, None, &VerifyOptions::default());
+        assert!(d.has(Code::ZeroBytes));
+        assert!(!d.is_clean());
+
+        // A uniformly zero-byte schedule is a latency measurement, not a bug.
+        let z = pex(8, 0);
+        let d = verify_schedule(&z, None, &VerifyOptions::default());
+        assert!(d.is_clean(), "{}", d.render_human());
+    }
+
+    #[test]
+    fn rex_coverage_skipped_for_store_and_forward() {
+        let s = rex(8, 256);
+        assert!(s.store_and_forward);
+        let p = Pattern::complete_exchange(8, 256);
+        let d = verify_schedule(&s, Some(&p), &strict());
+        assert!(d.is_clean(), "{}", d.render_human());
+    }
+
+    #[test]
+    fn pattern_size_mismatch_is_an_error() {
+        let s = pex(8, 64);
+        let p = Pattern::complete_exchange(16, 64);
+        let d = verify_schedule(&s, Some(&p), &VerifyOptions::default());
+        assert!(d.has(Code::CoverageMissing));
+    }
+
+    #[test]
+    fn bad_node_short_circuits_deadlock_analysis() {
+        let mut s = Schedule::new(2);
+        s.push_step(Step {
+            ops: vec![CommOp::Send {
+                from: 0,
+                to: 7,
+                bytes: 1,
+            }],
+        });
+        let d = verify_schedule(&s, None, &VerifyOptions::default());
+        assert!(d.has(Code::BadNode));
+        assert!(!d.has_deadlock());
+    }
+}

@@ -1,0 +1,236 @@
+//! Fault injection for the differential validation harness.
+//!
+//! The mutation-style tests (and `cm5 lint --inject`) take a *valid*
+//! lowered schedule and break it the ways hand-written CMMD code breaks:
+//! reorder a node's blocking ops, drop one, point a receive at the wrong
+//! source, or corrupt a tag. The differential suite then asserts that the
+//! verifier's verdict matches the blocking-mode simulator's on every
+//! mutant — the verifier may neither miss an injected deadlock nor cry
+//! wolf on a mutant that still completes.
+
+use cm5_sim::{Op, OpProgram};
+
+/// One injected fault, expressed over lowered per-node programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Swap the comm op at `idx` with the next comm op of the same node
+    /// (e.g. turning Figure 2's recv-then-send into send-then-send with the
+    /// partner — the classic rendezvous deadlock).
+    SwapWithNext {
+        /// Node whose program is mutated.
+        node: usize,
+        /// Index into [`comm_sites`] for that node's program.
+        site: usize,
+    },
+    /// Remove one comm op (a dropped send or receive — the partner blocks
+    /// forever).
+    Drop {
+        /// Node whose program is mutated.
+        node: usize,
+        /// Index into [`comm_sites`] for that node's program.
+        site: usize,
+    },
+    /// Re-point a `Recv`'s source at `(from + 1) mod n` (a mispaired
+    /// receive).
+    RetargetRecv {
+        /// Node whose program is mutated.
+        node: usize,
+        /// Index into [`comm_sites`] for that node's program.
+        site: usize,
+    },
+    /// Bump an op's tag by a large constant (a tag mismatch).
+    Retag {
+        /// Node whose program is mutated.
+        node: usize,
+        /// Index into [`comm_sites`] for that node's program.
+        site: usize,
+    },
+}
+
+/// Indices of the point-to-point comm ops (`Send`/`Isend`/`Recv`/`RecvAny`)
+/// of one program — the mutation sites.
+pub fn comm_sites(program: &OpProgram) -> Vec<usize> {
+    program
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| {
+            matches!(
+                op,
+                Op::Send { .. } | Op::Isend { .. } | Op::Recv { .. } | Op::RecvAny { .. }
+            )
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Apply `m` to `programs`. Returns `false` (leaving the programs intact)
+/// when the mutation does not apply — no such site, or a retarget that
+/// would alias the node itself.
+pub fn apply(programs: &mut [OpProgram], m: Mutation) -> bool {
+    let n = programs.len();
+    let (node, site) = match m {
+        Mutation::SwapWithNext { node, site }
+        | Mutation::Drop { node, site }
+        | Mutation::RetargetRecv { node, site }
+        | Mutation::Retag { node, site } => (node, site),
+    };
+    if node >= n {
+        return false;
+    }
+    let sites = comm_sites(&programs[node]);
+    if sites.is_empty() {
+        return false;
+    }
+    let site = sites[site % sites.len()];
+    match m {
+        Mutation::SwapWithNext { .. } => {
+            let Some(&next) = comm_sites(&programs[node]).iter().find(|&&i| i > site) else {
+                return false;
+            };
+            programs[node].swap(site, next);
+            true
+        }
+        Mutation::Drop { .. } => {
+            programs[node].remove(site);
+            true
+        }
+        Mutation::RetargetRecv { .. } => match programs[node][site] {
+            Op::Recv { from, tag } => {
+                let mut new_from = (from + 1) % n;
+                if new_from == node {
+                    new_from = (new_from + 1) % n;
+                }
+                if new_from == from {
+                    return false; // n == 2: no other source exists
+                }
+                programs[node][site] = Op::Recv {
+                    from: new_from,
+                    tag,
+                };
+                true
+            }
+            _ => false,
+        },
+        Mutation::Retag { .. } => {
+            let op = &mut programs[node][site];
+            match op {
+                Op::Send { tag, .. }
+                | Op::Isend { tag, .. }
+                | Op::Recv { tag, .. }
+                | Op::RecvAny { tag } => {
+                    *tag += 1_000_000;
+                    true
+                }
+                _ => false,
+            }
+        }
+    }
+}
+
+/// Named demonstration faults for `cm5 lint --inject` (documented in
+/// EXPERIMENTS.md). Returns a description of what was broken, or `None` if
+/// the programs offer no applicable site.
+pub fn inject_demo(programs: &mut [OpProgram], kind: &str) -> Option<String> {
+    match kind {
+        // Break Figure 2's ordering: find the first node whose next two
+        // comm ops are recv-then-send and swap them, so both partners send
+        // first — a rendezvous cycle.
+        "swap-order" => {
+            for (node, prog) in programs.iter_mut().enumerate() {
+                let sites = comm_sites(prog);
+                for (k, &i) in sites.iter().enumerate() {
+                    let Some(&j) = sites.get(k + 1) else { continue };
+                    if matches!(prog[i], Op::Recv { .. })
+                        && matches!(prog[j], Op::Send { .. } | Op::Isend { .. })
+                    {
+                        prog.swap(i, j);
+                        return Some(format!(
+                            "swapped node {node}'s ops {i} and {j} (recv-then-send became send-then-recv)"
+                        ));
+                    }
+                }
+            }
+            None
+        }
+        // Drop the first receive in the lowest-numbered program that has
+        // one: its partner's blocking send never matches.
+        "drop-recv" => {
+            for (node, prog) in programs.iter_mut().enumerate() {
+                if let Some(i) = prog.iter().position(|op| matches!(op, Op::Recv { .. })) {
+                    let op = prog.remove(i);
+                    return Some(format!("dropped node {node}'s op {i} ({op:?})"));
+                }
+            }
+            None
+        }
+        // Corrupt the first comm op's tag: a mispaired message.
+        "retag" => {
+            for (node, prog) in programs.iter_mut().enumerate() {
+                for (i, op) in prog.iter_mut().enumerate() {
+                    if let Op::Send { tag, .. }
+                    | Op::Isend { tag, .. }
+                    | Op::Recv { tag, .. }
+                    | Op::RecvAny { tag } = op
+                    {
+                        *tag += 1_000_000;
+                        return Some(format!("corrupted the tag of node {node}'s op {i}"));
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_programs;
+    use cm5_core::prelude::*;
+
+    #[test]
+    fn swap_with_next_injects_a_deadlock_in_pex() {
+        let mut progs = lower(&pex(8, 64));
+        assert!(apply(
+            &mut progs,
+            Mutation::SwapWithNext { node: 0, site: 0 }
+        ));
+        let d = verify_programs(&progs);
+        assert!(d.has_deadlock(), "{}", d.render_human());
+    }
+
+    #[test]
+    fn drop_injects_a_stuck_partner() {
+        let mut progs = lower(&pex(8, 64));
+        assert!(apply(&mut progs, Mutation::Drop { node: 3, site: 1 }));
+        let d = verify_programs(&progs);
+        assert!(d.has_deadlock(), "{}", d.render_human());
+    }
+
+    #[test]
+    fn inapplicable_mutations_refuse() {
+        let mut progs: Vec<OpProgram> = vec![vec![], vec![]];
+        assert!(!apply(&mut progs, Mutation::Drop { node: 0, site: 0 }));
+        assert!(!apply(&mut progs, Mutation::Drop { node: 9, site: 0 }));
+        // Retarget with n == 2 has no other source to point at.
+        let mut two = lower(&pex(2, 64));
+        let site = comm_sites(&two[0])
+            .iter()
+            .position(|&i| matches!(two[0][i], Op::Recv { .. }))
+            .unwrap();
+        assert!(!apply(&mut two, Mutation::RetargetRecv { node: 0, site }));
+    }
+
+    #[test]
+    fn demo_injections_apply_and_are_caught() {
+        for kind in ["swap-order", "drop-recv", "retag"] {
+            let mut progs = lower(&pex(8, 64));
+            let what = inject_demo(&mut progs, kind).expect(kind);
+            assert!(!what.is_empty());
+            let d = verify_programs(&progs);
+            assert!(d.has_deadlock(), "{kind}: {}", d.render_human());
+        }
+        assert!(inject_demo(&mut lower(&pex(4, 8)), "bogus").is_none());
+    }
+}

@@ -12,6 +12,7 @@
 //! through the simulated network and results are verified against the
 //! sequential references in `tests/`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cg;

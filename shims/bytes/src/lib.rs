@@ -7,6 +7,8 @@
 //! the real crate for this subset; only the zero-copy slicing machinery is
 //! omitted because nothing here needs it.
 
+#![forbid(unsafe_code)]
+
 use std::borrow::Borrow;
 use std::fmt;
 use std::ops::Deref;

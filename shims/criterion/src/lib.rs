@@ -8,6 +8,8 @@
 //! min/mean/max over `sample_size` timed samples after one warm-up —
 //! no bootstrap statistics, HTML reports, or regression baselines.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

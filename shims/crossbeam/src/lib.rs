@@ -7,6 +7,8 @@
 //! `std::sync::mpsc` with the receiver behind an `Arc<Mutex<..>>`; fairness
 //! differs from real crossbeam but send/recv/disconnect semantics match.
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     use std::fmt;
     use std::sync::mpsc;

@@ -6,6 +6,8 @@
 //! Built on the std primitives; a poisoned std lock is transparently
 //! re-entered, which is exactly parking_lot's behaviour of not poisoning.
 
+#![forbid(unsafe_code)]
+
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock whose `lock()` returns the guard directly.

@@ -9,6 +9,8 @@
 //! failure reproduces on every run and machine. Shrinking is not
 //! implemented — the failure message reports the generated inputs instead.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};

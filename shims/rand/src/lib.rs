@@ -10,6 +10,8 @@
 //! randomness is seeded and compared against its own reproduced numbers,
 //! never against externally published `StdRng` streams.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Construction of an RNG from a seed.

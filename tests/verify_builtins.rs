@@ -1,0 +1,195 @@
+//! Every builtin schedule generator must verify clean.
+//!
+//! This is the static half of the verifier's contract (the dynamic half —
+//! agreement with the simulator — lives in `verify_differential.rs`): all
+//! of the paper's generators, across sizes and densities, produce schedules
+//! with zero errors and zero warnings under the policy their family
+//! promises. Contention *advice* is allowed — PEX deliberately saturates
+//! the root, which is Figure 5's whole point — and asserted where the paper
+//! predicts it.
+
+use cm5_core::prelude::*;
+use cm5_verify::{
+    broadcast_policy, exchange_policy, irregular_policy, verify_schedule, Code, Severity,
+    VerifyOptions,
+};
+use proptest::prelude::*;
+
+fn assert_clean(name: &str, schedule: &Schedule, pattern: Option<&Pattern>, opts: &VerifyOptions) {
+    let report = verify_schedule(schedule, pattern, opts);
+    assert!(
+        report.is_clean(),
+        "{name} failed verification:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn exchanges_verify_clean_at_all_sizes() {
+    for alg in ExchangeAlg::ALL {
+        for k in 2..=8 {
+            let n = 1usize << k; // 4..=256
+            let schedule = alg.schedule(n, 1024);
+            let pattern = Pattern::complete_exchange(n, 1024);
+            assert_clean(
+                &format!("{} n={n}", alg.name()),
+                &schedule,
+                Some(&pattern),
+                &exchange_policy(alg),
+            );
+        }
+    }
+}
+
+#[test]
+fn broadcasts_verify_clean() {
+    for n in [4usize, 8, 32, 128] {
+        for root in [0, n / 2, n - 1] {
+            assert_clean(
+                &format!("lib n={n} root={root}"),
+                &lib_linear(n, root, 4096),
+                None,
+                &broadcast_policy(BroadcastAlg::Linear),
+            );
+            assert_clean(
+                &format!("reb n={n} root={root}"),
+                &reb(n, root, 4096),
+                None,
+                &broadcast_policy(BroadcastAlg::Recursive),
+            );
+        }
+    }
+}
+
+#[test]
+fn irregular_schedulers_verify_clean_across_densities() {
+    for alg in IrregularAlg::ALL {
+        for density in [0.10, 0.25, 0.50, 0.75] {
+            for seed in [1u64, 0x7AB1E] {
+                let pattern = Pattern::seeded_random(32, density, 256, seed);
+                assert_clean(
+                    &format!("{} density={density} seed={seed:#x}", alg.name()),
+                    &alg.schedule(&pattern),
+                    Some(&pattern),
+                    &irregular_policy(alg),
+                );
+            }
+        }
+        let paper = Pattern::paper_pattern_p(256);
+        assert_clean(
+            &format!("{} paper pattern", alg.name()),
+            &alg.schedule(&paper),
+            Some(&paper),
+            &irregular_policy(alg),
+        );
+    }
+}
+
+#[test]
+fn crystal_router_verifies_clean() {
+    let pattern = Pattern::seeded_random(32, 0.25, 256, 0x7AB1E);
+    let schedule = crystal(&pattern);
+    assert!(schedule.store_and_forward);
+    assert_clean(
+        "crystal",
+        &schedule,
+        Some(&pattern),
+        &VerifyOptions::default(),
+    );
+}
+
+#[test]
+fn async_lowering_verifies_clean_too() {
+    // Isend + trailing WaitAll changes the blocking structure the deadlock
+    // analysis walks; the builtins must stay clean under it.
+    let mut opts = exchange_policy(ExchangeAlg::Pex);
+    opts.lower.async_sends = true;
+    let pattern = Pattern::complete_exchange(16, 512);
+    assert_clean("pex async", &pex(16, 512), Some(&pattern), &opts);
+
+    let mut opts = irregular_policy(IrregularAlg::Gs);
+    opts.lower.async_sends = true;
+    let paper = Pattern::paper_pattern_p(128);
+    assert_clean("gs async", &gs(&paper), Some(&paper), &opts);
+}
+
+/// The paper's contention story, reproduced as static advice: PEX's global
+/// steps double-book the root, BEX flattens all but its one all-global
+/// step, REX crosses the root exactly once, and LEX's fan-in piles onto
+/// the receiver's leaf link.
+#[test]
+fn hotspot_advice_lands_where_the_paper_predicts() {
+    let count = |s: &Schedule, code: Code| {
+        let p = Pattern::complete_exchange(s.n(), 1024);
+        verify_schedule(s, Some(&p), &VerifyOptions::default())
+            .iter()
+            .filter(|d| d.code == code)
+            .count()
+    };
+    assert_eq!(count(&pex(32, 1024), Code::RootHotspot), 16);
+    assert_eq!(count(&bex(32, 1024), Code::RootHotspot), 16);
+    assert_eq!(count(&rex(32, 1024), Code::RootHotspot), 1);
+    assert_eq!(count(&lex(8, 1024), Code::LinkHotspot), 8);
+    assert_eq!(count(&lex(8, 1024), Code::RootHotspot), 0);
+    // Advice never dirties a report.
+    let p = Pattern::complete_exchange(32, 1024);
+    let report = verify_schedule(&pex(32, 1024), Some(&p), &exchange_policy(ExchangeAlg::Pex));
+    assert!(report.is_clean());
+    assert_eq!(report.count(Severity::Error), 0);
+    assert_eq!(report.count(Severity::Warning), 0);
+    assert!(report.count(Severity::Advice) > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any seeded pattern, any density, any power-of-two size: all four
+    /// irregular schedulers stay clean under their own policy.
+    #[test]
+    fn random_patterns_verify_clean(
+        k in 2usize..6,
+        density in 0.05f64..0.95,
+        bytes in 1u64..4096,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << k;
+        let pattern = Pattern::seeded_random(n, density, bytes, seed);
+        prop_assume!(pattern.nonzero_pairs() > 0);
+        for alg in IrregularAlg::ALL {
+            let report = verify_schedule(
+                &alg.schedule(&pattern),
+                Some(&pattern),
+                &irregular_policy(alg),
+            );
+            prop_assert!(
+                report.is_clean(),
+                "{} n={n} density={density} seed={seed:#x}:\n{}",
+                alg.name(),
+                report.render_human()
+            );
+        }
+    }
+
+    /// Random complete exchanges: every regular algorithm is clean, and
+    /// async lowering never changes the verdict.
+    #[test]
+    fn random_exchanges_verify_clean(
+        k in 2usize..7,
+        bytes in 1u64..8192,
+        async_sends in any::<bool>(),
+    ) {
+        let n = 1usize << k;
+        for alg in ExchangeAlg::ALL {
+            let mut opts = exchange_policy(alg);
+            opts.lower.async_sends = async_sends;
+            let pattern = Pattern::complete_exchange(n, bytes);
+            let report = verify_schedule(&alg.schedule(n, bytes), Some(&pattern), &opts);
+            prop_assert!(
+                report.is_clean(),
+                "{} n={n} bytes={bytes} async={async_sends}:\n{}",
+                alg.name(),
+                report.render_human()
+            );
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Differential validation: the static verifier against the simulator.
+//!
+//! The verifier's deadlock verdict is only worth anything if it agrees
+//! with what the machine actually does. Rendezvous matching with named
+//! sources and exact tags is confluent — the blocked/unblocked outcome is
+//! timing-independent — so the two must agree *exactly*:
+//!
+//! * verifier-clean schedules complete in the blocking simulator;
+//! * verifier-flagged deadlocks genuinely stall the simulator;
+//! * simulator deadlocks are always predicted (100% catch rate over an
+//!   exhaustive sweep of swap/drop/retarget/retag mutations of valid
+//!   PEX/BEX/GS/REB programs).
+
+use cm5_core::prelude::*;
+use cm5_sim::{MachineParams, OpProgram, SimError, Simulation};
+use cm5_verify::mutate::{apply, comm_sites, inject_demo, Mutation};
+use cm5_verify::{
+    exchange_policy, irregular_policy, verify_programs, verify_schedule, Code, VerifyOptions,
+};
+
+fn simulate(programs: &[OpProgram]) -> Result<(), SimError> {
+    Simulation::new(programs.len(), MachineParams::cm5_1992())
+        .run_ops(programs)
+        .map(|_| ())
+}
+
+/// The simulator's "stuck forever" outcomes. A mutation can also surface
+/// as `BadProgram` (e.g. a retargeted recv turning into self-receive is
+/// impossible here, but kept for clarity of intent).
+fn sim_stalls(err: &SimError) -> bool {
+    matches!(
+        err,
+        SimError::Deadlock { .. } | SimError::CollectiveMismatch { .. }
+    )
+}
+
+#[test]
+fn clean_schedules_complete_in_the_simulator() {
+    let paper = Pattern::paper_pattern_p(128);
+    let cases: Vec<(&str, Schedule, Option<Pattern>, VerifyOptions)> = vec![
+        (
+            "lex",
+            lex(8, 256),
+            Some(Pattern::complete_exchange(8, 256)),
+            exchange_policy(ExchangeAlg::Lex),
+        ),
+        (
+            "pex",
+            pex(16, 256),
+            Some(Pattern::complete_exchange(16, 256)),
+            exchange_policy(ExchangeAlg::Pex),
+        ),
+        (
+            "bex",
+            bex(16, 256),
+            Some(Pattern::complete_exchange(16, 256)),
+            exchange_policy(ExchangeAlg::Bex),
+        ),
+        (
+            "rex",
+            rex(16, 256),
+            Some(Pattern::complete_exchange(16, 256)),
+            exchange_policy(ExchangeAlg::Rex),
+        ),
+        (
+            "ls",
+            ls(&paper),
+            Some(paper.clone()),
+            irregular_policy(IrregularAlg::Ls),
+        ),
+        (
+            "gs",
+            gs(&paper),
+            Some(paper.clone()),
+            irregular_policy(IrregularAlg::Gs),
+        ),
+        ("crystal", crystal(&paper), None, VerifyOptions::default()),
+    ];
+    for (name, schedule, pattern, opts) in &cases {
+        let report = verify_schedule(schedule, pattern.as_ref(), opts);
+        assert!(report.is_clean(), "{name}:\n{}", report.render_human());
+        let programs = lower_with(schedule, &opts.lower);
+        simulate(&programs).unwrap_or_else(|e| panic!("{name} stalled the simulator: {e}"));
+    }
+}
+
+/// The `cm5 lint --inject` demos are real: each one both trips the
+/// verifier and stalls the simulator, with a non-empty witness.
+#[test]
+fn demo_injections_are_caught_and_genuinely_stall() {
+    for kind in ["swap-order", "drop-recv", "retag"] {
+        let schedule = pex(8, 64);
+        let mut programs = lower_with(&schedule, &LowerOptions::default());
+        let desc = inject_demo(&mut programs, kind).expect("known demo kind");
+        let report = verify_programs(&programs);
+        assert!(report.has_deadlock(), "{kind} ({desc}) not caught");
+        for d in report.iter().filter(|d| d.code == Code::DeadlockCycle) {
+            assert!(!d.witness.is_empty(), "{kind}: V020 without witness");
+        }
+        let err = simulate(&programs).expect_err("injected fault must stall");
+        assert!(sim_stalls(&err), "{kind}: unexpected sim error {err}");
+    }
+}
+
+/// Exhaustive mutation sweep: every (node, site, kind) mutation of the
+/// lowered PEX/BEX/GS/REB programs, checked for *agreement* — the
+/// verifier predicts a stall if and only if the simulator stalls. The
+/// deadlocking subset must be non-trivial (catch rate is 100% of it by
+/// construction of the agreement check).
+#[test]
+fn mutation_sweep_verifier_and_simulator_agree() {
+    let paper = Pattern::paper_pattern_p(64);
+    let targets: Vec<(&str, Vec<OpProgram>)> = vec![
+        ("pex8", lower(&pex(8, 64))),
+        ("bex8", lower(&bex(8, 64))),
+        ("gs-paper", lower(&gs(&paper))),
+        ("reb8", lower(&reb(8, 0, 64))),
+    ];
+    let mut deadlocks = 0usize;
+    let mut survivors = 0usize;
+    for (name, base) in &targets {
+        for node in 0..base.len() {
+            let sites = comm_sites(&base[node]).len();
+            for site in 0..sites {
+                for kind in 0..4usize {
+                    let mutation = match kind {
+                        0 => Mutation::SwapWithNext { node, site },
+                        1 => Mutation::Drop { node, site },
+                        2 => Mutation::RetargetRecv { node, site },
+                        _ => Mutation::Retag { node, site },
+                    };
+                    let mut programs = base.clone();
+                    if !apply(&mut programs, mutation) {
+                        continue;
+                    }
+                    let report = verify_programs(&programs);
+                    let sim = simulate(&programs);
+                    match &sim {
+                        Ok(()) => {
+                            survivors += 1;
+                            assert!(
+                                !report.has_deadlock(),
+                                "{name} node {node} site {site} kind {kind}: \
+                                 verifier flagged a deadlock but the run completed:\n{}",
+                                report.render_human()
+                            );
+                        }
+                        Err(e) if sim_stalls(e) => {
+                            deadlocks += 1;
+                            assert!(
+                                report.has_deadlock(),
+                                "{name} node {node} site {site} kind {kind}: \
+                                 simulator stalled but the verifier missed it: {e}"
+                            );
+                            for d in report.iter().filter(|d| d.code == Code::DeadlockCycle) {
+                                assert!(!d.witness.is_empty(), "V020 without witness");
+                            }
+                        }
+                        Err(e) => panic!(
+                            "{name} node {node} site {site} kind {kind}: unexpected error {e}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    // Non-vacuity: the sweep must exercise both outcomes heavily.
+    assert!(deadlocks >= 100, "only {deadlocks} deadlocking mutations");
+    assert!(survivors >= 10, "only {survivors} surviving mutations");
+}
+
+/// Async lowering differential: the Isend/WaitAll structure is verified
+/// with the same agreement guarantee.
+#[test]
+fn async_mutations_agree_too() {
+    let opts = LowerOptions {
+        async_sends: true,
+        ..Default::default()
+    };
+    let base = lower_with(&pex(8, 64), &opts);
+    let mut checked = 0usize;
+    for node in 0..base.len() {
+        let sites = comm_sites(&base[node]).len();
+        for site in 0..sites {
+            let mut programs = base.clone();
+            if !apply(&mut programs, Mutation::Drop { node, site }) {
+                continue;
+            }
+            let report = verify_programs(&programs);
+            match simulate(&programs) {
+                Ok(()) => assert!(!report.has_deadlock(), "false positive (async)"),
+                Err(e) if sim_stalls(&e) => {
+                    checked += 1;
+                    assert!(report.has_deadlock(), "missed async deadlock: {e}");
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+    }
+    assert!(checked > 0, "async sweep was vacuous");
+}
