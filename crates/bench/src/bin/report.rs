@@ -21,6 +21,9 @@
 //! `--jobs N` fans the grid cells across `N` worker threads (`0` = one per
 //! hardware thread); output is byte-identical to the serial run because
 //! results are merged in canonical grid order before printing.
+//! `--trace-out DIR` additionally writes one Chrome-trace JSON per Fig 5
+//! exchange algorithm at 32 nodes (rerun serially with the `cm5-obs` sinks
+//! on, so the files are identical across `--jobs` values).
 //! Absolute times are not expected to match 1992 hardware; orderings,
 //! ratios and crossover locations are the reproduction targets (see
 //! EXPERIMENTS.md).
@@ -52,6 +55,10 @@ static BASELINE: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::On
 /// `--bench-json PATH`: where the perf section writes its artifact.
 static BENCH_JSON: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();
 
+/// `--trace-out DIR`: write Chrome-trace JSON for the Fig 5 algorithms
+/// there (one file per exchange algorithm at 32 nodes).
+static TRACE_OUT: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
+
 fn runner() -> SweepRunner {
     SweepRunner::new(*JOBS.get().unwrap_or(&1))
 }
@@ -82,6 +89,7 @@ fn main() {
     let mut quick = false;
     let mut baseline = None;
     let mut bench_json = std::path::PathBuf::from("BENCH_sim.json");
+    let mut trace_out = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         if a == "--quick" {
@@ -98,6 +106,13 @@ fn main() {
                 std::process::exit(2);
             });
             bench_json = std::path::PathBuf::from(f);
+        } else if a == "--trace-out" {
+            let dir = it.next().unwrap_or_else(|| {
+                eprintln!("--trace-out needs a directory");
+                std::process::exit(2);
+            });
+            std::fs::create_dir_all(&dir).expect("create trace dir");
+            trace_out = Some(std::path::PathBuf::from(dir));
         } else if a == "--csv" {
             let dir = it.next().unwrap_or_else(|| "report_csv".to_string());
             std::fs::create_dir_all(&dir).expect("create csv dir");
@@ -130,6 +145,7 @@ fn main() {
     QUICK.set(quick).expect("set once");
     BASELINE.set(baseline).expect("set once");
     BENCH_JSON.set(bench_json).expect("set once");
+    TRACE_OUT.set(trace_out).expect("set once");
     // `beyond` and `perf` are opt-in: the default section set must stay
     // byte-identical across runs, and perf output includes wall-clock.
     let want = |s: &str| {
@@ -171,6 +187,42 @@ fn main() {
     }
     if want("perf") {
         perf();
+    }
+    write_traces();
+}
+
+/// `--trace-out DIR`: rerun the four Fig 5 exchange algorithms at 32 nodes
+/// with the observability sinks on and export one Chrome-trace JSON each.
+/// Runs serially outside the worker pool, so the files are byte-identical
+/// across `--jobs` values.
+fn write_traces() {
+    let Some(Some(dir)) = TRACE_OUT.get().map(|d| d.as_ref()) else {
+        return;
+    };
+    let n = 32;
+    let bytes = 1024;
+    let params = MachineParams::cm5_1992();
+    let topo = cm5_sim::Topology::FatTree(cm5_sim::FatTree::new(n));
+    for alg in ExchangeAlg::ALL {
+        let key = match alg {
+            ExchangeAlg::Lex => "lex",
+            ExchangeAlg::Pex => "pex",
+            ExchangeAlg::Rex => "rex",
+            ExchangeAlg::Bex => "bex",
+        };
+        let programs = lower(&alg.schedule(n, bytes));
+        let report = Simulation::new_on(topo.clone(), params.clone())
+            .record_trace(true)
+            .record_rates(true)
+            .run_ops(&programs)
+            .expect("trace run");
+        let json = cm5_obs::chrome_trace(&report, &topo, &params);
+        let path = dir.join(format!("trace_{key}_n{n}.json"));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("wrote {}", path.display());
+        }
     }
 }
 

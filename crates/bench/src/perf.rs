@@ -163,7 +163,11 @@ pub fn run_perf_suite(reps: u32) -> Vec<PerfMeasurement> {
 /// Serialise measurements as the `BENCH_sim.json` artifact (hand-rolled —
 /// the build is offline and the schema is flat).
 pub fn to_json(measurements: &[PerfMeasurement], quick: bool) -> String {
-    let mut out = String::from("{\n  \"schema\": \"cm5-bench-sim-perf/1\",\n");
+    let mut out = format!(
+        "{{\n  \"{}\": \"{}\",\n",
+        cm5_obs::SCHEMA_KEY,
+        cm5_obs::schema_id("bench-sim-perf", 1)
+    );
     out.push_str(&format!("  \"quick\": {quick},\n  \"grids\": [\n"));
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(

@@ -768,6 +768,138 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Build the schedule a trace run will observe, mirroring `cm5 lint`'s
+/// single-target construction (same `--alg` vocabulary).
+fn trace_schedule(args: &Args) -> Result<Schedule, String> {
+    let n = args.usize_or("n", 32)?;
+    let bytes = args.u64_or("bytes", 1024)?;
+    let name = args.get("alg").unwrap_or("bex");
+    match name {
+        "lex" => Ok(ExchangeAlg::Lex.schedule(n, bytes)),
+        "pex" => Ok(ExchangeAlg::Pex.schedule(n, bytes)),
+        "rex" => Ok(ExchangeAlg::Rex.schedule(n, bytes)),
+        "bex" => Ok(ExchangeAlg::Bex.schedule(n, bytes)),
+        "lib" => Ok(lib_linear(n, args.usize_or("root", 0)?, bytes)),
+        "reb" => Ok(reb(n, args.usize_or("root", 0)?, bytes)),
+        "ls" | "ps" | "bs" | "gs" | "crystal" => {
+            let pattern = match args.get("pattern-file") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("could not read {path}: {e}"))?;
+                    Pattern::parse_text(&text)?
+                }
+                None => irregular_pattern(args, n)?,
+            };
+            Ok(match name {
+                "ls" => ls(&pattern),
+                "ps" => ps(&pattern),
+                "bs" => bs(&pattern),
+                "gs" => gs(&pattern),
+                _ => crystal(&pattern),
+            })
+        }
+        other => Err(format!(
+            "unknown --alg '{other}' (lex|pex|rex|bex|lib|reb|ls|ps|bs|gs|crystal)"
+        )),
+    }
+}
+
+/// `cm5 trace` — run one schedule with the trace and rate sinks enabled and
+/// export/render the observability views.
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    args.check_flags(&[
+        "alg",
+        "n",
+        "bytes",
+        "density",
+        "seed",
+        "pattern",
+        "pattern-file",
+        "root",
+        "machine",
+        "rates",
+        "topology",
+        "async",
+        "out",
+        "timeline",
+        "links",
+        "json",
+        "width",
+    ])?;
+    let params = machine(args)?;
+    let schedule = trace_schedule(args)?;
+    let n = schedule.n();
+    let width = args.usize_or("width", 64)?;
+    let topo = topology(args, n)?;
+    let programs = lower_with(
+        &schedule,
+        &LowerOptions {
+            async_sends: args.has("async"),
+            ..Default::default()
+        },
+    );
+    let report = Simulation::new_on(topo.clone(), params.clone())
+        .record_trace(true)
+        .record_rates(true)
+        .run_ops(&programs)
+        .map_err(|e| e.to_string())?;
+    let spans = cm5_obs::SpanStore::from_report(&report);
+    let metrics = cm5_obs::Metrics::from_spans(&report, &spans);
+
+    if let Some(path) = args.get("out") {
+        let json = cm5_obs::chrome_trace_from_spans(&spans, &report, &topo, &params);
+        std::fs::write(path, json).map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("wrote {path} (load in Perfetto / chrome://tracing)");
+    }
+    if args.has("json") {
+        println!("{}", metrics.to_json());
+        return Ok(());
+    }
+
+    println!(
+        "trace {}: {n} nodes, {} steps",
+        args.get("alg").unwrap_or("bex"),
+        schedule.num_steps()
+    );
+    print_report(Some(&schedule), &report, n);
+    println!(
+        "spans      : {} messages, {} blocked, {} collectives, {} steps, {} solver recomputes",
+        spans.messages.len(),
+        spans.blocked.len(),
+        spans.collectives.len(),
+        spans.steps.len(),
+        spans.solver_events.len()
+    );
+    if report.trace_dropped > 0 {
+        println!("trace ring : {} events dropped", report.trace_dropped);
+    }
+    let latency = &metrics.histograms["message_latency_ns"];
+    println!(
+        "latency    : mean {:.1} us, max {:.1} us over {} messages",
+        latency.mean() / 1e3,
+        latency.max as f64 / 1e3,
+        latency.count
+    );
+    if args.has("timeline") {
+        print!("{}", cm5_obs::render_timeline(&spans, n, width));
+    }
+    if args.has("links") {
+        let usage = cm5_obs::link_usage(&report.rate_samples, &topo, &params);
+        print!("{}", cm5_obs::render_sparklines(&usage, width));
+        if let Some(hot) = usage.hottest() {
+            println!(
+                "hot link   : link {} (level {}) peaked at {:.0}% of {:.0} MB/s at {}",
+                hot.link,
+                hot.level,
+                hot.utilization() * 100.0,
+                hot.capacity / 1e6,
+                hot.at
+            );
+        }
+    }
+    Ok(())
+}
+
 const USAGE: &str = "\
 cm5 — schedule and simulate CM-5 communication patterns
 
@@ -783,6 +915,9 @@ USAGE:
                 [--seed S] [--pattern paper] [--pattern-file PATH] [--all] [--json] [--async]
                 [--inject swap-order|drop-recv|retag]
   cm5 bench     [--quick] [--json PATH]   (simulator host-cost suite -> BENCH_sim.json)
+  cm5 trace     [--alg lex|..|bex|lib|reb|ls|..|gs|crystal] [-n N] [--bytes B] [--density D]
+                [--seed S] [--pattern paper] [--pattern-file PATH] [--out trace.json]
+                [--timeline] [--links] [--json] [--width W] [--async]
 
 `--alg auto` asks the cm5-model cost models to pick; `cm5 advise` prints
 the prediction table without running the simulator.
@@ -791,6 +926,11 @@ analysis, byte conservation against the pattern, step-shape lints, and
 predicted fat-tree hotspots. `--all` sweeps every builtin generator
 (the CI gate); `--inject` deliberately breaks the lowered programs to
 demonstrate a finding.
+`cm5 trace` reruns one schedule with the trace and rate sinks on and
+exports the observability views: `--out` writes Chrome Trace Format JSON
+(Perfetto / chrome://tracing), `--timeline` draws a per-node Gantt chart,
+`--links` draws per-level utilization sparklines, `--json` prints the
+metrics registry. Simulated results are bit-identical with tracing on.
 Simulating commands also take `--rates full|incremental` to select the
 network rate solver (`full` = the original per-admission recompute,
 kept as an ablation/differential-testing oracle; results are identical).
@@ -809,6 +949,7 @@ fn dispatch(raw: &[String]) -> Result<(), String> {
         Some("sweep") => cmd_sweep(&args),
         Some("lint") => cmd_lint(&args),
         Some("bench") => cmd_bench(&args),
+        Some("trace") => cmd_trace(&args),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
         None => Err(USAGE.to_string()),
     }
@@ -966,6 +1107,43 @@ mod tests {
         dispatch(&argv(&format!("lint --alg gs --pattern-file {path_s}"))).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(dispatch(&argv("lint --alg gs --pattern-file /nonexistent/p.txt")).is_err());
+    }
+
+    #[test]
+    fn trace_runs_and_exports() {
+        dispatch(&argv("trace --alg pex --n 8 --bytes 256")).unwrap();
+        dispatch(&argv(
+            "trace --alg gs --n 8 --pattern paper --timeline --links",
+        ))
+        .unwrap();
+        dispatch(&argv("trace --alg reb --n 8 --bytes 512 --json")).unwrap();
+        let path = std::env::temp_dir().join("cm5_cli_trace_test.json");
+        let path_s = path.to_str().unwrap();
+        dispatch(&argv(&format!(
+            "trace --alg pex --n 8 --bytes 256 --out {path_s}"
+        )))
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\":\"cm5-trace/1\""), "{json}");
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        std::fs::remove_file(&path).ok();
+        assert!(dispatch(&argv("trace --alg zzz --n 8")).is_err());
+        assert!(dispatch(&argv("trace --alg pex --n 8 --render")).is_err());
+        assert!(dispatch(&argv("trace --out /nonexistent/dir/t.json --n 4")).is_err());
+    }
+
+    #[test]
+    fn lint_json_carries_the_schema_stamp() {
+        // The lint --json schema comes from cm5-obs; pin it end to end.
+        dispatch(&argv("lint --alg pex --n 8 --json")).unwrap();
+        let report = cm5_verify::verify_schedule(
+            &ExchangeAlg::Pex.schedule(8, 64),
+            Some(&Pattern::complete_exchange(8, 64)),
+            &cm5_verify::exchange_policy(ExchangeAlg::Pex),
+        );
+        assert!(report
+            .render_json()
+            .starts_with("{\"schema\":\"cm5-lint/1\","));
     }
 
     #[test]

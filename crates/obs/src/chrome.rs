@@ -1,0 +1,177 @@
+//! Chrome Trace Format (Perfetto-loadable) JSON export.
+//!
+//! The export is the JSON-object form of the Trace Event Format: a
+//! `traceEvents` array of complete (`"ph":"X"`) spans plus counter
+//! (`"ph":"C"`) tracks. Layout:
+//!
+//! * **pid 0 "nodes"** — one thread (track) per simulated node carrying its
+//!   message-transfer and blocked spans, plus one `control` track for
+//!   control-network collectives;
+//! * **pid 1 "network"** — one counter track per fat-tree level plotting
+//!   aggregate link utilization (allocated rate / capacity), sampled at the
+//!   flow solver's piecewise-constant rate intervals.
+//!
+//! Output is deterministic: events are emitted in a fixed sort order and
+//! all floats use fixed-precision formatting, so the export is golden-test
+//! and byte-comparison friendly (`cmp` across `--jobs` settings).
+
+use cm5_sim::{MachineParams, SimReport, SimTime, Topology};
+
+use crate::links::link_usage;
+use crate::schema::schema_field;
+use crate::span::SpanStore;
+
+/// Microseconds with fixed precision — Chrome's `ts`/`dur` unit.
+fn us(t: SimTime) -> String {
+    format!("{:.3}", t.as_micros_f64())
+}
+
+fn dur_us(from: SimTime, to: SimTime) -> String {
+    format!("{:.3}", to.since(from).as_micros_f64())
+}
+
+/// Render one run as Chrome Trace Format JSON.
+///
+/// `topo` and `params` must be the topology/parameters the report was
+/// simulated under (they supply link levels and capacities for the
+/// utilization counter tracks).
+pub fn chrome_trace(report: &SimReport, topo: &Topology, params: &MachineParams) -> String {
+    let store = SpanStore::from_report(report);
+    chrome_trace_from_spans(&store, report, topo, params)
+}
+
+/// [`chrome_trace`] over a pre-built span store (avoids re-pairing when the
+/// caller also renders timelines).
+pub fn chrome_trace_from_spans(
+    store: &SpanStore,
+    report: &SimReport,
+    topo: &Topology,
+    params: &MachineParams,
+) -> String {
+    let n = report.nodes.len();
+    let control_tid = n;
+    let mut ev: Vec<String> = Vec::new();
+
+    // Track metadata: names render in Perfetto's track list.
+    ev.push("{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"nodes\"}}".into());
+    ev.push("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"network\"}}".into());
+    for node in 0..n {
+        ev.push(format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{node},\"name\":\"thread_name\",\"args\":{{\"name\":\"node {node}\"}}}}"
+        ));
+    }
+    ev.push(format!(
+        "{{\"ph\":\"M\",\"pid\":0,\"tid\":{control_tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"control\"}}}}"
+    ));
+
+    // Blocked spans first (per node, chronological) so message transfers
+    // nest inside them visually.
+    let mut blocked = store.blocked.clone();
+    blocked.sort_by_key(|b| (b.node, b.from, b.to));
+    for b in &blocked {
+        ev.push(format!(
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"blocked\"}}",
+            b.node,
+            us(b.from),
+            dur_us(b.from, b.to)
+        ));
+    }
+
+    // Message spans on the sender's track.
+    let mut messages = store.messages.clone();
+    messages.sort_by_key(|m| (m.src, m.from, m.to, m.dst, m.tag));
+    for m in &messages {
+        ev.push(format!(
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"msg {}->{}\",\"args\":{{\"bytes\":{},\"tag\":{}}}}}",
+            m.src,
+            us(m.from),
+            dur_us(m.from, m.to),
+            m.src,
+            m.dst,
+            m.bytes,
+            m.tag
+        ));
+    }
+
+    // Schedule-step envelopes on the control track, then collectives.
+    for s in &store.steps {
+        ev.push(format!(
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{control_tid},\"ts\":{},\"dur\":{},\"name\":\"step {}\",\"args\":{{\"messages\":{}}}}}",
+            us(s.from),
+            dur_us(s.from, s.to),
+            s.tag,
+            s.messages
+        ));
+    }
+    for c in &store.collectives {
+        ev.push(format!(
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{control_tid},\"ts\":{},\"dur\":{},\"name\":\"{}\"}}",
+            us(c.from),
+            dur_us(c.from, c.to),
+            c.what
+        ));
+    }
+
+    // Per-level utilization counters from the solver's rate samples.
+    let usage = link_usage(&report.rate_samples, topo, params);
+    for lvl in &usage.levels {
+        for &(t, util) in &lvl.series {
+            ev.push(format!(
+                "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{},\"name\":\"level {} util\",\"args\":{{\"util\":{:.4}}}}}",
+                us(t),
+                lvl.level,
+                util
+            ));
+        }
+    }
+
+    let mut out = String::from("{\n  ");
+    out.push_str(&schema_field("trace", 1));
+    out.push_str(",\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    for (i, e) in ev.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(e);
+        out.push_str(if i + 1 < ev.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm5_sim::{FatTree, MachineParams, Op, Simulation, ANY_TAG};
+
+    #[test]
+    fn export_is_deterministic_and_tagged() {
+        let mut p = vec![Vec::new(); 4];
+        p[0].push(Op::Recv {
+            from: 1,
+            tag: ANY_TAG,
+        });
+        p[1].push(Op::Send {
+            to: 0,
+            bytes: 2_000,
+            tag: ANY_TAG,
+        });
+        let params = MachineParams::cm5_1992();
+        let run = || {
+            Simulation::new(4, params.clone())
+                .record_trace(true)
+                .record_rates(true)
+                .run_ops(&p)
+                .unwrap()
+        };
+        let topo = Topology::FatTree(FatTree::new(4));
+        let a = chrome_trace(&run(), &topo, &params);
+        let b = chrome_trace(&run(), &topo, &params);
+        assert_eq!(a, b, "export must be byte-identical across reruns");
+        assert!(a.contains("\"schema\":\"cm5-trace/1\""));
+        assert!(a.contains("\"name\":\"msg 1->0\""));
+        assert!(a.contains("\"name\":\"blocked\""));
+        assert!(a.contains("level 0 util"));
+        // Well-formed JSON envelope (no trailing comma before the close).
+        assert!(a.trim_end().ends_with("]\n}"));
+        assert!(!a.contains(",\n  ]"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-link and per-level utilization series from solver rate samples.
+//!
+//! The flow solver's allocation is piecewise-constant between recomputes;
+//! [`cm5_sim::Simulation::record_rates`] snapshots the per-link rate sum at
+//! every recompute. This module folds those snapshots into:
+//!
+//! * a **per-level utilization time series** — the dynamic analogue of the
+//!   paper's Fig 5 bandwidth plots, where utilization is the aggregate rate
+//!   crossing a fat-tree level divided by that level's aggregate capacity;
+//! * **per-link peaks** — the hottest instant of every link, comparable to
+//!   `cm5-verify`'s static contention charging.
+
+use cm5_sim::{MachineParams, RateSample, SimTime, Topology};
+
+/// Utilization time series of one fat-tree level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelUtilization {
+    /// Level index (0 = leaf links).
+    pub level: usize,
+    /// Aggregate capacity of the level's links (bytes/second).
+    pub capacity: f64,
+    /// `(sample time, aggregate rate / capacity)` per solver recompute.
+    pub series: Vec<(SimTime, f64)>,
+}
+
+impl LevelUtilization {
+    /// Peak utilization over the series (0.0 for an empty series).
+    pub fn peak(&self) -> f64 {
+        self.series.iter().map(|&(_, u)| u).fold(0.0, f64::max)
+    }
+}
+
+/// The hottest observed instant of one physical link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkPeak {
+    /// Link index (into [`Topology::link_capacities`] order).
+    pub link: u32,
+    /// Fat-tree level of the link.
+    pub level: usize,
+    /// Peak aggregate rate through the link (bytes/second).
+    pub rate: f64,
+    /// Capacity of the link (bytes/second).
+    pub capacity: f64,
+    /// When the peak was observed.
+    pub at: SimTime,
+}
+
+impl LinkPeak {
+    /// Peak rate as a fraction of capacity.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity > 0.0 {
+            self.rate / self.capacity
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Folded utilization view of one run's rate samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkUsage {
+    /// One series per fat-tree level, ascending by level.
+    pub levels: Vec<LevelUtilization>,
+    /// One peak per link that ever carried traffic, ascending by link index.
+    pub peaks: Vec<LinkPeak>,
+}
+
+impl LinkUsage {
+    /// The single hottest link peak by utilization ratio.
+    ///
+    /// Deterministic: peaks are scanned in ascending link order and only a
+    /// strictly greater ratio displaces the current winner.
+    pub fn hottest(&self) -> Option<&LinkPeak> {
+        let mut best: Option<&LinkPeak> = None;
+        for p in &self.peaks {
+            if best.is_none_or(|b| p.utilization() > b.utilization()) {
+                best = Some(p);
+            }
+        }
+        best
+    }
+}
+
+/// Fold `samples` (from [`cm5_sim::SimReport::rate_samples`]) into per-level
+/// series and per-link peaks for the given topology.
+pub fn link_usage(samples: &[RateSample], topo: &Topology, params: &MachineParams) -> LinkUsage {
+    let caps = topo.link_capacities(params);
+    let num_levels = topo.num_levels();
+    let mut level_caps = vec![0.0f64; num_levels];
+    for (l, &c) in caps.iter().enumerate() {
+        level_caps[topo.link_level(l)] += c;
+    }
+
+    let mut levels: Vec<LevelUtilization> = (0..num_levels)
+        .map(|level| LevelUtilization {
+            level,
+            capacity: level_caps[level],
+            series: Vec::with_capacity(samples.len()),
+        })
+        .collect();
+    // link index -> (peak rate, time) while scanning; kept sparse.
+    let mut peak: Vec<Option<(f64, SimTime)>> = vec![None; caps.len()];
+    let mut level_rate = vec![0.0f64; num_levels];
+
+    for s in samples {
+        level_rate.fill(0.0);
+        for &(link, rate) in &s.link_rates {
+            let link = link as usize;
+            if link >= caps.len() {
+                continue;
+            }
+            level_rate[topo.link_level(link)] += rate;
+            let slot = &mut peak[link];
+            if slot.is_none_or(|(best, _)| rate > best) {
+                *slot = Some((rate, s.time));
+            }
+        }
+        for (lvl, series) in levels.iter_mut().enumerate() {
+            let util = if series.capacity > 0.0 {
+                level_rate[lvl] / series.capacity
+            } else {
+                0.0
+            };
+            series.series.push((s.time, util));
+        }
+    }
+
+    let peaks = peak
+        .into_iter()
+        .enumerate()
+        .filter_map(|(link, slot)| {
+            slot.map(|(rate, at)| LinkPeak {
+                link: link as u32,
+                level: topo.link_level(link),
+                rate,
+                capacity: caps[link],
+                at,
+            })
+        })
+        .collect();
+
+    LinkUsage { levels, peaks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm5_sim::{FatTree, MachineParams, Op, Simulation, ANY_TAG};
+
+    #[test]
+    fn fan_in_saturates_the_receiver_leaf_link() {
+        let n = 4;
+        let mut p = vec![Vec::new(); n];
+        for i in 1..n {
+            p[0].push(Op::Recv {
+                from: i,
+                tag: ANY_TAG,
+            });
+            p[i].push(Op::Send {
+                to: 0,
+                bytes: 10_000,
+                tag: ANY_TAG,
+            });
+        }
+        let params = MachineParams::cm5_1992();
+        let report = Simulation::new(n, params.clone())
+            .record_trace(true)
+            .record_rates(true)
+            .run_ops(&p)
+            .unwrap();
+        let topo = Topology::FatTree(FatTree::new(n));
+        let usage = link_usage(&report.rate_samples, &topo, &params);
+
+        assert_eq!(usage.levels.len(), topo.num_levels());
+        let hot = usage.hottest().expect("traffic flowed");
+        // Blocking recvs serialize the fan-in to one flow at a time, each
+        // capped at the CMMD software rate, so node 0's leaf link peaks at
+        // software_bandwidth / leaf_bandwidth (0.5 on the 1992 machine).
+        assert_eq!(hot.level, 0);
+        let expected = params.software_bandwidth.min(params.leaf_bandwidth) / params.leaf_bandwidth;
+        assert!(
+            (hot.utilization() - expected).abs() < 1e-9,
+            "leaf bottleneck should run at the per-flow cap: got {}, want {expected}",
+            hot.utilization()
+        );
+        // Leaf-level aggregate utilization peaks while all three flows run.
+        assert!(usage.levels[0].peak() > 0.0);
+        // The final sample (all flows drained) shows zero utilization.
+        let last = usage.levels[0].series.last().unwrap();
+        assert_eq!(last.1, 0.0, "rates drop to zero after the last drain");
+    }
+
+    #[test]
+    fn empty_samples_produce_empty_series() {
+        let params = MachineParams::cm5_1992();
+        let topo = Topology::FatTree(FatTree::new(8));
+        let usage = link_usage(&[], &topo, &params);
+        assert_eq!(usage.levels.len(), topo.num_levels());
+        assert!(usage.levels.iter().all(|l| l.series.is_empty()));
+        assert!(usage.peaks.is_empty());
+        assert!(usage.hottest().is_none());
+    }
+}

@@ -1,0 +1,199 @@
+//! Terminal rendering: per-node Gantt timelines and per-level utilization
+//! sparklines.
+//!
+//! Both renderers quantize the run into `width` fixed columns and draw with
+//! Unicode block characters, so a 32-node LEX-vs-BEX comparison fits side by
+//! side in a terminal without leaving the CLI.
+
+use cm5_sim::SimTime;
+
+use crate::links::LinkUsage;
+use crate::span::SpanStore;
+
+/// Cell glyphs, in increasing display priority.
+const IDLE: char = '·';
+const DONE: char = ' ';
+const BLOCKED: char = '░';
+const RECVING: char = '▓';
+const SENDING: char = '█';
+
+fn priority(c: char) -> u8 {
+    match c {
+        SENDING => 4,
+        RECVING => 3,
+        BLOCKED => 2,
+        IDLE => 1,
+        _ => 0,
+    }
+}
+
+/// Render a per-node Gantt chart of one run, `width` columns wide.
+///
+/// Glyphs: `█` sending, `▓` receiving, `░` blocked, `·` alive but idle,
+/// blank after the node finished. Message activity wins over blocked, which
+/// wins over idle, within a column.
+pub fn render_timeline(spans: &SpanStore, n: usize, width: usize) -> String {
+    let width = width.max(1);
+    let end = spans.end();
+    let end_us = end.as_micros_f64().max(1e-9);
+    let col_of = |t: SimTime| -> usize {
+        let c = (t.as_micros_f64() / end_us * width as f64) as usize;
+        c.min(width - 1)
+    };
+
+    let mut rows = vec![vec![IDLE; width]; n];
+    // Blank out everything after a node's finish time.
+    for &(node, t) in &spans.node_done {
+        if node >= n {
+            continue;
+        }
+        let first_done = col_of(t);
+        rows[node][(first_done + 1).min(width)..].fill(DONE);
+    }
+
+    let mut paint = |node: usize, from: SimTime, to: SimTime, glyph: char| {
+        if node >= n {
+            return;
+        }
+        for cell in rows[node][col_of(from)..=col_of(to)].iter_mut() {
+            if priority(glyph) > priority(*cell) {
+                *cell = glyph;
+            }
+        }
+    };
+    for b in &spans.blocked {
+        paint(b.node, b.from, b.to, BLOCKED);
+    }
+    for m in &spans.messages {
+        paint(m.src, m.from, m.to, SENDING);
+        paint(m.dst, m.from, m.to, RECVING);
+    }
+
+    let label_w = format!("{}", n.saturating_sub(1)).len().max(1);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline 0..{:.1} us  ({:.1} us/col)\n",
+        end_us,
+        end_us / width as f64
+    ));
+    for (node, row) in rows.iter().enumerate() {
+        out.push_str(&format!("node {node:>label_w$} |"));
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "{:>pad$}   █ send  ▓ recv  ░ blocked  · idle\n",
+        "",
+        pad = label_w
+    ));
+    out
+}
+
+/// Sparkline ramp: blank for zero, then eight block heights.
+const RAMP: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render one sparkline per fat-tree level from a [`LinkUsage`], `width`
+/// columns wide, each column showing the level's utilization at that slice
+/// of the run (piecewise-constant between solver samples).
+pub fn render_sparklines(usage: &LinkUsage, width: usize) -> String {
+    let width = width.max(1);
+    let end_us = usage
+        .levels
+        .iter()
+        .filter_map(|l| l.series.last())
+        .map(|&(t, _)| t.as_micros_f64())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+
+    let mut out = String::new();
+    out.push_str(&format!("link utilization 0..{end_us:.1} us\n"));
+    for lvl in &usage.levels {
+        let mut cells = vec![RAMP[0]; width];
+        // Rates hold from one sample to the next: walk samples and fill
+        // forward to the column of the following sample.
+        for (i, &(t, util)) in lvl.series.iter().enumerate() {
+            let from = ((t.as_micros_f64() / end_us) * width as f64) as usize;
+            let to = match lvl.series.get(i + 1) {
+                Some(&(next, _)) => ((next.as_micros_f64() / end_us) * width as f64) as usize,
+                None => width,
+            };
+            let glyph = RAMP[((util.clamp(0.0, 1.0) * 8.0).ceil() as usize).min(8)];
+            for cell in cells.iter_mut().take(to.min(width)).skip(from.min(width)) {
+                *cell = glyph;
+            }
+        }
+        out.push_str(&format!("level {} |", lvl.level));
+        out.extend(cells.iter());
+        out.push_str(&format!("| peak {:.0}%\n", lvl.peak() * 100.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::links::link_usage;
+    use cm5_sim::{FatTree, MachineParams, Op, Simulation, Topology, ANY_TAG};
+
+    fn pingpong_report() -> (cm5_sim::SimReport, MachineParams) {
+        let mut p = vec![Vec::new(); 2];
+        p[0].push(Op::Send {
+            to: 1,
+            bytes: 5_000,
+            tag: ANY_TAG,
+        });
+        p[1].push(Op::Recv {
+            from: 0,
+            tag: ANY_TAG,
+        });
+        let params = MachineParams::cm5_1992();
+        let report = Simulation::new(2, params.clone())
+            .record_trace(true)
+            .record_rates(true)
+            .run_ops(&p)
+            .unwrap();
+        (report, params)
+    }
+
+    #[test]
+    fn timeline_has_one_row_per_node_and_stable_width() {
+        let (report, _) = pingpong_report();
+        let spans = SpanStore::from_report(&report);
+        let text = render_timeline(&spans, 2, 40);
+        let rows: Vec<&str> = text.lines().filter(|l| l.starts_with("node ")).collect();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            let body: String = r
+                .chars()
+                .skip_while(|&c| c != '|')
+                .skip(1)
+                .take_while(|&c| c != '|')
+                .collect();
+            assert_eq!(body.chars().count(), 40, "row {r:?}");
+        }
+        assert!(text.contains(SENDING), "sender paints █");
+        assert!(text.contains(RECVING), "receiver paints ▓");
+    }
+
+    #[test]
+    fn sparklines_cover_every_level() {
+        let (report, params) = pingpong_report();
+        let topo = Topology::FatTree(FatTree::new(2));
+        let usage = link_usage(&report.rate_samples, &topo, &params);
+        let text = render_sparklines(&usage, 32);
+        for lvl in 0..topo.num_levels() {
+            assert!(text.contains(&format!("level {lvl} |")), "{text}");
+        }
+        assert!(text.contains("peak"));
+    }
+
+    #[test]
+    fn zero_width_is_clamped_not_panicking() {
+        let (report, params) = pingpong_report();
+        let spans = SpanStore::from_report(&report);
+        let _ = render_timeline(&spans, 2, 0);
+        let topo = Topology::FatTree(FatTree::new(2));
+        let usage = link_usage(&report.rate_samples, &topo, &params);
+        let _ = render_sparklines(&usage, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Golden test: the Chrome-trace export for PEX on 8 nodes is pinned byte
+//! for byte.
+//!
+//! The export is a pure function of the (deterministic) simulation, so any
+//! diff here means either the simulator's timing changed or the exporter's
+//! format changed — both must be deliberate. To re-bless after a deliberate
+//! change:
+//!
+//! ```sh
+//! CM5_BLESS=1 cargo test -p cm5-obs --test golden_chrome
+//! ```
+
+use cm5_core::prelude::*;
+use cm5_obs::chrome_trace;
+use cm5_sim::{FatTree, MachineParams, Simulation, Topology};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/pex8_trace.json");
+
+fn pex8_trace() -> String {
+    let n = 8;
+    let params = MachineParams::cm5_1992();
+    let programs = lower(&ExchangeAlg::Pex.schedule(n, 256));
+    let topo = Topology::FatTree(FatTree::new(n));
+    let report = Simulation::new_on(topo.clone(), params.clone())
+        .record_trace(true)
+        .record_rates(true)
+        .run_ops(&programs)
+        .expect("pex8 runs");
+    chrome_trace(&report, &topo, &params)
+}
+
+#[test]
+fn pex8_chrome_trace_is_pinned() {
+    let actual = pex8_trace();
+    if std::env::var_os("CM5_BLESS").is_some() {
+        std::fs::write(GOLDEN, &actual).expect("write golden");
+    }
+    let expected =
+        std::fs::read_to_string(GOLDEN).expect("golden file exists (bless with CM5_BLESS=1)");
+    assert_eq!(
+        actual, expected,
+        "Chrome-trace export for PEX@8 drifted from the golden file; \
+         if the change is deliberate, re-bless with CM5_BLESS=1"
+    );
+}
+
+#[test]
+fn pex8_chrome_trace_is_stable_across_runs() {
+    assert_eq!(pex8_trace(), pex8_trace());
+}

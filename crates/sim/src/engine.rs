@@ -22,7 +22,7 @@ use crate::error::SimError;
 use crate::network::{Flow, Network};
 use crate::ops::{Action, OpProgram, OpSource, ProgramSource, ReduceOp, Resume};
 use crate::params::{MachineParams, RateSolver, SendMode};
-use crate::stats::{NodeReport, SimPerf, SimReport, TraceEvent, TraceKind};
+use crate::stats::{NodeReport, SimPerf, SimReport, TraceEvent, TraceKind, TraceRing};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{FatTree, Topology};
 
@@ -45,6 +45,8 @@ pub struct Simulation {
     n: usize,
     params: MachineParams,
     record_trace: bool,
+    trace_capacity: Option<usize>,
+    record_rates: bool,
     topology: Topology,
 }
 
@@ -56,6 +58,8 @@ impl Simulation {
             n,
             params,
             record_trace: false,
+            trace_capacity: None,
+            record_rates: false,
             topology: Topology::FatTree(FatTree::new(n)),
         }
     }
@@ -69,6 +73,8 @@ impl Simulation {
             n,
             params,
             record_trace: false,
+            trace_capacity: None,
+            record_rates: false,
             topology,
         }
     }
@@ -76,6 +82,22 @@ impl Simulation {
     /// Enable the event trace in the returned report.
     pub fn record_trace(mut self, yes: bool) -> Simulation {
         self.record_trace = yes;
+        self
+    }
+
+    /// Bound the trace sink to the most recent `cap` events (a ring buffer;
+    /// evictions are counted in [`SimReport::trace_dropped`]). Unbounded by
+    /// default. Only meaningful together with [`Simulation::record_trace`].
+    pub fn trace_capacity(mut self, cap: usize) -> Simulation {
+        self.trace_capacity = Some(cap.max(1));
+        self
+    }
+
+    /// Record the flow solver's piecewise-constant per-link rate assignment
+    /// at every recomputation into [`SimReport::rate_samples`]. Pure
+    /// observation: simulated results are bit-identical either way.
+    pub fn record_rates(mut self, yes: bool) -> Simulation {
+        self.record_rates = yes;
         self
     }
 
@@ -109,14 +131,24 @@ impl Simulation {
         source: &mut S,
     ) -> Result<SimReport, SimError> {
         self.params.validate().map_err(SimError::InvalidParams)?;
-        let mut engine = Engine::new(
-            self.topology.clone(),
-            &self.params,
-            self.record_trace,
-            source,
-        );
+        let obs = ObsConfig {
+            record_trace: self.record_trace,
+            trace_capacity: self.trace_capacity,
+            record_rates: self.record_rates,
+        };
+        let mut engine = Engine::new(self.topology.clone(), &self.params, obs, source);
         engine.run()
     }
+}
+
+/// Observability options threaded from [`Simulation`] into the engine.
+/// Everything here is pure observation: simulated results are bit-identical
+/// for every combination.
+#[derive(Debug, Clone, Copy, Default)]
+struct ObsConfig {
+    record_trace: bool,
+    trace_capacity: Option<usize>,
+    record_rates: bool,
 }
 
 /// Engine event kinds.
@@ -215,6 +247,8 @@ struct CollectiveState {
     kind: CollKind,
     arrived: Vec<bool>,
     count: usize,
+    /// Arrival time of the first node (the collective span's start).
+    min_time: SimTime,
     max_time: SimTime,
     bytes: u64,
     payload: Option<Bytes>,
@@ -273,7 +307,7 @@ struct Engine<'a, S: ProgramSource> {
     wire_bytes: u64,
     root_crossings: u64,
     collectives_done: u64,
-    trace: Vec<TraceEvent>,
+    trace: TraceRing,
     record_trace: bool,
 }
 
@@ -281,11 +315,12 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
     fn new(
         topo: Topology,
         params: &'a MachineParams,
-        record_trace: bool,
+        obs: ObsConfig,
         source: &'a mut S,
     ) -> Engine<'a, S> {
         let n = topo.nodes();
-        let network = Network::new_on(topo.clone(), params);
+        let mut network = Network::new_on(topo.clone(), params);
+        network.set_record_rates(obs.record_rates);
         // Pre-size per-node buffers from the program shape (capacity only;
         // a zero hint is always safe).
         let shape = source.shape();
@@ -334,13 +369,14 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
             wire_bytes: 0,
             root_crossings: 0,
             collectives_done: 0,
-            trace: if record_trace {
-                // MsgStart + MsgDone per message, NodeDone per node.
-                Vec::with_capacity(2 * shape.messages as usize + n)
-            } else {
-                Vec::new()
+            trace: match (obs.record_trace, obs.trace_capacity) {
+                (false, _) => TraceRing::default(),
+                (true, Some(cap)) => TraceRing::bounded(cap),
+                // MsgStart + MsgDone + sender/receiver BlockedEnd per
+                // message, NodeDone per node (capacity hint only).
+                (true, None) => TraceRing::unbounded(4 * shape.messages as usize + 2 * n),
             },
-            record_trace,
+            record_trace: obs.record_trace,
         }
     }
 
@@ -451,7 +487,9 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
             root_crossings: self.root_crossings,
             bytes_per_level: self.network.bytes_per_level(),
             collectives: self.collectives_done,
-            trace: std::mem::take(&mut self.trace),
+            trace: self.trace.take_events(),
+            trace_dropped: self.trace.dropped(),
+            rate_samples: self.network.take_rate_samples(),
             perf: SimPerf {
                 events: self.events_processed,
                 recomputes: self.network.recompute_count(),
@@ -584,6 +622,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
     fn resume_node(&mut self, node: usize, at: SimTime, resume: Resume) {
         if let Some(start) = self.nodes[node].block_start.take() {
             self.nodes[node].report.blocked += at.since(start);
+            self.trace(at, TraceKind::BlockedEnd { node, since: start });
         }
         self.nodes[node].clock = at;
         self.resume_slot[node] = Some(resume);
@@ -860,7 +899,15 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
         if self.topo.crosses_root(src, dst) {
             self.root_crossings += 1;
         }
-        self.trace(t, TraceKind::MsgStart { src, dst, bytes });
+        self.trace(
+            t,
+            TraceKind::MsgStart {
+                src,
+                dst,
+                bytes,
+                tag,
+            },
+        );
         self.note_net_mutation(t);
         msg_id
     }
@@ -941,6 +988,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
                     src: msg.src,
                     dst: msg.dst,
                     bytes: msg.bytes,
+                    tag: msg.tag,
                 },
             );
             let recv_at = t + self.params.wire_latency;
@@ -1022,6 +1070,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
             kind: kind.clone(),
             arrived: vec![false; n],
             count: 0,
+            min_time: t,
             max_time: SimTime::ZERO,
             bytes: 0,
             payload: None,
@@ -1105,7 +1154,13 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
             CollKind::Reduce { .. } => "reduce",
             CollKind::Scan { .. } => "scan",
         };
-        self.trace(finish, TraceKind::CollectiveDone { what });
+        self.trace(
+            finish,
+            TraceKind::CollectiveDone {
+                what,
+                first_arrival: st.min_time,
+            },
+        );
         self.collectives_done += 1;
         for i in 0..n {
             let resume = Resume {

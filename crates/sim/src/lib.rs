@@ -87,6 +87,6 @@ pub use engine::Simulation;
 pub use error::SimError;
 pub use ops::{Op, OpProgram, ReduceOp, ANY_TAG};
 pub use params::{FairnessModel, MachineParams, RateSolver, SendMode};
-pub use stats::{NodeReport, SimPerf, SimReport, TraceEvent, TraceKind};
+pub use stats::{NodeReport, RateSample, SimPerf, SimReport, TraceEvent, TraceKind, TraceRing};
 pub use time::{SimDuration, SimTime};
 pub use topology::{FatTree, Hypercube, LinkDir, LinkId, RouteRef, RouteTable, Topology};

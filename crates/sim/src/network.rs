@@ -44,6 +44,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use crate::params::{FairnessModel, MachineParams, RateSolver};
+use crate::stats::RateSample;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{FatTree, RouteRef, RouteTable, Topology};
 
@@ -140,6 +141,11 @@ pub struct Network {
     recomputes: u64,
     flows_admitted: u64,
     flows_peak: usize,
+    /// Record a [`RateSample`] at every recompute (observability; never
+    /// feeds back into rate arithmetic).
+    record_rates: bool,
+    rate_samples: Vec<RateSample>,
+    sample_scratch: Vec<f64>,
 }
 
 impl Network {
@@ -179,6 +185,46 @@ impl Network {
             recomputes: 0,
             flows_admitted: 0,
             flows_peak: 0,
+            record_rates: false,
+            rate_samples: Vec::new(),
+            sample_scratch: vec![0.0; links],
+        }
+    }
+
+    /// Enable (or disable) per-recompute [`RateSample`] recording.
+    pub fn set_record_rates(&mut self, yes: bool) {
+        self.record_rates = yes;
+    }
+
+    /// Drain the recorded rate samples (chronological order).
+    pub fn take_rate_samples(&mut self) -> Vec<RateSample> {
+        std::mem::take(&mut self.rate_samples)
+    }
+
+    /// Snapshot the aggregate allocated rate of every link at `self.now`.
+    /// Same-timestamp recomputes collapse onto the last snapshot, so the
+    /// series stays piecewise-constant with strictly increasing times.
+    fn sample_rates(&mut self) {
+        let scratch = &mut self.sample_scratch;
+        for &(_, s) in &self.active {
+            let f = self.slots[s as usize].as_ref().expect("active flow");
+            for &l in f.route.iter() {
+                scratch[l] += f.rate;
+            }
+        }
+        let mut link_rates = Vec::new();
+        for (l, r) in scratch.iter_mut().enumerate() {
+            if *r > 0.0 {
+                link_rates.push((l as u32, *r));
+                *r = 0.0;
+            }
+        }
+        match self.rate_samples.last_mut() {
+            Some(last) if last.time == self.now => last.link_rates = link_rates,
+            _ => self.rate_samples.push(RateSample {
+                time: self.now,
+                link_rates,
+            }),
         }
     }
 
@@ -489,6 +535,9 @@ impl Network {
         self.rate_epoch += 1;
         self.completions.clear();
         if self.active.is_empty() {
+            if self.record_rates {
+                self.sample_rates();
+            }
             return;
         }
         match self.fairness {
@@ -537,6 +586,9 @@ impl Network {
                 epoch,
             }));
         }
+        if self.record_rates {
+            self.sample_rates();
+        }
     }
 
     /// Eager-solver recompute: the original per-call allocations (fresh
@@ -545,6 +597,9 @@ impl Network {
     fn recompute_full(&mut self) {
         self.recomputes += 1;
         if self.active.is_empty() {
+            if self.record_rates {
+                self.sample_rates();
+            }
             return;
         }
         match self.fairness {
@@ -583,6 +638,9 @@ impl Network {
                 }
                 equal_share_fill(&mut self.slots, &self.active, &self.capacity, &count);
             }
+        }
+        if self.record_rates {
+            self.sample_rates();
         }
     }
 }

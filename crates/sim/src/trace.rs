@@ -63,16 +63,22 @@ pub struct TraceProfile {
 pub fn profile(trace: &[TraceEvent], n: usize) -> TraceProfile {
     let mut sends_per_node = vec![0u64; n];
     let mut recvs_per_node = vec![0u64; n];
-    // Build +1/-1 edges at message start/end.
+    // Build +1/-1 edges at message start/end. Node indices are bounds-
+    // checked rather than trusted: a bounded trace ring may have evicted
+    // events, and a caller may profile a trace with a stale `n`.
     let mut edges: Vec<(SimTime, i64)> = Vec::new();
     for ev in trace {
         match ev.kind {
             TraceKind::MsgStart { src, .. } => {
-                sends_per_node[src] += 1;
+                if let Some(s) = sends_per_node.get_mut(src) {
+                    *s += 1;
+                }
                 edges.push((ev.time, 1));
             }
             TraceKind::MsgDone { dst, .. } => {
-                recvs_per_node[dst] += 1;
+                if let Some(r) = recvs_per_node.get_mut(dst) {
+                    *r += 1;
+                }
                 edges.push((ev.time, -1));
             }
             _ => {}
@@ -85,7 +91,6 @@ pub fn profile(trace: &[TraceEvent], n: usize) -> TraceProfile {
     let mut peak = 0usize;
     let mut weighted = 0.0f64;
     let mut busy_ns = 0u64;
-    let mut span_start = SimTime::ZERO;
     let mut total_ns = 0u64;
     for (t, delta) in edges {
         if let Some(prev) = last {
@@ -102,14 +107,11 @@ pub fn profile(trace: &[TraceEvent], n: usize) -> TraceProfile {
                     concurrent: level as usize,
                 });
             }
-        } else {
-            span_start = t;
         }
         level += delta;
         peak = peak.max(level.max(0) as usize);
         last = Some(t);
     }
-    let _ = span_start;
     TraceProfile {
         spans,
         peak_concurrency: peak,
@@ -143,7 +145,53 @@ mod tests {
         let prof = profile(&[], 4);
         assert_eq!(prof.peak_concurrency, 0);
         assert_eq!(prof.mean_concurrency, 0.0);
+        assert!(prof.mean_concurrency.is_finite(), "no NaN on empty traces");
+        assert_eq!(prof.busy_network_time, SimDuration::ZERO);
         assert!(prof.spans.is_empty());
+        assert_eq!(prof.sends_per_node, vec![0; 4]);
+        assert_eq!(prof.recvs_per_node, vec![0; 4]);
+    }
+
+    #[test]
+    fn single_event_trace_is_well_defined() {
+        // A bounded ring can leave a lone MsgStart with no matching
+        // MsgDone: one edge means no interval, so every time-weighted
+        // aggregate must stay zero (and finite), never NaN.
+        let trace = [TraceEvent {
+            time: SimTime::ZERO + SimDuration::from_micros(5),
+            kind: TraceKind::MsgStart {
+                src: 1,
+                dst: 0,
+                bytes: 64,
+                tag: 0,
+            },
+        }];
+        let prof = profile(&trace, 2);
+        assert_eq!(prof.peak_concurrency, 1);
+        assert_eq!(prof.mean_concurrency, 0.0);
+        assert!(prof.mean_concurrency.is_finite());
+        assert_eq!(prof.busy_network_time, SimDuration::ZERO);
+        assert!(prof.spans.is_empty());
+        assert_eq!(prof.sends_per_node, vec![0, 1]);
+        assert_eq!(prof.recvs_per_node, vec![0, 0]);
+    }
+
+    #[test]
+    fn out_of_range_nodes_do_not_panic() {
+        // Profiling with a stale (too small) node count must not index out
+        // of bounds; the event still counts toward concurrency.
+        let trace = [TraceEvent {
+            time: SimTime::ZERO,
+            kind: TraceKind::MsgStart {
+                src: 7,
+                dst: 6,
+                bytes: 1,
+                tag: 0,
+            },
+        }];
+        let prof = profile(&trace, 2);
+        assert_eq!(prof.peak_concurrency, 1);
+        assert_eq!(prof.sends_per_node, vec![0, 0]);
     }
 
     #[test]

@@ -347,11 +347,15 @@ impl Diagnostics {
         out
     }
 
-    /// JSON rendering: `{"diagnostics":[...],"errors":E,"warnings":W,
-    /// "advice":A,"clean":bool}`. Hand-rolled (the workspace is offline; no
-    /// serde), matching the style of the bench artifacts.
+    /// JSON rendering: `{"schema":"cm5-lint/1","diagnostics":[...],
+    /// "errors":E,"warnings":W,"advice":A,"clean":bool}`. Hand-rolled (the
+    /// workspace is offline; no serde), matching the style of the bench
+    /// artifacts; the schema stamp comes from `cm5-obs` like every other
+    /// JSON emitter in the workspace.
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\"diagnostics\":[");
+        let mut out = String::from("{");
+        out.push_str(&cm5_obs::schema_field("lint", 1));
+        out.push_str(",\"diagnostics\":[");
         for (i, d) in self.diags.iter().enumerate() {
             if i > 0 {
                 out.push(',');

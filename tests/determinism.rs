@@ -154,6 +154,51 @@ fn traces_are_identical_across_reruns() {
     assert_eq!(a.trace, b.trace, "event traces must match event-for-event");
 }
 
+/// Turning the observability sinks on (event trace + rate samples, the
+/// `cm5 trace` configuration) must leave every simulated result — makespan,
+/// traffic totals, per-node accounting — bit-identical to a plain run.
+/// Recording is observation, never perturbation.
+#[test]
+fn observability_does_not_perturb_simulated_results() {
+    for &n in &[8usize, 32] {
+        for &bytes in &[0u64, 256, 1920] {
+            for alg in ExchangeAlg::ALL {
+                let programs = lower(&alg.schedule(n, bytes));
+                let params = MachineParams::cm5_1992();
+                let plain = Simulation::new(n, params.clone())
+                    .run_ops(&programs)
+                    .unwrap();
+                let observed = Simulation::new(n, params.clone())
+                    .record_trace(true)
+                    .record_rates(true)
+                    .run_ops(&programs)
+                    .unwrap();
+                let what = format!("{} n={n} bytes={bytes}", alg.name());
+                assert_reports_identical(&plain, &observed, &what);
+                for (i, (x, y)) in plain.nodes.iter().zip(&observed.nodes).enumerate() {
+                    assert_eq!(x.busy, y.busy, "{what}: node {i} busy");
+                    assert_eq!(x.blocked, y.blocked, "{what}: node {i} blocked");
+                    assert_eq!(x.finished_at, y.finished_at, "{what}: node {i} finish");
+                    assert_eq!(x.msgs_sent, y.msgs_sent, "{what}: node {i} msgs");
+                }
+                assert!(plain.trace.is_empty() && plain.rate_samples.is_empty());
+                if bytes > 0 {
+                    assert!(!observed.trace.is_empty(), "{what}: sink recorded");
+                    assert!(!observed.rate_samples.is_empty(), "{what}: rates recorded");
+                }
+                // A bounded ring drops old events but must not touch results.
+                let bounded = Simulation::new(n, params)
+                    .record_trace(true)
+                    .trace_capacity(64)
+                    .run_ops(&programs)
+                    .unwrap();
+                assert_reports_identical(&plain, &bounded, &format!("{what} (ring)"));
+                assert!(bounded.trace.len() <= 64, "{what}: ring bounded");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

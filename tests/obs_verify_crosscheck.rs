@@ -1,0 +1,143 @@
+//! Cross-check: cm5-obs's *dynamic* link utilization agrees with
+//! cm5-verify's *static* contention prediction.
+//!
+//! `cm5_verify::analyze_contention` charges each schedule step's transfers
+//! onto the fat tree and flags the steps whose worst link is oversubscribed
+//! (root hotspots for all-global steps, link hotspots for fan-in). cm5-obs
+//! measures the same thing dynamically: per-link peak rates sampled from
+//! the flow solver. If the two layers are consistent, some link that is
+//! dynamically saturated (peak utilization within epsilon of the run's
+//! maximum) must sit at a statically flagged (level, step) coordinate.
+//!
+//! Run on the paper's 32-node configuration for all four complete-exchange
+//! algorithms: PEX/BEX (16 root-hotspot steps each), REX (exactly one
+//! root-crossing step), and LEX (leaf fan-in hotspots).
+
+use cm5_core::prelude::*;
+use cm5_obs::{link_usage, SpanStore};
+use cm5_sim::{FatTree, MachineParams, Simulation, Topology};
+use cm5_verify::{contention::analyze_contention, Code, Diagnostic};
+
+/// Pull the hotspot's tree level out of a contention diagnostic's message
+/// (`... {Up|Down}-link level L group G ...`).
+fn diag_level(d: &Diagnostic) -> usize {
+    let msg = &d.message;
+    let tail = msg
+        .split("level ")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no level in {msg}"));
+    tail.split_whitespace()
+        .next()
+        .and_then(|w| w.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable level in {msg}"))
+}
+
+/// `expect_saturated`: whether some link should dynamically reach full
+/// capacity. True for the root-hotspot algorithms (oversubscription means
+/// the root links saturate); false for LEX, whose statically-flagged
+/// fan-in is *serialized* by blocking rendezvous at run time — one
+/// software-capped flow at a time, so the flagged leaf link peaks at
+/// `flow_cap / leaf_bandwidth`, never 1.0. The static/dynamic agreement is
+/// about *where* the hottest link is, not its absolute ratio.
+fn crosscheck(alg: ExchangeAlg, n: usize, bytes: u64, expect_saturated: bool) {
+    let params = MachineParams::cm5_1992();
+    let schedule = alg.schedule(n, bytes);
+
+    // Static prediction: flagged (level, step) coordinates.
+    let diags = analyze_contention(&schedule, &params);
+    assert!(
+        !diags.is_empty(),
+        "{}: expected static hotspots at n={n}",
+        alg.name()
+    );
+    let static_spots: Vec<(usize, usize)> = diags
+        .iter()
+        .map(|d| (diag_level(d), d.span.step.expect("contention spans a step")))
+        .collect();
+
+    // Dynamic measurement: run the lowered schedule with the rate sink on.
+    let topo = Topology::FatTree(FatTree::new(n));
+    let report = Simulation::new_on(topo.clone(), params.clone())
+        .record_trace(true)
+        .record_rates(true)
+        .run_ops(&lower(&schedule))
+        .expect("schedule runs");
+    let spans = SpanStore::from_report(&report);
+    let usage = link_usage(&report.rate_samples, &topo, &params);
+
+    let max_util = usage
+        .peaks
+        .iter()
+        .map(|p| p.utilization())
+        .fold(0.0f64, f64::max);
+    if expect_saturated {
+        assert!(max_util > 0.99, "{}: some link must saturate", alg.name());
+    } else {
+        let cap_ratio = params.flow_cap() / params.leaf_bandwidth;
+        assert!(
+            (max_util - cap_ratio).abs() < 1e-9,
+            "{}: serialized fan-in peaks at the per-flow cap, got {max_util}",
+            alg.name()
+        );
+    }
+
+    // Every dynamically-saturated link, attributed to the schedule step
+    // (message tag) active when its peak was sampled.
+    let candidates: Vec<(usize, usize)> = usage
+        .peaks
+        .iter()
+        .filter(|p| p.utilization() >= max_util - 1e-9)
+        .filter_map(|p| spans.step_at(p.at).map(|step| (p.level, step as usize)))
+        .collect();
+    assert!(
+        !candidates.is_empty(),
+        "{}: no attributable peaks",
+        alg.name()
+    );
+
+    assert!(
+        candidates.iter().any(|c| static_spots.contains(c)),
+        "{}: no dynamically-saturated link matches a static hotspot\n\
+         static (level, step): {static_spots:?}\ndynamic: {candidates:?}",
+        alg.name()
+    );
+}
+
+#[test]
+fn pex_32_dynamic_peak_matches_static_root_hotspots() {
+    let d = analyze_contention(
+        &ExchangeAlg::Pex.schedule(32, 1024),
+        &MachineParams::cm5_1992(),
+    );
+    assert!(d.iter().all(|x| x.code == Code::RootHotspot));
+    crosscheck(ExchangeAlg::Pex, 32, 1024, true);
+}
+
+#[test]
+fn bex_32_dynamic_peak_matches_static_root_hotspots() {
+    crosscheck(ExchangeAlg::Bex, 32, 1024, true);
+}
+
+#[test]
+fn rex_32_dynamic_peak_matches_the_single_root_step() {
+    let d = analyze_contention(
+        &ExchangeAlg::Rex.schedule(32, 1024),
+        &MachineParams::cm5_1992(),
+    );
+    let roots: Vec<_> = d.iter().filter(|x| x.code == Code::RootHotspot).collect();
+    assert_eq!(roots.len(), 1, "REX concentrates root traffic in one step");
+    crosscheck(ExchangeAlg::Rex, 32, 1024, true);
+}
+
+#[test]
+fn lex_32_dynamic_peak_matches_static_fan_in_hotspots() {
+    let d = analyze_contention(
+        &ExchangeAlg::Lex.schedule(32, 1024),
+        &MachineParams::cm5_1992(),
+    );
+    assert!(
+        d.iter().any(|x| x.code == Code::LinkHotspot),
+        "LEX's n-1-way fan-in oversubscribes below the root"
+    );
+    crosscheck(ExchangeAlg::Lex, 32, 1024, false);
+}
