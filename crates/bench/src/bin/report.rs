@@ -606,27 +606,37 @@ fn perf() {
     use cm5_bench::perf as p;
     header(
         "Simulator performance — host cost of the hot loop (opt-in)",
-        "not in the paper; measures the simulator itself. Incremental \
-         max-min solver vs the retained --rates full oracle",
+        "not in the paper; measures the simulator itself. Small grids: \
+         incremental solver vs the --rates full oracle. Large grids \
+         (1024-16384 nodes): hierarchical solver vs the incremental oracle",
     );
     let quick = *QUICK.get().unwrap_or(&false);
     let reps = if quick { 1 } else { 3 };
     let measurements = p::run_perf_suite(reps);
     println!(
-        "{:>8} {:>6} {:>11} {:>10} {:>12} {:>11} {:>10} {:>9}",
-        "grid", "nodes", "wall ms", "events", "events/sec", "recomputes", "peakflows", "speedup"
+        "{:>8} {:>6} {:>13} {:>11} {:>10} {:>12} {:>11} {:>10} {:>9}",
+        "grid",
+        "nodes",
+        "solver",
+        "wall ms",
+        "events",
+        "events/sec",
+        "recomputes",
+        "peakflows",
+        "speedup"
     );
     for m in &measurements {
         println!(
-            "{:>8} {:>6} {:>11.3} {:>10} {:>12.0} {:>11} {:>10} {:>8.2}x",
+            "{:>8} {:>6} {:>13} {:>11.3} {:>10} {:>12.0} {:>11} {:>10} {:>8.2}x",
             m.name,
             m.n,
+            m.solver,
             m.wall_secs * 1e3,
             m.events,
             m.events_per_sec,
             m.recomputes,
             m.flows_peak,
-            m.speedup_vs_full
+            m.speedup_vs_oracle
         );
     }
     let json_path = BENCH_JSON.get().expect("set in main");

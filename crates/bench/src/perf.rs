@@ -1,12 +1,15 @@
 //! Simulator performance suite: measures the *host* cost of representative
 //! workloads (as opposed to the simulated times every other module reports).
 //!
-//! The grid exercises the network hot path from three directions: REX keeps
-//! few flows alive but churns them quickly, PEX holds a full bisection of
-//! simultaneous flows, and the greedy irregular schedule at 75 % density
-//! admits large unbalanced batches. Each case also runs once under the
-//! retained full-recompute oracle (`--rates full`) so the speedup of the
-//! incremental solver is part of the measurement.
+//! The small grid exercises the network hot path from three directions: REX
+//! keeps few flows alive but churns them quickly, PEX holds a full bisection
+//! of simultaneous flows, and the greedy irregular schedule at 75 % density
+//! admits large unbalanced batches. The large grid scales the same pressure
+//! two orders of magnitude past the paper — 1024/4096/16384-node fat trees —
+//! where the hierarchical solver's subtree invalidation is the difference
+//! between seconds and minutes. Each case also runs once under an oracle
+//! solver (the full recompute for the small grid, the incremental solver for
+//! the large grid) so the measured speedup is part of the artifact.
 //!
 //! Used by `report perf` (and `cm5 bench`), which serialise the results to
 //! `BENCH_sim.json`, and by the `sim_hot_loop` Criterion bench.
@@ -14,13 +17,13 @@
 use std::time::Instant;
 
 use cm5_core::prelude::*;
-use cm5_sim::{MachineParams, OpProgram, RateSolver, SimReport, Simulation};
+use cm5_sim::{MachineParams, Op, OpProgram, RateSolver, SimReport, Simulation};
 use cm5_workloads::synthetic::synthetic_pattern_exact;
 
 /// One workload of the performance grid.
 pub struct PerfCase {
-    /// Short stable identifier (`rex_128`, `gs_75`...), used as the JSON key
-    /// and the baseline-file key.
+    /// Short stable identifier (`rex_128`, `pex_4k`...), used as the JSON
+    /// key and the baseline-file key.
     pub name: &'static str,
     /// Human description printed by `report perf`.
     pub what: &'static str,
@@ -28,6 +31,11 @@ pub struct PerfCase {
     pub n: usize,
     /// Lowered per-node programs.
     pub programs: Vec<OpProgram>,
+    /// The solver being measured.
+    pub solver: RateSolver,
+    /// The solver timed alongside as the speedup reference; its makespan
+    /// must agree bitwise with `solver`'s (the bit-identity contract).
+    pub oracle: RateSolver,
 }
 
 /// Host-side measurements for one [`PerfCase`].
@@ -37,9 +45,11 @@ pub struct PerfMeasurement {
     pub name: String,
     /// Machine size.
     pub n: usize,
+    /// `--rates` name of the measured solver.
+    pub solver: &'static str,
     /// Simulation repetitions timed (best run reported).
     pub reps: u32,
-    /// Engine wall-clock seconds of the best incremental run.
+    /// Engine wall-clock seconds of the best primary-solver run.
     pub wall_secs: f64,
     /// Engine events processed per run.
     pub events: u64,
@@ -47,22 +57,30 @@ pub struct PerfMeasurement {
     pub events_per_sec: f64,
     /// Whole simulations ("grid cells") per wall-clock second.
     pub cells_per_sec: f64,
-    /// Rate recomputations per run under the incremental solver.
+    /// Rate recomputations per run under the measured solver.
     pub recomputes: u64,
     /// Flows admitted per run.
     pub flows: u64,
     /// Peak simultaneous flows.
     pub flows_peak: usize,
-    /// Wall-clock of the same workload under [`RateSolver::Full`], seconds.
-    pub full_wall_secs: f64,
-    /// `full_wall_secs / wall_secs` — the incremental solver's speedup.
-    pub speedup_vs_full: f64,
+    /// Wall-clock of the same workload under the oracle solver, seconds.
+    pub oracle_wall_secs: f64,
+    /// `oracle_wall_secs / wall_secs` — the measured solver's speedup.
+    pub speedup_vs_oracle: f64,
     /// Simulated makespan (sanity anchor: must not depend on the solver).
     pub makespan_ms: f64,
 }
 
+fn solver_name(solver: RateSolver) -> &'static str {
+    match solver {
+        RateSolver::Incremental => "incremental",
+        RateSolver::Full => "full",
+        RateSolver::Hierarchical => "hierarchical",
+    }
+}
+
 /// The standard grid: REX/PEX at 64 and 128 nodes, greedy irregular at
-/// 75 % density on 32 nodes.
+/// 75 % density on 32 nodes. Incremental solver against the full oracle.
 pub fn perf_cases() -> Vec<PerfCase> {
     let mut cases = Vec::new();
     for &n in &[64usize, 128] {
@@ -81,6 +99,8 @@ pub fn perf_cases() -> Vec<PerfCase> {
                 },
                 n,
                 programs: lower(&alg.schedule(n, 1024)),
+                solver: RateSolver::Incremental,
+                oracle: RateSolver::Full,
             });
         }
     }
@@ -90,7 +110,84 @@ pub fn perf_cases() -> Vec<PerfCase> {
         what: "greedy irregular, 75% density (batched admissions)",
         n: 32,
         programs: lower(&gs(&pattern)),
+        solver: RateSolver::Incremental,
+        oracle: RateSolver::Full,
     });
+    cases
+}
+
+/// A truncated PEX: the XOR-stride steps `i ↔ i ^ j` for each `j` in
+/// `strides`, lowered directly to per-node programs. A full PEX at 16 384
+/// nodes is ~268 M messages — far more work than a perf cell needs — but a
+/// slice mixing local strides (intra-cluster) and global strides (root
+/// crossings) exercises exactly the same per-step contention structure.
+/// `bytes_of(i)` sets node `i`'s payload; varying it staggers completions,
+/// which is the hierarchical solver's hard case (every completion dirties a
+/// spine).
+fn pex_slice_programs(
+    n: usize,
+    strides: &[usize],
+    bytes_of: impl Fn(usize) -> u64,
+) -> Vec<OpProgram> {
+    assert!(n.is_power_of_two(), "XOR strides need a power-of-two n");
+    let mut programs: Vec<OpProgram> = vec![Vec::with_capacity(2 * strides.len()); n];
+    for (step, &j) in strides.iter().enumerate() {
+        assert!(j > 0 && j < n, "stride {j} out of range for n={n}");
+        let tag = step as u32;
+        for (i, prog) in programs.iter_mut().enumerate() {
+            let partner = i ^ j;
+            let send = Op::Send {
+                to: partner,
+                bytes: bytes_of(i),
+                tag,
+            };
+            let recv = Op::Recv { from: partner, tag };
+            if i < partner {
+                prog.push(send);
+                prog.push(recv);
+            } else {
+                prog.push(recv);
+                prog.push(send);
+            }
+        }
+    }
+    programs
+}
+
+/// The large-N grid: 1024/4096/16384-node fat trees, hierarchical solver
+/// against the incremental oracle. `pex_*` cells hold a full bisection of
+/// uniform flows per step; `mix_*` cells stagger payload sizes so
+/// completions trickle in and every recompute is an invalidation test.
+pub fn perf_cases_large() -> Vec<PerfCase> {
+    let uniform = |_: usize| 1024u64;
+    let varied = |i: usize| 256 + 192 * (i % 16) as u64;
+    let mut cases = Vec::new();
+    for (name, n) in [("pex_1k", 1024usize), ("pex_4k", 4096), ("pex_16k", 16384)] {
+        let strides = [1usize, 2, 3, n / 4, n / 2, n / 2 + 1];
+        cases.push(PerfCase {
+            name,
+            what: "truncated pairwise exchange (local + root-crossing strides)",
+            n,
+            programs: pex_slice_programs(n, &strides, uniform),
+            solver: RateSolver::Hierarchical,
+            oracle: RateSolver::Incremental,
+        });
+    }
+    for (name, n) in [("mix_1k", 1024usize), ("mix_4k", 4096)] {
+        // Intra-cluster strides only (1..3 flips the low two bits, so every
+        // pair shares a cluster of four) with varied payloads: completions
+        // trickle in pair by pair and each one invalidates a single leaf
+        // subtree — the hierarchical solver's win case.
+        let strides = [1usize, 2, 3];
+        cases.push(PerfCase {
+            name,
+            what: "cluster-local staggered exchange (localized invalidation)",
+            n,
+            programs: pex_slice_programs(n, &strides, varied),
+            solver: RateSolver::Hierarchical,
+            oracle: RateSolver::Incremental,
+        });
+    }
     cases
 }
 
@@ -102,44 +199,50 @@ fn run_with(case: &PerfCase, solver: RateSolver) -> SimReport {
         .unwrap_or_else(|e| panic!("perf case {}: {e}", case.name))
 }
 
-/// Run the whole suite. `reps` incremental repetitions per case (the best
-/// run is reported, damping scheduler noise); the full-recompute oracle
-/// runs `max(1, reps / 2)` times.
-pub fn run_perf_suite(reps: u32) -> Vec<PerfMeasurement> {
+/// Run a slice of the grid. `reps` primary-solver repetitions per case (the
+/// best run is reported, damping scheduler noise); the oracle runs
+/// `max(1, reps / 2)` times. Cases at ≥ 1024 nodes skip the untimed warm-up
+/// run — at that size one extra simulation costs more than the scheduler
+/// noise it would dampen.
+pub fn run_cases(cases: &[PerfCase], reps: u32) -> Vec<PerfMeasurement> {
     assert!(reps > 0, "at least one repetition");
-    perf_cases()
+    cases
         .iter()
         .map(|case| {
-            // Warm-up: page in code and the allocator before timing.
-            let warm = run_with(case, RateSolver::Incremental);
+            if case.n < 1024 {
+                // Warm-up: page in code and the allocator before timing.
+                let _ = run_with(case, case.solver);
+            }
             let mut best = f64::INFINITY;
-            let mut report = warm;
+            let mut report = None;
             for _ in 0..reps {
                 let start = Instant::now();
-                let r = run_with(case, RateSolver::Incremental);
+                let r = run_with(case, case.solver);
                 let wall = start.elapsed().as_secs_f64();
                 if wall < best {
                     best = wall;
-                    report = r;
+                    report = Some(r);
                 }
             }
-            let mut full_best = f64::INFINITY;
-            let mut full_makespan = None;
+            let report = report.expect("reps > 0");
+            let mut oracle_best = f64::INFINITY;
+            let mut oracle_makespan = None;
             for _ in 0..reps.div_ceil(2) {
                 let start = Instant::now();
-                let r = run_with(case, RateSolver::Full);
-                full_best = full_best.min(start.elapsed().as_secs_f64());
-                full_makespan = Some(r.makespan);
+                let r = run_with(case, case.oracle);
+                oracle_best = oracle_best.min(start.elapsed().as_secs_f64());
+                oracle_makespan = Some(r.makespan);
             }
             assert_eq!(
                 Some(report.makespan),
-                full_makespan,
+                oracle_makespan,
                 "{}: solvers must agree on simulated time",
                 case.name
             );
             PerfMeasurement {
                 name: case.name.to_string(),
                 n: case.n,
+                solver: solver_name(case.solver),
                 reps,
                 wall_secs: best,
                 events: report.perf.events,
@@ -152,12 +255,21 @@ pub fn run_perf_suite(reps: u32) -> Vec<PerfMeasurement> {
                 recomputes: report.perf.recomputes,
                 flows: report.perf.flows,
                 flows_peak: report.perf.flows_peak,
-                full_wall_secs: full_best,
-                speedup_vs_full: if best > 0.0 { full_best / best } else { 0.0 },
+                oracle_wall_secs: oracle_best,
+                speedup_vs_oracle: if best > 0.0 { oracle_best / best } else { 0.0 },
                 makespan_ms: report.makespan.as_millis_f64(),
             }
         })
         .collect()
+}
+
+/// Run the whole suite: the standard grid at `reps` repetitions, then the
+/// large-N grid at one repetition each (a 16384-node cell is its own
+/// noise damping — the run is long enough to average out the scheduler).
+pub fn run_perf_suite(reps: u32) -> Vec<PerfMeasurement> {
+    let mut ms = run_cases(&perf_cases(), reps);
+    ms.extend(run_cases(&perf_cases_large(), 1));
+    ms
 }
 
 /// Serialise measurements as the `BENCH_sim.json` artifact (hand-rolled —
@@ -166,18 +278,20 @@ pub fn to_json(measurements: &[PerfMeasurement], quick: bool) -> String {
     let mut out = format!(
         "{{\n  \"{}\": \"{}\",\n",
         cm5_obs::SCHEMA_KEY,
-        cm5_obs::schema_id("bench-sim-perf", 1)
+        cm5_obs::schema_id("bench-sim-perf", 2)
     );
     out.push_str(&format!("  \"quick\": {quick},\n  \"grids\": [\n"));
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"nodes\": {}, \"reps\": {}, \
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"solver\": \"{}\", \
+             \"reps\": {}, \
              \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}, \
              \"cells_per_sec\": {:.3}, \"recomputes\": {}, \"flows\": {}, \
-             \"flows_peak\": {}, \"full_wall_secs\": {:.6}, \
-             \"speedup_vs_full\": {:.2}, \"makespan_ms\": {:.4}}}{}\n",
+             \"flows_peak\": {}, \"oracle_wall_secs\": {:.6}, \
+             \"speedup_vs_oracle\": {:.2}, \"makespan_ms\": {:.4}}}{}\n",
             m.name,
             m.n,
+            m.solver,
             m.reps,
             m.wall_secs,
             m.events,
@@ -186,8 +300,8 @@ pub fn to_json(measurements: &[PerfMeasurement], quick: bool) -> String {
             m.recomputes,
             m.flows,
             m.flows_peak,
-            m.full_wall_secs,
-            m.speedup_vs_full,
+            m.oracle_wall_secs,
+            m.speedup_vs_oracle,
             m.makespan_ms,
             if i + 1 < measurements.len() { "," } else { "" },
         ));
@@ -237,17 +351,54 @@ mod tests {
 
     #[test]
     fn suite_runs_and_serialises() {
-        let ms = run_perf_suite(1);
+        // The small grid only: the large cells are release-build territory
+        // and are covered by `report perf` in CI plus tests/scaling_smoke.rs.
+        let ms = run_cases(&perf_cases(), 1);
         assert_eq!(ms.len(), 5);
         for m in &ms {
             assert!(m.events > 0, "{}", m.name);
             assert!(m.flows > 0, "{}", m.name);
             assert!(m.makespan_ms > 0.0, "{}", m.name);
+            assert_eq!(m.solver, "incremental", "{}", m.name);
         }
         let json = to_json(&ms, true);
-        assert!(json.contains("\"schema\": \"cm5-bench-sim-perf/1\""));
+        assert!(json.contains("\"schema\": \"cm5-bench-sim-perf/2\""));
         assert!(json.contains("\"rex_128\""));
+        assert!(json.contains("\"solver\": \"incremental\""));
         assert_eq!(json.matches("\"name\"").count(), 5);
+    }
+
+    #[test]
+    fn large_grid_is_well_formed() {
+        // Shape-check the large cells without running them (debug builds).
+        let cases = perf_cases_large();
+        assert_eq!(cases.len(), 5);
+        for case in &cases {
+            assert!(case.n >= 1024, "{}", case.name);
+            assert_eq!(case.programs.len(), case.n, "{}", case.name);
+            assert_eq!(case.solver, RateSolver::Hierarchical, "{}", case.name);
+            assert_eq!(case.oracle, RateSolver::Incremental, "{}", case.name);
+            let ops: usize = case.programs.iter().map(Vec::len).sum();
+            // Truncated slices, not the full O(N²) exchange.
+            assert!(
+                ops <= 16 * case.n,
+                "{}: {ops} ops is not a truncated slice",
+                case.name
+            );
+        }
+    }
+
+    #[test]
+    fn pex_slice_is_a_valid_pairing() {
+        // Every send has a matching receive: run a small instance end to
+        // end under both large-grid solvers.
+        let programs = pex_slice_programs(16, &[1, 2, 8, 9], |i| 64 + i as u64);
+        for solver in [RateSolver::Hierarchical, RateSolver::Incremental] {
+            let mut params = MachineParams::cm5_1992();
+            params.rate_solver = solver;
+            let r = Simulation::new(16, params).run_ops(&programs).unwrap();
+            assert_eq!(r.messages, 4 * 16);
+        }
     }
 
     #[test]
@@ -257,6 +408,7 @@ mod tests {
         let ms = vec![PerfMeasurement {
             name: "rex_64".into(),
             n: 64,
+            solver: "incremental",
             reps: 1,
             wall_secs: 1.0,
             events: 500,
@@ -265,8 +417,8 @@ mod tests {
             recomputes: 1,
             flows: 1,
             flows_peak: 1,
-            full_wall_secs: 2.0,
-            speedup_vs_full: 2.0,
+            oracle_wall_secs: 2.0,
+            speedup_vs_oracle: 2.0,
             makespan_ms: 1.0,
         }];
         let failures = check_baseline(&ms, &base);

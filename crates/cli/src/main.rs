@@ -126,9 +126,10 @@ fn machine(args: &Args) -> Result<MachineParams, String> {
         None if !args.has("rates") => {}
         Some("incremental") => params.rate_solver = cm5_sim::RateSolver::Incremental,
         Some("full") => params.rate_solver = cm5_sim::RateSolver::Full,
+        Some("hierarchical") => params.rate_solver = cm5_sim::RateSolver::Hierarchical,
         other => {
             return Err(format!(
-                "--rates expects full | incremental, got '{}'",
+                "--rates expects full | incremental | hierarchical, got '{}'",
                 other.unwrap_or("")
             ))
         }
@@ -496,27 +497,34 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 /// and write the `BENCH_sim.json` artifact.
 fn cmd_bench(args: &Args) -> Result<(), String> {
     use cm5_bench::perf;
-    args.check_flags(&["quick", "json"])?;
+    args.check_flags(&["quick", "json", "large"])?;
     let quick = args.has("quick");
     let reps = if quick { 1 } else { 3 };
     println!(
         "simulator performance suite ({reps} rep{} per grid, best run):",
         if reps == 1 { "" } else { "s" }
     );
-    let measurements = perf::run_perf_suite(reps);
+    // `--large` adds the 1024/4096/16384-node hierarchical-solver cells
+    // (seconds per cell in a release build; opt-in for that reason).
+    let measurements = if args.has("large") {
+        perf::run_perf_suite(reps)
+    } else {
+        perf::run_cases(&perf::perf_cases(), reps)
+    };
     println!(
-        "{:>8} {:>6} {:>11} {:>12} {:>10} {:>9}",
-        "grid", "nodes", "wall ms", "events/sec", "cells/sec", "speedup"
+        "{:>8} {:>6} {:>13} {:>11} {:>12} {:>10} {:>9}",
+        "grid", "nodes", "solver", "wall ms", "events/sec", "cells/sec", "speedup"
     );
     for m in &measurements {
         println!(
-            "{:>8} {:>6} {:>11.3} {:>12.0} {:>10.1} {:>8.2}x",
+            "{:>8} {:>6} {:>13} {:>11.3} {:>12.0} {:>10.1} {:>8.2}x",
             m.name,
             m.n,
+            m.solver,
             m.wall_secs * 1e3,
             m.events_per_sec,
             m.cells_per_sec,
-            m.speedup_vs_full
+            m.speedup_vs_oracle
         );
     }
     let path = args.get("json").unwrap_or("BENCH_sim.json");
@@ -914,7 +922,8 @@ USAGE:
   cm5 lint      [--alg lex|..|bex|lib|reb|ls|..|gs|crystal] [-n N] [--bytes B] [--density D]
                 [--seed S] [--pattern paper] [--pattern-file PATH] [--all] [--json] [--async]
                 [--inject swap-order|drop-recv|retag]
-  cm5 bench     [--quick] [--json PATH]   (simulator host-cost suite -> BENCH_sim.json)
+  cm5 bench     [--quick] [--large] [--json PATH]   (simulator host-cost suite -> BENCH_sim.json;
+                --large adds the 1024/4096/16384-node hierarchical-solver cells)
   cm5 trace     [--alg lex|..|bex|lib|reb|ls|..|gs|crystal] [-n N] [--bytes B] [--density D]
                 [--seed S] [--pattern paper] [--pattern-file PATH] [--out trace.json]
                 [--timeline] [--links] [--json] [--width W] [--async]
@@ -931,9 +940,11 @@ exports the observability views: `--out` writes Chrome Trace Format JSON
 (Perfetto / chrome://tracing), `--timeline` draws a per-node Gantt chart,
 `--links` draws per-level utilization sparklines, `--json` prints the
 metrics registry. Simulated results are bit-identical with tracing on.
-Simulating commands also take `--rates full|incremental` to select the
-network rate solver (`full` = the original per-admission recompute,
-kept as an ablation/differential-testing oracle; results are identical).
+Simulating commands also take `--rates full|incremental|hierarchical`
+to select the network rate solver (`full` = the original per-admission
+recompute, kept as an ablation/differential-testing oracle;
+`hierarchical` = subtree-dirty recompute for large fat trees; results
+are bit-identical across all three).
 
 The full paper evaluation: cargo run --release -p cm5-bench --bin report
 ";
@@ -1073,9 +1084,17 @@ mod tests {
             "exchange --alg pex --n 8 --bytes 64 --rates incremental",
         ))
         .unwrap();
+        dispatch(&argv(
+            "exchange --alg pex --n 8 --bytes 64 --rates hierarchical",
+        ))
+        .unwrap();
         dispatch(&argv("irregular --alg gs --n 8 --density 0.3 --rates full")).unwrap();
+        dispatch(&argv(
+            "irregular --alg gs --n 8 --density 0.3 --rates hierarchical",
+        ))
+        .unwrap();
         let err = dispatch(&argv("exchange --n 8 --rates eventually")).unwrap_err();
-        assert!(err.contains("full | incremental"), "{err}");
+        assert!(err.contains("full | incremental | hierarchical"), "{err}");
     }
 
     #[test]
@@ -1152,8 +1171,12 @@ mod tests {
         let path_s = path.to_str().unwrap();
         dispatch(&argv(&format!("bench --quick --json {path_s}"))).unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
-        assert!(json.contains("cm5-bench-sim-perf/1"), "{json}");
+        assert!(json.contains("cm5-bench-sim-perf/2"), "{json}");
         assert!(json.contains("\"rex_128\""), "{json}");
+        assert!(json.contains("\"solver\": \"incremental\""), "{json}");
+        // Without --large the big cells must stay out of the artifact
+        // (this test runs in a debug build).
+        assert!(!json.contains("\"pex_16k\""), "{json}");
         std::fs::remove_file(&path).ok();
         assert!(dispatch(&argv("bench --jobs 3")).is_err());
     }

@@ -930,7 +930,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
     fn note_net_mutation(&mut self, t: SimTime) {
         match self.params.rate_solver {
             RateSolver::Full => self.reschedule_net(),
-            RateSolver::Incremental => {
+            RateSolver::Incremental | RateSolver::Hierarchical => {
                 invariant!(
                     !self.pending_net || self.pending_net_at == t,
                     "a pending batch must be flushed before time advances"

@@ -17,43 +17,60 @@
 //!
 //! # Solver implementations
 //!
-//! Two [`RateSolver`] backends produce **bit-identical** results:
+//! Three [`RateSolver`] backends produce **bit-identical** results:
 //!
-//! * [`RateSolver::Incremental`] (default) stores flows in a slab
-//!   (`Vec<Option<Flow>>` + free list) with per-link membership lists,
-//!   recomputes rates lazily — once per timestamp however many flows were
-//!   admitted — into persistent scratch buffers with zero per-call
-//!   allocation, and answers [`Network::next_completion`] from an indexed
-//!   min-heap of predicted finish times that is invalidated wholesale by a
-//!   per-recompute rate epoch. Byte integration is folded into the
-//!   recompute/drain points, so [`Network::advance_to`] is O(1).
+//! * [`RateSolver::Incremental`] (default) stores flows in a
+//!   struct-of-arrays slab with per-link member counts, recomputes rates
+//!   lazily — once per timestamp however many flows were admitted — into
+//!   persistent scratch buffers with zero per-call allocation, and answers
+//!   [`Network::next_completion`] from an indexed min-heap of predicted
+//!   finish times that is invalidated wholesale by a per-recompute rate
+//!   epoch. Byte integration is folded into the recompute/drain points, so
+//!   [`Network::advance_to`] is O(1).
+//! * [`RateSolver::Hierarchical`] adds per-subtree dirty bits over the fat
+//!   tree: admissions and completions mark only the tree spine they touch,
+//!   and the recompute re-runs progressive filling over just the *affected*
+//!   subtrees — every other flow keeps its persisted rate. See
+//!   [`Network::recompute_hierarchical`] for the closure argument that
+//!   makes this exact rather than approximate.
 //! * [`RateSolver::Full`] is the original solver — a fresh full
 //!   recomputation on every add/remove, eager integration, and an O(flows)
 //!   completion scan — retained as the differential-testing oracle and the
 //!   `--rates full` ablation.
 //!
-//! Bit-identity holds because both backends run the *same* progressive
+//! Bit-identity holds because all backends run the *same* progressive
 //! filling arithmetic over the *same* flow iteration order (ascending flow
 //! id, the old `BTreeMap` order — floating-point subtraction makes the
 //! freeze order observable), and because every intermediate recompute the
 //! eager solver performs between two timestamps is a pure function of the
 //! flow set whose output is never read before the next recompute.
+//!
+//! # Cache-conscious flow store
+//!
+//! Large machines (the 4K–16K-node scaling cells) made two seed-era
+//! choices untenable: the memoized all-pairs `RouteTable` is O(N²·route)
+//! memory — ~30 GB at 16 384 nodes — and `Vec<Option<Flow>>` scatters the
+//! per-round fill state across heap allocations. The store here is a
+//! struct-of-arrays slab (hot arrays: `remaining`/`rate`/`cap`/`route_len`;
+//! cold arrays for identity and accounting) plus one fixed-stride route
+//! arena: routes are computed arithmetically at admission (shift/divide on
+//! group numbers — no table, no allocation) and written level-major into
+//! the flow's arena slot.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
 
 use crate::params::{FairnessModel, MachineParams, RateSolver};
 use crate::stats::RateSample;
 use crate::time::{SimDuration, SimTime};
-use crate::topology::{FatTree, RouteRef, RouteTable, Topology};
+use crate::topology::{FatTree, Topology, ARITY};
 
 /// Residual bytes below which a flow counts as finished. Completion events
 /// are scheduled with ceil-rounding, so at the scheduled instant the true
 /// residue is ≤ 0 up to floating-point error; this absorbs that error.
 const COMPLETE_EPS: f64 = 1e-3;
 
-/// One in-flight message.
+/// One in-flight message, as returned by [`Network::take_completed`].
 #[derive(Debug, Clone)]
 pub struct Flow {
     /// Engine-assigned identifier (also the tie-break for determinism).
@@ -62,9 +79,6 @@ pub struct Flow {
     pub src: usize,
     /// Receiving node.
     pub dst: usize,
-    /// Link indices (see [`FatTree::route`]) this flow occupies — a shared
-    /// view into the topology's memoized [`RouteTable`].
-    pub route: RouteRef,
     /// Per-flow rate cap (software streaming limit), bytes/second.
     pub cap: f64,
     /// Wire bytes still to move.
@@ -89,19 +103,153 @@ struct CompEntry {
     epoch: u64,
 }
 
+/// Struct-of-arrays flow slab. The max-min fill touches `remaining`,
+/// `rate`, `cap` and the route arena every round; keeping them in dense
+/// parallel arrays (instead of one `Vec<Option<Flow>>` of 100-byte
+/// structs) keeps the hot loop inside a few cache lines per flow at
+/// large N. Cold identity/accounting fields live in their own arrays and
+/// are only read on drain.
+#[derive(Debug, Default)]
+struct FlowStore {
+    // Hot: read or written every fill round / integration step.
+    remaining: Vec<f64>,
+    rate: Vec<f64>,
+    cap: Vec<f64>,
+    route_len: Vec<u32>,
+    // Cold: identity and accounting, read on admission/drain only.
+    id: Vec<u64>,
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    token: Vec<u64>,
+    wire_bytes: Vec<u64>,
+    /// Tree-node index of the flow's LCA ([`TreeIndex`]); `u32::MAX` on
+    /// topologies without a tree (hypercube).
+    lca_node: Vec<u32>,
+    live: Vec<bool>,
+    /// Fixed-stride route arena: `stride` link indices per slot, written
+    /// level-major (up links ascending, then down links descending). Only
+    /// the first `route_len[slot]` entries of a slot are meaningful.
+    routes: Vec<u32>,
+    stride: usize,
+}
+
+impl FlowStore {
+    fn with_stride(stride: usize) -> FlowStore {
+        FlowStore {
+            stride,
+            ..FlowStore::default()
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// Grow the slab by one (dead) slot and return its index.
+    fn push_slot(&mut self) -> u32 {
+        let slot = self.id.len() as u32;
+        self.remaining.push(0.0);
+        self.rate.push(0.0);
+        self.cap.push(0.0);
+        self.route_len.push(0);
+        self.id.push(0);
+        self.src.push(0);
+        self.dst.push(0);
+        self.token.push(0);
+        self.wire_bytes.push(0);
+        self.lca_node.push(u32::MAX);
+        self.live.push(false);
+        self.routes.resize(self.routes.len() + self.stride, 0);
+        slot
+    }
+
+    /// The route of the flow in `slot` (link indices).
+    #[inline]
+    fn route(&self, slot: u32) -> &[u32] {
+        let base = slot as usize * self.stride;
+        &self.routes[base..base + self.route_len[slot as usize] as usize]
+    }
+}
+
+/// Dense indexing of the fat tree's internal nodes — the groups at levels
+/// `1..=levels` (the root is the single node at the top) — for the
+/// hierarchical solver's per-subtree bookkeeping.
+#[derive(Debug)]
+struct TreeIndex {
+    levels: u32,
+    /// `offset[l-1]` = index of the first node of level `l`.
+    offset: Vec<usize>,
+    /// `count[l-1]` = number of groups at level `l`.
+    count: Vec<usize>,
+    /// Total tree nodes (≈ n/3).
+    total: usize,
+}
+
+impl TreeIndex {
+    fn new(tree: &FatTree) -> TreeIndex {
+        let levels = tree.levels();
+        let n = tree.nodes();
+        let mut offset = Vec::with_capacity(levels as usize);
+        let mut count = Vec::with_capacity(levels as usize);
+        let mut total = 0usize;
+        for l in 1..=levels {
+            offset.push(total);
+            let c = n.div_ceil(ARITY.pow(l));
+            count.push(c);
+            total += c;
+        }
+        TreeIndex {
+            levels,
+            offset,
+            count,
+            total,
+        }
+    }
+
+    /// Node index of group `group` at `level` (1 ≤ level ≤ levels).
+    #[inline]
+    fn node(&self, level: u32, group: usize) -> usize {
+        self.offset[(level - 1) as usize] + group
+    }
+
+    /// Inverse of [`TreeIndex::node`].
+    fn level_group(&self, node: usize) -> (u32, usize) {
+        let mut l = self.offset.len();
+        while self.offset[l - 1] > node {
+            l -= 1;
+        }
+        (l as u32, node - self.offset[l - 1])
+    }
+
+    /// Stamp every tree node in the subtree rooted at (`level`, `group`)
+    /// with `epoch` (descendant-range marking: each level below the root
+    /// is one contiguous group range).
+    fn mark_subtree(&self, level: u32, group: usize, marks: &mut [u64], epoch: u64) {
+        for l in 1..=level {
+            let span = ARITY.pow(level - l);
+            let start = group * span;
+            let end = ((group + 1) * span).min(self.count[(l - 1) as usize]);
+            let off = self.offset[(l - 1) as usize];
+            for m in &mut marks[off + start..off + end] {
+                *m = epoch;
+            }
+        }
+    }
+}
+
 /// The network state: active flows plus per-link byte accounting.
 #[derive(Debug)]
 pub struct Network {
     topo: Topology,
-    /// Memoized all-pairs routes + link levels, shared across every network
-    /// on the same topology shape (see [`RouteTable::shared`]).
-    routes: Arc<RouteTable>,
     fairness: FairnessModel,
     solver: RateSolver,
     /// Static capacity of each link, bytes/second.
     capacity: Vec<f64>,
-    /// Slab flow store: dense storage indexed by slot.
-    slots: Vec<Option<Flow>>,
+    /// Aggregation level of each link (cached [`Topology::link_level`]).
+    link_levels: Vec<u16>,
+    num_levels: usize,
+    /// Struct-of-arrays flow slab + route arena.
+    store: FlowStore,
     /// Free slots available for reuse.
     free: Vec<u32>,
     /// Active flows as `(id, slot)`, ascending by id. Ids are allocated
@@ -109,28 +257,47 @@ pub struct Network {
     /// iterates it in this (the old `BTreeMap`) order, which the
     /// floating-point results depend on.
     active: Vec<(u64, u32)>,
-    /// Per-link member flow ids (incremental solver only; element order is
-    /// irrelevant, only the count is read).
-    link_members: Vec<Vec<u64>>,
-    /// Sorted list of links with at least one member (incremental solver
-    /// only), maintained on 0↔1 membership transitions.
+    /// Per-link member-flow count (lazy solvers only). Only the count ever
+    /// mattered — the seed's `Vec<Vec<u64>>` member lists cost an O(members)
+    /// position scan per link on every drain.
+    member_count: Vec<u32>,
+    /// Links that may have members (lazy solvers only): appended on 0→1
+    /// transitions, pruned lazily at the next recompute. Unordered — the
+    /// fill only takes exact mins over it, which are order-independent.
     used_links: Vec<usize>,
+    /// Whether a link is present in `used_links` (dedup for re-push).
+    in_used: Vec<bool>,
     /// Cumulative wire bytes carried per link.
     link_bytes: Vec<f64>,
     /// Virtual time of the network.
     now: SimTime,
     /// Time up to which `remaining`/`link_bytes` have been integrated.
-    /// Invariant (incremental): `dirty ⇒ synced_at == now`.
+    /// Invariant (lazy solvers): `dirty ⇒ synced_at == now`.
     synced_at: SimTime,
     /// Rates are stale: the flow set changed since the last recompute.
     dirty: bool,
     next_id: u64,
     /// Bumped on every recompute; completion-queue entries from older
-    /// epochs are invalid.
+    /// epochs are invalid. Also the stamp for `node_mark`/`link_mark`.
     rate_epoch: u64,
     /// Indexed completion queue: min-heap of predicted finish times,
     /// rebuilt at each recompute.
     completions: BinaryHeap<Reverse<CompEntry>>,
+    // Hierarchical-solver state (fat tree only; empty otherwise).
+    /// Tree-node indexing, present iff solver is Hierarchical on a fat tree.
+    tree: Option<TreeIndex>,
+    /// Per tree node: active flows whose LCA is exactly this node.
+    sub_count: Vec<u32>,
+    /// Per tree node: marked dirty since the last recompute.
+    node_dirty: Vec<bool>,
+    /// Dirty tree nodes since the last recompute (dedup via `node_dirty`).
+    dirty_nodes: Vec<u32>,
+    /// Epoch stamp: node is in an affected subtree this recompute.
+    node_mark: Vec<u64>,
+    /// Epoch stamp: link discovered on an affected flow this recompute.
+    link_mark: Vec<u64>,
+    /// Links of the affected component (rebuilt per recompute).
+    scratch_links: Vec<usize>,
     // Persistent scratch buffers (zero per-recompute allocation).
     scratch_residual: Vec<f64>,
     scratch_count: Vec<u32>,
@@ -158,18 +325,27 @@ impl Network {
     pub fn new_on(topo: Topology, params: &MachineParams) -> Network {
         let capacity = topo.link_capacities(params);
         let links = topo.link_count();
-        let routes = RouteTable::shared(&topo);
+        let link_levels: Vec<u16> = (0..links).map(|i| topo.link_level(i) as u16).collect();
+        let num_levels = topo.num_levels();
+        let stride = topo.max_route_len();
+        let tree = match (&topo, params.rate_solver) {
+            (Topology::FatTree(t), RateSolver::Hierarchical) => Some(TreeIndex::new(t)),
+            _ => None,
+        };
+        let tnodes = tree.as_ref().map_or(0, |t| t.total);
         Network {
             topo,
-            routes,
             fairness: params.fairness,
             solver: params.rate_solver,
             capacity,
-            slots: Vec::new(),
+            link_levels,
+            num_levels,
+            store: FlowStore::with_stride(stride),
             free: Vec::new(),
             active: Vec::new(),
-            link_members: vec![Vec::new(); links],
+            member_count: vec![0; links],
             used_links: Vec::new(),
+            in_used: vec![false; links],
             link_bytes: vec![0.0; links],
             now: SimTime::ZERO,
             synced_at: SimTime::ZERO,
@@ -177,6 +353,17 @@ impl Network {
             next_id: 0,
             rate_epoch: 0,
             completions: BinaryHeap::new(),
+            tree,
+            sub_count: vec![0; tnodes],
+            node_dirty: vec![false; tnodes],
+            dirty_nodes: Vec::new(),
+            node_mark: vec![0; tnodes],
+            link_mark: if params.rate_solver == RateSolver::Hierarchical {
+                vec![0; links]
+            } else {
+                Vec::new()
+            },
+            scratch_links: Vec::new(),
             scratch_residual: vec![0.0; links],
             scratch_count: vec![0; links],
             scratch_unfrozen: Vec::new(),
@@ -206,10 +393,11 @@ impl Network {
     /// series stays piecewise-constant with strictly increasing times.
     fn sample_rates(&mut self) {
         let scratch = &mut self.sample_scratch;
+        let store = &self.store;
         for &(_, s) in &self.active {
-            let f = self.slots[s as usize].as_ref().expect("active flow");
-            for &l in f.route.iter() {
-                scratch[l] += f.rate;
+            let rate = store.rate[s as usize];
+            for &l in store.route(s) {
+                scratch[l as usize] += rate;
             }
         }
         let mut link_rates = Vec::new();
@@ -248,20 +436,20 @@ impl Network {
     /// (bytes/second). Forces a pending rate recomputation.
     pub fn flow_rate(&mut self, token: u64) -> Option<f64> {
         self.ensure_rates();
+        let store = &self.store;
         self.active
             .iter()
-            .map(|&(_, s)| self.slots[s as usize].as_ref().expect("active flow"))
-            .find(|f| f.token == token)
-            .map(|f| f.rate)
+            .find(|&&(_, s)| store.token[s as usize] == token)
+            .map(|&(_, s)| store.rate[s as usize])
     }
 
     /// Cumulative wire bytes summed per aggregation level (fat-tree level,
     /// index 0 = leaf links; hypercube dimension).
     pub fn bytes_per_level(&mut self) -> Vec<f64> {
         self.sync_to_now();
-        let mut per = vec![0.0; self.routes.num_levels()];
+        let mut per = vec![0.0; self.num_levels];
         for (idx, bytes) in self.link_bytes.iter().enumerate() {
-            per[self.routes.link_level(idx)] += bytes;
+            per[self.link_levels[idx] as usize] += bytes;
         }
         per
     }
@@ -282,8 +470,8 @@ impl Network {
     }
 
     /// Advance virtual time to `t` (monotone). The eager solver integrates
-    /// flow progress immediately; the incremental solver merely records the
-    /// time and folds integration into the next recompute/drain point.
+    /// flow progress immediately; the lazy solvers merely record the
+    /// time and fold integration into the next recompute/drain point.
     pub fn advance_to(&mut self, t: SimTime) {
         invariant!(t >= self.now, "network time must be monotone");
         match self.solver {
@@ -291,7 +479,7 @@ impl Network {
                 self.now = t;
                 self.sync_to_now();
             }
-            RateSolver::Incremental => {
+            RateSolver::Incremental | RateSolver::Hierarchical => {
                 // Rates must be valid before time passes over them.
                 if self.dirty && t > self.now {
                     self.ensure_rates();
@@ -308,14 +496,16 @@ impl Network {
         }
         let dt = (self.now - self.synced_at).as_secs_f64();
         if dt > 0.0 {
-            let slots = &mut self.slots;
+            let store = &mut self.store;
             let link_bytes = &mut self.link_bytes;
+            let stride = store.stride;
             for &(_, s) in &self.active {
-                let f = slots[s as usize].as_mut().expect("active flow");
-                let moved = (f.rate * dt).min(f.remaining);
-                f.remaining -= moved;
-                for &l in f.route.iter() {
-                    link_bytes[l] += moved;
+                let si = s as usize;
+                let moved = (store.rate[si] * dt).min(store.remaining[si]);
+                store.remaining[si] -= moved;
+                let base = si * stride;
+                for &l in &store.routes[base..base + store.route_len[si] as usize] {
+                    link_bytes[l as usize] += moved;
                 }
             }
         }
@@ -323,12 +513,16 @@ impl Network {
     }
 
     /// Recompute rates if the flow set changed since the last recompute
-    /// (incremental solver; the eager solver is never dirty).
+    /// (lazy solvers; the eager solver is never dirty).
     fn ensure_rates(&mut self) {
         if self.dirty {
             invariant_eq!(self.synced_at, self.now, "dirty implies synced");
             self.sync_to_now();
-            self.recompute_incremental();
+            match self.solver {
+                RateSolver::Incremental => self.recompute_incremental(),
+                RateSolver::Hierarchical => self.recompute_hierarchical(),
+                RateSolver::Full => unreachable!("eager solver is never dirty"),
+            }
             self.dirty = false;
         }
     }
@@ -337,9 +531,11 @@ impl Network {
     /// bandwidth. `cap` is the per-flow rate limit, `token` an opaque id the
     /// engine uses to find the message on completion.
     ///
-    /// Under the incremental solver the recomputation is deferred: any
-    /// number of same-timestamp admissions cost one recompute, triggered by
-    /// the next [`Network::next_completion`] / [`Network::advance_to`].
+    /// Under the lazy solvers the recomputation is deferred: any number of
+    /// same-timestamp admissions cost one recompute, triggered by the next
+    /// [`Network::next_completion`] / [`Network::advance_to`]. The route is
+    /// computed arithmetically into the flow's arena slot — no allocation,
+    /// no table lookup.
     pub fn add_flow(
         &mut self,
         src: usize,
@@ -351,44 +547,55 @@ impl Network {
         let id = self.next_id;
         self.next_id += 1;
         self.flows_admitted += 1;
-        let route = self.routes.route_ref(src, dst);
         self.sync_to_now();
-        if self.solver == RateSolver::Incremental {
-            for &l in route.iter() {
-                let members = &mut self.link_members[l];
-                if members.is_empty() {
-                    let pos = self
-                        .used_links
-                        .binary_search(&l)
-                        .expect_err("empty link cannot be in used_links");
-                    self.used_links.insert(pos, l);
-                }
-                members.push(id);
-            }
-        }
         let slot = match self.free.pop() {
             Some(s) => s,
-            None => {
-                self.slots.push(None);
-                (self.slots.len() - 1) as u32
-            }
+            None => self.store.push_slot(),
         };
-        self.slots[slot as usize] = Some(Flow {
-            id,
-            src,
-            dst,
-            route,
-            cap,
-            remaining: wire_bytes as f64,
-            rate: 0.0,
-            wire_bytes,
-            token,
-        });
+        let si = slot as usize;
+        let stride = self.store.stride;
+        let arena = &mut self.store.routes[si * stride..(si + 1) * stride];
+        let (rlen, lca_node) = match &self.topo {
+            Topology::FatTree(t) => {
+                let (len, lca) = t.route_into(src, dst, arena);
+                let node = match &self.tree {
+                    Some(tix) => tix.node(lca, t.group_of(src, lca)) as u32,
+                    None => u32::MAX,
+                };
+                (len, node)
+            }
+            Topology::Hypercube(h) => (h.route_into(src, dst, arena), u32::MAX),
+        };
+        self.store.route_len[si] = rlen as u32;
+        if self.solver != RateSolver::Full {
+            for k in 0..rlen {
+                let l = self.store.routes[si * stride + k] as usize;
+                if self.member_count[l] == 0 && !self.in_used[l] {
+                    self.in_used[l] = true;
+                    self.used_links.push(l);
+                }
+                self.member_count[l] += 1;
+            }
+            if self.tree.is_some() {
+                self.sub_count[lca_node as usize] += 1;
+                self.mark_node_dirty(lca_node);
+            }
+        }
+        self.store.remaining[si] = wire_bytes as f64;
+        self.store.rate[si] = 0.0;
+        self.store.cap[si] = cap;
+        self.store.id[si] = id;
+        self.store.src[si] = src as u32;
+        self.store.dst[si] = dst as u32;
+        self.store.token[si] = token;
+        self.store.wire_bytes[si] = wire_bytes;
+        self.store.lca_node[si] = lca_node;
+        self.store.live[si] = true;
         self.active.push((id, slot));
         self.flows_peak = self.flows_peak.max(self.active.len());
         match self.solver {
             RateSolver::Full => self.recompute_full(),
-            RateSolver::Incremental => self.dirty = true,
+            RateSolver::Incremental | RateSolver::Hierarchical => self.dirty = true,
         }
         id
     }
@@ -413,7 +620,7 @@ impl Network {
                     self.recompute_full();
                 }
             }
-            RateSolver::Incremental => {
+            RateSolver::Incremental | RateSolver::Hierarchical => {
                 self.ensure_rates();
                 // Fast path: the earliest predicted completion is still in
                 // the future — nothing to drain, nothing to allocate.
@@ -433,15 +640,12 @@ impl Network {
 
     /// Scan for drained flows (ascending id, same EPS rule as the original
     /// solver) and remove them from the slab / active list / membership.
+    /// Membership upkeep is O(route length) per drained flow — a count
+    /// decrement per link, no list scan.
     fn remove_drained(&mut self, out: &mut Vec<Flow>) {
         self.drain_scratch.clear();
         for &(id, s) in &self.active {
-            if self.slots[s as usize]
-                .as_ref()
-                .expect("active flow")
-                .remaining
-                <= COMPLETE_EPS
-            {
+            if self.store.remaining[s as usize] <= COMPLETE_EPS {
                 self.drain_scratch.push((id, s));
             }
         }
@@ -459,23 +663,32 @@ impl Network {
                 true
             }
         });
+        let lazy = self.solver != RateSolver::Full;
         for &(id, s) in &drained {
-            let flow = self.slots[s as usize]
-                .take()
-                .expect("completed flow present");
-            if self.solver == RateSolver::Incremental {
-                for &l in flow.route.iter() {
-                    let members = &mut self.link_members[l];
-                    let pos = members.iter().position(|&m| m == id).expect("member");
-                    members.swap_remove(pos);
-                    if members.is_empty() {
-                        let p = self.used_links.binary_search(&l).expect("used link");
-                        self.used_links.remove(p);
-                    }
+            let si = s as usize;
+            invariant!(self.store.live[si], "completed flow present");
+            if lazy {
+                for &l in self.store.route(s) {
+                    self.member_count[l as usize] -= 1;
+                }
+                if self.tree.is_some() {
+                    let node = self.store.lca_node[si];
+                    self.sub_count[node as usize] -= 1;
+                    self.mark_node_dirty(node);
                 }
             }
+            self.store.live[si] = false;
             self.free.push(s);
-            out.push(flow);
+            out.push(Flow {
+                id,
+                src: self.store.src[si] as usize,
+                dst: self.store.dst[si] as usize,
+                cap: self.store.cap[si],
+                remaining: self.store.remaining[si],
+                rate: self.store.rate[si],
+                wire_bytes: self.store.wire_bytes[si],
+                token: self.store.token[si],
+            });
         }
         self.drain_scratch = drained;
         self.drain_scratch.clear();
@@ -488,12 +701,14 @@ impl Network {
             RateSolver::Full => {
                 let mut best: Option<SimTime> = None;
                 for &(_, s) in &self.active {
-                    let f = self.slots[s as usize].as_ref().expect("active flow");
-                    let t = if f.remaining <= COMPLETE_EPS {
+                    let si = s as usize;
+                    let rem = self.store.remaining[si];
+                    let t = if rem <= COMPLETE_EPS {
                         self.now
                     } else {
-                        invariant!(f.rate > 0.0, "active flow with zero rate");
-                        self.now + SimDuration::from_rate(f.remaining, f.rate)
+                        let rate = self.store.rate[si];
+                        invariant!(rate > 0.0, "active flow with zero rate");
+                        self.now + SimDuration::from_rate(rem, rate)
                     };
                     best = Some(match best {
                         Some(b) => b.min(t),
@@ -502,7 +717,7 @@ impl Network {
                 }
                 best
             }
-            RateSolver::Incremental => {
+            RateSolver::Incremental | RateSolver::Hierarchical => {
                 self.ensure_rates();
                 self.peek_completion()
             }
@@ -513,12 +728,11 @@ impl Network {
     /// newer rate epoch or a removed flow.
     fn peek_completion(&mut self) -> Option<SimTime> {
         while let Some(&Reverse(top)) = self.completions.peek() {
+            let si = top.slot as usize;
             let alive = top.epoch == self.rate_epoch
-                && self
-                    .slots
-                    .get(top.slot as usize)
-                    .and_then(|s| s.as_ref())
-                    .is_some_and(|f| f.id == top.id);
+                && si < self.store.len()
+                && self.store.live[si]
+                && self.store.id[si] == top.id;
             if alive {
                 return Some(top.time);
             }
@@ -527,13 +741,78 @@ impl Network {
         None
     }
 
+    /// Drop links whose membership fell to zero since the last recompute
+    /// (removal leaves them in `used_links` lazily; O(len) here beats an
+    /// O(len) ordered delete per link at drain time).
+    fn prune_used_links(&mut self) {
+        let member_count = &self.member_count;
+        let in_used = &mut self.in_used;
+        self.used_links.retain(|&l| {
+            if member_count[l] > 0 {
+                true
+            } else {
+                in_used[l] = false;
+                false
+            }
+        });
+    }
+
+    /// Mark a tree node dirty (dedup via `node_dirty`).
+    fn mark_node_dirty(&mut self, node: u32) {
+        let ni = node as usize;
+        if !self.node_dirty[ni] {
+            self.node_dirty[ni] = true;
+            self.dirty_nodes.push(node);
+        }
+    }
+
+    /// Reset the dirty-node flags and list.
+    fn clear_dirty_nodes(&mut self) {
+        let flags = &mut self.node_dirty;
+        for &d in &self.dirty_nodes {
+            flags[d as usize] = false;
+        }
+        self.dirty_nodes.clear();
+    }
+
+    /// Rebuild the completion prediction for every active flow under the
+    /// current epoch. Predictions are *not* reusable across recomputes even
+    /// for flows whose rate did not change: a prediction is
+    /// `t_recompute + ceil(remaining / rate)` and the ceil does not commute
+    /// with re-basing `remaining` at a later timestamp, so keeping stale
+    /// entries would break bit-identity with the incremental solver.
+    fn rebuild_completions(&mut self) {
+        let epoch = self.rate_epoch;
+        let now = self.now;
+        let store = &self.store;
+        let completions = &mut self.completions;
+        for &(id, s) in &self.active {
+            let si = s as usize;
+            let rem = store.remaining[si];
+            let time = if rem <= COMPLETE_EPS {
+                now
+            } else {
+                let rate = store.rate[si];
+                invariant!(rate > 0.0, "active flow with zero rate");
+                now + SimDuration::from_rate(rem, rate)
+            };
+            completions.push(Reverse(CompEntry {
+                time,
+                id,
+                slot: s,
+                epoch,
+            }));
+        }
+    }
+
     /// Incremental-solver recompute: persistent scratch buffers, counts
-    /// from the per-link membership lists, and a completion-queue rebuild
+    /// from the per-link member counts, and a completion-queue rebuild
     /// under a fresh rate epoch.
     fn recompute_incremental(&mut self) {
         self.recomputes += 1;
         self.rate_epoch += 1;
         self.completions.clear();
+        self.prune_used_links();
         if self.active.is_empty() {
             if self.record_rates {
                 self.sample_rates();
@@ -544,16 +823,14 @@ impl Network {
             FairnessModel::MaxMin => {
                 let residual = &mut self.scratch_residual;
                 let count = &mut self.scratch_count;
-                let members = &self.link_members;
-                let capacity = &self.capacity;
                 for &l in &self.used_links {
-                    residual[l] = capacity[l];
-                    count[l] = members[l].len() as u32;
+                    residual[l] = self.capacity[l];
+                    count[l] = self.member_count[l];
                 }
                 self.scratch_unfrozen.clear();
                 self.scratch_unfrozen.extend_from_slice(&self.active);
                 max_min_fill(
-                    &mut self.slots,
+                    &mut self.store,
                     &mut self.scratch_unfrozen,
                     &mut self.scratch_next,
                     &self.used_links,
@@ -562,38 +839,189 @@ impl Network {
                 );
             }
             FairnessModel::EqualShare => {
-                let count = &mut self.scratch_count;
-                let members = &self.link_members;
-                for &l in &self.used_links {
-                    count[l] = members[l].len() as u32;
-                }
-                equal_share_fill(&mut self.slots, &self.active, &self.capacity, count);
+                equal_share_fill(
+                    &mut self.store,
+                    &self.active,
+                    &self.capacity,
+                    &self.member_count,
+                );
             }
         }
-        let epoch = self.rate_epoch;
-        for &(id, s) in &self.active {
-            let f = self.slots[s as usize].as_ref().expect("active flow");
-            let time = if f.remaining <= COMPLETE_EPS {
-                self.now
-            } else {
-                invariant!(f.rate > 0.0, "active flow with zero rate");
-                self.now + SimDuration::from_rate(f.remaining, f.rate)
-            };
-            self.completions.push(Reverse(CompEntry {
-                time,
-                id,
-                slot: s,
-                epoch,
-            }));
+        self.rebuild_completions();
+        if self.record_rates {
+            self.sample_rates();
         }
+    }
+
+    /// Hierarchical recompute: re-run progressive filling over only the
+    /// *affected* subtrees, leaving every other flow's persisted rate
+    /// untouched.
+    ///
+    /// Every admission/completion marks the flow's LCA tree node dirty. At
+    /// recompute time each dirty node `d` is resolved to an affected root
+    /// `h`: the **highest** node on the path `d → root` whose subtree
+    /// population (`sub_count`) is non-zero, or `d` itself if the whole
+    /// spine is empty. All tree nodes in `subtree(h)` are marked, and a
+    /// flow is affected iff its LCA node is marked.
+    ///
+    /// **Closure**: any flow using a link inside `subtree(h)` has an
+    /// endpoint inside it, so its LCA lies on that endpoint's chain to the
+    /// root; an LCA strictly above `h` would be an occupied ancestor of
+    /// `h`, contradicting `h`'s maximality, so the LCA is inside
+    /// `subtree(h)` and the flow is marked affected. Conversely affected
+    /// flows route only over links inside marked subtrees. Affected links
+    /// are therefore crossed *only* by affected flows (checked by the
+    /// member-count invariant below), so filling the affected flows against
+    /// full link capacities reproduces exactly what a global fill would
+    /// assign them, and unaffected flows' rates are exactly what the global
+    /// fill would re-derive.
+    ///
+    /// **Bit-identity**: the only way a component-local fill can diverge
+    /// from the global fill is the water-level tolerance
+    /// (`tol = level·(1+1e-9)`) catching a value from *another* component
+    /// that is within 1e-9 relative of, but not equal to, this component's
+    /// level. Levels are quotients `group_size·B / count` with `B` the
+    /// 5/10/20 MB/s per-node figures; two such quotients closer than 1e-9
+    /// relative but unequal require `group_size · count ≳ 1e9`, far beyond
+    /// a 16K-node machine. Exactly equal levels freeze identically either
+    /// way.
+    fn recompute_hierarchical(&mut self) {
+        self.recomputes += 1;
+        self.rate_epoch += 1;
+        self.completions.clear();
+        self.prune_used_links();
+        if self.active.is_empty() {
+            self.clear_dirty_nodes();
+            if self.record_rates {
+                self.sample_rates();
+            }
+            return;
+        }
+        let epoch = self.rate_epoch;
+        if let Some(tix) = &self.tree {
+            let sub = &self.sub_count;
+            let marks = &mut self.node_mark;
+            for &d in &self.dirty_nodes {
+                let (dl, dg) = tix.level_group(d as usize);
+                let (mut root_l, mut root_g) = (dl, dg);
+                let (mut l, mut g) = (dl, dg);
+                loop {
+                    if sub[tix.node(l, g)] > 0 {
+                        root_l = l;
+                        root_g = g;
+                    }
+                    if l == tix.levels {
+                        break;
+                    }
+                    l += 1;
+                    g /= ARITY;
+                }
+                // If the resolved root is already stamped, so is its whole
+                // subtree (a node is only ever stamped by a `mark_subtree`
+                // of itself or an ancestor) — skip the redundant re-mark.
+                // This matters when one completion wave dirties hundreds of
+                // clusters that all resolve to the same occupied spine.
+                if marks[tix.node(root_l, root_g)] != epoch {
+                    tix.mark_subtree(root_l, root_g, marks, epoch);
+                }
+            }
+        }
+        self.clear_dirty_nodes();
+        // Gather affected flows (ascending id: `active` order).
+        let affected = &mut self.scratch_unfrozen;
+        affected.clear();
+        match &self.tree {
+            Some(_) => {
+                let store = &self.store;
+                let marks = &self.node_mark;
+                for &(id, s) in &self.active {
+                    if marks[store.lca_node[s as usize] as usize] == epoch {
+                        affected.push((id, s));
+                    }
+                }
+            }
+            // No tree structure (hypercube): every flow is affected and
+            // the pass degenerates to the incremental recompute.
+            None => affected.extend_from_slice(&self.active),
+        }
+        match self.fairness {
+            FairnessModel::MaxMin => {
+                // When the invalidation covers every active flow anyway
+                // (hypercube fallback, or a dirty spine that reaches the
+                // whole occupied tree), skip the per-route link discovery
+                // and reuse the maintained membership counts directly —
+                // exactly what the incremental recompute does. The fill
+                // arithmetic only takes exact commutative per-link minima,
+                // so the different link-set construction order cannot
+                // change a single bit.
+                if self.scratch_unfrozen.len() == self.active.len() {
+                    let residual = &mut self.scratch_residual;
+                    let count = &mut self.scratch_count;
+                    let links = &mut self.scratch_links;
+                    links.clear();
+                    for &l in &self.used_links {
+                        links.push(l);
+                        residual[l] = self.capacity[l];
+                        count[l] = self.member_count[l];
+                    }
+                } else {
+                    let store = &self.store;
+                    let affected = &self.scratch_unfrozen;
+                    let residual = &mut self.scratch_residual;
+                    let count = &mut self.scratch_count;
+                    let links = &mut self.scratch_links;
+                    let lmark = &mut self.link_mark;
+                    links.clear();
+                    for &(_, s) in affected {
+                        for &l in store.route(s) {
+                            let l = l as usize;
+                            if lmark[l] != epoch {
+                                lmark[l] = epoch;
+                                links.push(l);
+                                residual[l] = self.capacity[l];
+                                count[l] = 0;
+                            }
+                            count[l] += 1;
+                        }
+                    }
+                    for &l in links.iter() {
+                        invariant_eq!(
+                            count[l],
+                            self.member_count[l],
+                            "affected component must be closed under link sharing"
+                        );
+                    }
+                }
+                max_min_fill(
+                    &mut self.store,
+                    &mut self.scratch_unfrozen,
+                    &mut self.scratch_next,
+                    &self.scratch_links,
+                    &mut self.scratch_residual,
+                    &mut self.scratch_count,
+                );
+            }
+            FairnessModel::EqualShare => {
+                // Per-link counts changed only on links whose flows are all
+                // affected (same closure), so affected flows see correct
+                // `member_count` and unaffected flows' mins are unchanged.
+                equal_share_fill(
+                    &mut self.store,
+                    &self.scratch_unfrozen,
+                    &self.capacity,
+                    &self.member_count,
+                );
+            }
+        }
+        self.rebuild_completions();
         if self.record_rates {
             self.sample_rates();
         }
     }
 
     /// Eager-solver recompute: the original per-call allocations (fresh
-    /// residual/count vectors, used-link scan + sort) — the honest cost
-    /// profile of the oracle.
+    /// residual/count vectors, used-link scan) — the honest cost profile of
+    /// the oracle.
     fn recompute_full(&mut self) {
         self.recomputes += 1;
         if self.active.is_empty() {
@@ -607,20 +1035,15 @@ impl Network {
                 let mut residual = self.capacity.clone();
                 let mut count = vec![0u32; residual.len()];
                 for &(_, s) in &self.active {
-                    let f = self.slots[s as usize].as_ref().expect("active flow");
-                    for &l in f.route.iter() {
-                        count[l] += 1;
+                    for &l in self.store.route(s) {
+                        count[l as usize] += 1;
                     }
                 }
-                let used_links: Vec<usize> = {
-                    let mut v: Vec<usize> = (0..count.len()).filter(|&l| count[l] > 0).collect();
-                    v.sort_unstable();
-                    v
-                };
+                let used_links: Vec<usize> = (0..count.len()).filter(|&l| count[l] > 0).collect();
                 let mut unfrozen: Vec<(u64, u32)> = self.active.clone();
                 let mut next = Vec::with_capacity(unfrozen.len());
                 max_min_fill(
-                    &mut self.slots,
+                    &mut self.store,
                     &mut unfrozen,
                     &mut next,
                     &used_links,
@@ -631,17 +1054,23 @@ impl Network {
             FairnessModel::EqualShare => {
                 let mut count = vec![0u32; self.capacity.len()];
                 for &(_, s) in &self.active {
-                    let f = self.slots[s as usize].as_ref().expect("active flow");
-                    for &l in f.route.iter() {
-                        count[l] += 1;
+                    for &l in self.store.route(s) {
+                        count[l as usize] += 1;
                     }
                 }
-                equal_share_fill(&mut self.slots, &self.active, &self.capacity, &count);
+                equal_share_fill(&mut self.store, &self.active, &self.capacity, &count);
             }
         }
         if self.record_rates {
             self.sample_rates();
         }
+    }
+
+    /// Slab capacity (test hook: slots are recycled, not grown, across
+    /// sequential flows).
+    #[cfg(test)]
+    fn slab_len(&self) -> usize {
+        self.store.len()
     }
 }
 
@@ -650,17 +1079,27 @@ impl Network {
 /// Water level rises uniformly across all unfrozen flows; at each step the
 /// binding constraint is either a flow's cap (freeze that flow at its cap)
 /// or a link reaching saturation (freeze every unfrozen flow through it at
-/// the link's fair share). Shared by both solver backends so their
+/// the link's fair share). Shared by all solver backends so their
 /// floating-point arithmetic is identical by construction; `unfrozen` must
-/// arrive in ascending-id order.
+/// arrive in ascending-id order. `used_links` may arrive in any order —
+/// only exact (commutative) minima are taken over it.
 fn max_min_fill(
-    slots: &mut [Option<Flow>],
+    store: &mut FlowStore,
     unfrozen: &mut Vec<(u64, u32)>,
     next: &mut Vec<(u64, u32)>,
     used_links: &[usize],
     residual: &mut [f64],
     count: &mut [u32],
 ) {
+    let stride = store.stride;
+    let routes = &store.routes;
+    let route_len = &store.route_len;
+    let caps = &store.cap;
+    let rates = &mut store.rate;
+    let route = |s: u32| {
+        let base = s as usize * stride;
+        &routes[base..base + route_len[s as usize] as usize]
+    };
     while !unfrozen.is_empty() {
         // Candidate water level: min over link fair shares and flow caps.
         let mut level = f64::INFINITY;
@@ -670,7 +1109,7 @@ fn max_min_fill(
             }
         }
         for &(_, s) in unfrozen.iter() {
-            level = level.min(slots[s as usize].as_ref().expect("flow").cap);
+            level = level.min(caps[s as usize]);
         }
         invariant!(level.is_finite() && level > 0.0, "degenerate water level");
         let tol = level * (1.0 + 1e-9);
@@ -678,14 +1117,13 @@ fn max_min_fill(
         next.clear();
         let mut froze_any = false;
         for &(id, s) in unfrozen.iter() {
-            let flow = slots[s as usize].as_mut().expect("flow");
-            let cap = flow.cap;
+            let cap = caps[s as usize];
             if cap <= tol {
-                flow.rate = cap;
+                rates[s as usize] = cap;
                 froze_any = true;
-                for &l in flow.route.iter() {
-                    residual[l] -= cap;
-                    count[l] -= 1;
+                for &l in route(s) {
+                    residual[l as usize] -= cap;
+                    count[l as usize] -= 1;
                 }
             } else {
                 next.push((id, s));
@@ -699,16 +1137,14 @@ fn max_min_fill(
         // bottleneck link at the water level.
         next.clear();
         for &(id, s) in unfrozen.iter() {
-            let flow = slots[s as usize].as_mut().expect("flow");
-            let at_bottleneck = flow
-                .route
-                .iter()
-                .any(|&l| count[l] > 0 && residual[l] / count[l] as f64 <= tol);
+            let at_bottleneck = route(s).iter().any(|&l| {
+                count[l as usize] > 0 && residual[l as usize] / count[l as usize] as f64 <= tol
+            });
             if at_bottleneck {
-                flow.rate = level;
-                for &l in flow.route.iter() {
-                    residual[l] -= level;
-                    count[l] -= 1;
+                rates[s as usize] = level;
+                for &l in route(s) {
+                    residual[l as usize] -= level;
+                    count[l as usize] -= 1;
                 }
             } else {
                 next.push((id, s));
@@ -724,20 +1160,22 @@ fn max_min_fill(
 
 /// Naive ablation model: every flow gets `capacity / crossings` on each of
 /// its links (no redistribution of unused headroom), then its cap. Shared
-/// by both solver backends.
-fn equal_share_fill(
-    slots: &mut [Option<Flow>],
-    active: &[(u64, u32)],
-    capacity: &[f64],
-    count: &[u32],
-) {
-    for &(_, s) in active {
-        let flow = slots[s as usize].as_mut().expect("flow");
-        let mut rate = flow.cap;
-        for &l in flow.route.iter() {
-            rate = rate.min(capacity[l] / count[l] as f64);
+/// by all solver backends; `flows` may be a subset when counts on the
+/// remaining flows' links are unchanged.
+fn equal_share_fill(store: &mut FlowStore, flows: &[(u64, u32)], capacity: &[f64], count: &[u32]) {
+    let stride = store.stride;
+    let routes = &store.routes;
+    let route_len = &store.route_len;
+    let caps = &store.cap;
+    let rates = &mut store.rate;
+    for &(_, s) in flows {
+        let si = s as usize;
+        let mut rate = caps[si];
+        let base = si * stride;
+        for &l in &routes[base..base + route_len[si] as usize] {
+            rate = rate.min(capacity[l as usize] / count[l as usize] as f64);
         }
-        flow.rate = rate;
+        rates[si] = rate;
     }
 }
 
@@ -910,7 +1348,7 @@ mod tests {
             assert_eq!(done.len(), 1);
             assert_eq!(done[0].token, round);
         }
-        assert_eq!(n.slots.len(), 1, "one slot recycled across rounds");
+        assert_eq!(n.slab_len(), 1, "one slot recycled across rounds");
         assert_eq!(n.flows_admitted(), 3);
         assert_eq!(n.flows_peak(), 1);
     }
@@ -948,5 +1386,117 @@ mod tests {
             }
             assert_eq!(a.next_completion(), b.next_completion());
         }
+    }
+
+    /// All three solvers agree bitwise on a contended mixed workload,
+    /// including across a completion that dirties only one subtree.
+    #[test]
+    fn hierarchical_solver_matches_both_oracles() {
+        for fairness in [FairnessModel::MaxMin, FairnessModel::EqualShare] {
+            let mut p = MachineParams::cm5_1992();
+            p.fairness = fairness;
+            let mut ph = p.clone();
+            ph.rate_solver = RateSolver::Hierarchical;
+            let mut pf = p.clone();
+            pf.rate_solver = RateSolver::Full;
+            let mut inc = Network::new(FatTree::new(64), &p);
+            let mut hier = Network::new(FatTree::new(64), &ph);
+            let mut full = Network::new(FatTree::new(64), &pf);
+            // Local cluster traffic + cross-root crossers + a short local
+            // flow whose completion invalidates only its own spine.
+            let flows: &[(usize, usize, u64)] = &[
+                (0, 1, 4_000),
+                (2, 3, 9_000),
+                (4, 7, 9_000),
+                (8, 56, 20_000),
+                (9, 57, 20_000),
+                (16, 48, 20_000),
+                (33, 34, 9_000),
+            ];
+            for (tok, &(src, dst, bytes)) in flows.iter().enumerate() {
+                let cap = cap_for(&inc, src, dst, &p);
+                inc.add_flow(src, dst, bytes, cap, tok as u64);
+                hier.add_flow(src, dst, bytes, cap, tok as u64);
+                full.add_flow(src, dst, bytes, cap, tok as u64);
+            }
+            loop {
+                for tok in 0..flows.len() as u64 {
+                    assert_eq!(inc.flow_rate(tok), hier.flow_rate(tok), "token {tok}");
+                    assert_eq!(full.flow_rate(tok), hier.flow_rate(tok), "token {tok}");
+                }
+                let t = inc.next_completion();
+                assert_eq!(t, hier.next_completion());
+                assert_eq!(t, full.next_completion());
+                let Some(t) = t else { break };
+                inc.advance_to(t);
+                hier.advance_to(t);
+                full.advance_to(t);
+                let di = inc.take_completed();
+                let dh = hier.take_completed();
+                let df = full.take_completed();
+                let toks: Vec<u64> = di.iter().map(|f| f.token).collect();
+                assert_eq!(toks, dh.iter().map(|f| f.token).collect::<Vec<_>>());
+                assert_eq!(toks, df.iter().map(|f| f.token).collect::<Vec<_>>());
+            }
+            assert_eq!(inc.bytes_per_level(), hier.bytes_per_level());
+            assert_eq!(full.bytes_per_level(), hier.bytes_per_level());
+        }
+    }
+
+    /// On a topology with no tree (hypercube) the hierarchical solver
+    /// degenerates to the incremental recompute — still bit-identical.
+    #[test]
+    fn hierarchical_on_hypercube_matches_incremental() {
+        let p = MachineParams::cm5_1992();
+        let mut ph = p.clone();
+        ph.rate_solver = RateSolver::Hierarchical;
+        let topo = || Topology::Hypercube(crate::topology::Hypercube::new(16));
+        let mut inc = Network::new_on(topo(), &p);
+        let mut hier = Network::new_on(topo(), &ph);
+        for (tok, (src, dst)) in [(0usize, 15usize), (1, 2), (3, 12), (7, 8)]
+            .into_iter()
+            .enumerate()
+        {
+            inc.add_flow(src, dst, 10_000, p.flow_cap(), tok as u64);
+            hier.add_flow(src, dst, 10_000, p.flow_cap(), tok as u64);
+        }
+        for tok in 0..4u64 {
+            assert_eq!(inc.flow_rate(tok), hier.flow_rate(tok), "token {tok}");
+        }
+        assert_eq!(inc.next_completion(), hier.next_completion());
+    }
+
+    /// A completion inside one cluster must not trigger a re-fill of an
+    /// unrelated subtree: the hierarchical recompute leaves the other
+    /// spine's rates bitwise untouched (checked indirectly: rates still
+    /// match the full oracle after a partial drain).
+    #[test]
+    fn hierarchical_partial_invalidation_is_exact() {
+        let p = MachineParams::cm5_1992();
+        let mut ph = p.clone();
+        ph.rate_solver = RateSolver::Hierarchical;
+        let mut pf = p.clone();
+        pf.rate_solver = RateSolver::Full;
+        let mut hier = Network::new(FatTree::new(32), &ph);
+        let mut full = Network::new(FatTree::new(32), &pf);
+        // Cluster 0 local short flow; cluster 4+ long crossers.
+        let cap_local = cap_for(&hier, 0, 1, &p);
+        hier.add_flow(0, 1, 1_000, cap_local, 0);
+        full.add_flow(0, 1, 1_000, cap_local, 0);
+        for i in 16..24 {
+            let cap = cap_for(&hier, i, i - 12, &p);
+            hier.add_flow(i, i - 12, 50_000, cap, i as u64);
+            full.add_flow(i, i - 12, 50_000, cap, i as u64);
+        }
+        let t = hier.next_completion().unwrap();
+        assert_eq!(Some(t), full.next_completion());
+        hier.advance_to(t);
+        full.advance_to(t);
+        assert_eq!(hier.take_completed().len(), 1);
+        assert_eq!(full.take_completed().len(), 1);
+        for i in 16..24u64 {
+            assert_eq!(hier.flow_rate(i), full.flow_rate(i), "token {i}");
+        }
+        assert_eq!(hier.next_completion(), full.next_completion());
     }
 }

@@ -31,8 +31,8 @@ pub enum FairnessModel {
 
 /// Which implementation of the flow-rate solver the network uses.
 ///
-/// Both produce bit-identical rates, completion times, and reports; the
-/// difference is purely wall-clock cost. `Full` is retained as the
+/// All three produce bit-identical rates, completion times, and reports;
+/// the difference is purely wall-clock cost. `Full` is retained as the
 /// differential-testing oracle and as the `--rates full` ablation flag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RateSolver {
@@ -44,6 +44,12 @@ pub enum RateSolver {
     /// every flow add/remove, an O(flows) completion scan, and eager
     /// per-event byte integration.
     Full,
+    /// Hierarchical max-min over the fat tree: per-subtree dirty bits track
+    /// which spine of the tree a batch of admissions/completions touched,
+    /// and each recompute re-fills only the flows inside the affected
+    /// maximal occupied subtrees (`--rates hierarchical`). On topologies
+    /// without a tree (hypercube) it degenerates to `Incremental`.
+    Hierarchical,
 }
 
 /// When a blocking send may start moving bytes.

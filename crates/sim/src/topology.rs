@@ -220,6 +220,29 @@ impl FatTree {
         }
         links
     }
+
+    /// Allocation-free routing for the flow engine's route arena: writes the
+    /// same links [`FatTree::route`] produces into `out` and returns
+    /// `(links_written, lca_level)`. `out` must hold at least
+    /// `2 × levels` entries. Link indices are computed arithmetically —
+    /// up links are `level_offset[l] + group`, down links the same plus
+    /// `one_dir_links` — so no per-pair table is needed.
+    pub fn route_into(&self, src: usize, dst: usize, out: &mut [u32]) -> (usize, u32) {
+        let lca = self.lca_level(src, dst);
+        let mut k = 0usize;
+        let mut g = src;
+        for l in 0..lca as usize {
+            out[k] = (self.level_offset[l] + g) as u32;
+            k += 1;
+            g /= ARITY;
+        }
+        for l in (0..lca).rev() {
+            let group = dst / ARITY.pow(l);
+            out[k] = (self.one_dir_links + self.level_offset[l as usize] + group) as u32;
+            k += 1;
+        }
+        (k, lca)
+    }
 }
 
 /// A binary hypercube topology with dimension-ordered (e-cube) routing —
@@ -291,6 +314,24 @@ impl Hypercube {
         debug_assert_eq!(cur, dst);
         links
     }
+
+    /// Allocation-free variant of [`Hypercube::route`]: writes the e-cube
+    /// links into `out` (which must hold at least `dims` entries) and
+    /// returns the number written.
+    pub fn route_into(&self, src: usize, dst: usize, out: &mut [u32]) -> usize {
+        assert!(src != dst && src < self.n && dst < self.n);
+        let mut k = 0usize;
+        let mut cur = src;
+        for d in 0..self.dims {
+            if (src ^ dst) & (1 << d) != 0 {
+                out[k] = self.link_index(cur, d) as u32;
+                k += 1;
+                cur ^= 1 << d;
+            }
+        }
+        debug_assert_eq!(cur, dst);
+        k
+    }
 }
 
 /// A network topology: the CM-5 fat tree, or the hypercube counterfactual.
@@ -353,6 +394,17 @@ impl Topology {
     pub fn num_levels(&self) -> usize {
         match self {
             Topology::FatTree(t) => t.levels() as usize,
+            Topology::Hypercube(h) => h.dims() as usize,
+        }
+    }
+
+    /// Upper bound on the number of links any route can occupy — the
+    /// fixed stride of the flow engine's route arena. Fat-tree routes climb
+    /// at most `levels` up links and descend as many down links; hypercube
+    /// e-cube routes fix at most `dims` dimensions.
+    pub fn max_route_len(&self) -> usize {
+        match self {
+            Topology::FatTree(t) => 2 * t.levels() as usize,
             Topology::Hypercube(h) => h.dims() as usize,
         }
     }
@@ -705,6 +757,46 @@ mod tests {
         let r = a.route_ref(0, 5);
         assert_eq!(&*r, a.route(0, 5));
         assert_eq!(&*r.clone(), &*r);
+    }
+
+    /// `route_into` is the arena-writing twin of `route`; they must agree
+    /// link-for-link on every pair, and the fat-tree variant must also
+    /// report the LCA level. The stride bound must hold for every route.
+    #[test]
+    fn route_into_matches_route() {
+        for n in [8usize, 13, 32, 64, 256] {
+            let t = FatTree::new(n);
+            let stride = Topology::FatTree(t.clone()).max_route_len();
+            let mut buf = vec![0u32; stride];
+            for src in 0..n {
+                for dst in 0..n {
+                    if src == dst {
+                        continue;
+                    }
+                    let (len, lca) = t.route_into(src, dst, &mut buf);
+                    let expect = t.route(src, dst);
+                    assert!(len <= stride, "stride bound violated");
+                    assert_eq!(lca, t.lca_level(src, dst));
+                    let got: Vec<usize> = buf[..len].iter().map(|&l| l as usize).collect();
+                    assert_eq!(got, expect, "fat tree n={n} {src}->{dst}");
+                }
+            }
+        }
+        let h = Hypercube::new(32);
+        let stride = Topology::Hypercube(h.clone()).max_route_len();
+        let mut buf = vec![0u32; stride];
+        for src in 0..32usize {
+            for dst in 0..32usize {
+                if src == dst {
+                    continue;
+                }
+                let len = h.route_into(src, dst, &mut buf);
+                let expect = h.route(src, dst);
+                assert!(len <= stride, "stride bound violated");
+                let got: Vec<usize> = buf[..len].iter().map(|&l| l as usize).collect();
+                assert_eq!(got, expect, "hypercube {src}->{dst}");
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use cm5_bench::sweep::{
     exchange_report, irregular_report, run_irregular_grid, ExchangeCell, IrregularCell, SweepRunner,
 };
 use cm5_core::prelude::*;
-use cm5_sim::{MachineParams, SimReport, Simulation};
+use cm5_sim::{MachineParams, RateSolver, SimReport, Simulation};
 use proptest::prelude::*;
 
 /// Exact comparison of every deterministic `SimReport` field (the trace is
@@ -197,6 +197,85 @@ fn observability_does_not_perturb_simulated_results() {
             }
         }
     }
+}
+
+fn hierarchical_params() -> MachineParams {
+    let mut p = MachineParams::cm5_1992();
+    p.rate_solver = RateSolver::Hierarchical;
+    p
+}
+
+/// The hierarchical solver at 1024 nodes is byte-identical across sweep
+/// worker counts: the subtree-dirty bookkeeping must be a pure function of
+/// the cell, never of which thread computed it or in what order.
+#[test]
+fn hierarchical_sweeps_are_identical_for_any_job_count() {
+    // REX at 1024 nodes (an O(N log N) exchange is debug-feasible at that
+    // size; full O(N²) exchanges are not) plus a full BEX at 128 for
+    // contention depth.
+    let cells = vec![
+        ExchangeCell {
+            alg: ExchangeAlg::Rex,
+            n: 1024,
+            bytes: 256,
+        },
+        ExchangeCell {
+            alg: ExchangeAlg::Bex,
+            n: 128,
+            bytes: 64,
+        },
+    ];
+    let params = hierarchical_params();
+    let run_cell = |c: &ExchangeCell| {
+        run_schedule(&c.alg.schedule(c.n, c.bytes), &params)
+            .unwrap_or_else(|e| panic!("{:?} n={} bytes={}: {e}", c.alg, c.n, c.bytes))
+    };
+    let baseline = SweepRunner::new(1).run(&cells, |_, c| run_cell(c));
+    for jobs in [4usize] {
+        let par = SweepRunner::new(jobs).run(&cells, |_, c| run_cell(c));
+        assert_eq!(baseline.len(), par.len());
+        for ((cell, a), b) in cells.iter().zip(&baseline).zip(&par) {
+            assert_reports_identical(
+                a,
+                b,
+                &format!(
+                    "hierarchical jobs={jobs} {:?} n=1024 bytes={}",
+                    cell.alg, cell.bytes
+                ),
+            );
+            // Byte-identical includes the f64 per-node timings.
+            for (i, (x, y)) in a.nodes.iter().zip(&b.nodes).enumerate() {
+                assert_eq!(x.busy, y.busy, "node {i} busy");
+                assert_eq!(x.finished_at, y.finished_at, "node {i} finish");
+            }
+        }
+    }
+}
+
+/// Observability sinks must not perturb the hierarchical solver at 1024
+/// nodes: trace + rate recording on or off, the simulated results are
+/// bit-identical (the 1024-node version of the small-N guarantee below).
+#[test]
+fn hierarchical_observability_is_pure_at_1024() {
+    let programs = lower(&ExchangeAlg::Rex.schedule(1024, 256));
+    let params = hierarchical_params();
+    let plain = Simulation::new(1024, params.clone())
+        .run_ops(&programs)
+        .unwrap();
+    let observed = Simulation::new(1024, params)
+        .record_trace(true)
+        .record_rates(true)
+        .run_ops(&programs)
+        .unwrap();
+    assert_reports_identical(&plain, &observed, "hierarchical n=1024 obs on/off");
+    for (i, (x, y)) in plain.nodes.iter().zip(&observed.nodes).enumerate() {
+        assert_eq!(x.busy, y.busy, "node {i} busy");
+        assert_eq!(x.blocked, y.blocked, "node {i} blocked");
+        assert_eq!(x.finished_at, y.finished_at, "node {i} finish");
+        assert_eq!(x.msgs_sent, y.msgs_sent, "node {i} msgs");
+    }
+    assert!(!observed.trace.is_empty());
+    assert!(!observed.rate_samples.is_empty());
 }
 
 proptest! {

@@ -1,0 +1,292 @@
+//! Differential tests: the hierarchical rate solver against both retained
+//! oracles — the incremental solver and the original full recompute.
+//!
+//! The optimization contract is *bit-identity*, not approximation: for any
+//! schedule of flow admissions, time advances, and completion drains — and
+//! for whole simulations — [`RateSolver::Hierarchical`] must produce exactly
+//! the rates, completion order, and `SimReport` that [`RateSolver::Incremental`]
+//! and [`RateSolver::Full`] produce, under both fairness models. This is the
+//! test wall behind `--rates hierarchical`: the subtree-dirty invalidation
+//! may only skip work, never change a bit of it.
+
+use cm5_core::prelude::*;
+use cm5_sim::network::Network;
+use cm5_sim::{
+    FairnessModel, FatTree, MachineParams, Op, RateSolver, SimDuration, SimReport, SimTime,
+    Simulation, ANY_TAG,
+};
+use proptest::prelude::*;
+
+/// Exact comparison of every deterministic `SimReport` field, including the
+/// per-node accounting and the full event trace.
+fn assert_reports_bitwise(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a.makespan, b.makespan, "{what}: makespan");
+    assert_eq!(a.messages, b.messages, "{what}: messages");
+    assert_eq!(a.payload_bytes, b.payload_bytes, "{what}: payload_bytes");
+    assert_eq!(a.wire_bytes, b.wire_bytes, "{what}: wire_bytes");
+    assert_eq!(a.root_crossings, b.root_crossings, "{what}: root_crossings");
+    assert_eq!(a.collectives, b.collectives, "{what}: collectives");
+    assert_eq!(
+        a.bytes_per_level, b.bytes_per_level,
+        "{what}: bytes_per_level must match to the bit"
+    );
+    assert_eq!(a.nodes.len(), b.nodes.len(), "{what}: node count");
+    for (i, (na, nb)) in a.nodes.iter().zip(&b.nodes).enumerate() {
+        assert_eq!(na.busy, nb.busy, "{what}: node {i} busy");
+        assert_eq!(na.blocked, nb.blocked, "{what}: node {i} blocked");
+        assert_eq!(na.msgs_sent, nb.msgs_sent, "{what}: node {i} msgs_sent");
+        assert_eq!(
+            na.finished_at, nb.finished_at,
+            "{what}: node {i} finished_at"
+        );
+    }
+    assert_eq!(a.trace, b.trace, "{what}: event traces");
+    // Flow admissions are simulated behaviour and must agree. Event counts
+    // are *host* behaviour and may differ across solver batching styles.
+    assert_eq!(a.perf.flows, b.perf.flows, "{what}: flows admitted");
+}
+
+fn params_for(fairness: FairnessModel, solver: RateSolver, eager: bool) -> MachineParams {
+    let mut p = if eager {
+        MachineParams::cm5_1992_buffered()
+    } else {
+        MachineParams::cm5_1992()
+    };
+    p.fairness = fairness;
+    p.rate_solver = solver;
+    p
+}
+
+/// One step of a network-level schedule: optionally advance part-way to the
+/// next completion, then admit a batch of flows; or drain at the next
+/// completion instant.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Admit flows (src, dst, wire_bytes) at `now + delay_ns`.
+    Admit {
+        delay_ns: u64,
+        flows: Vec<(usize, usize, u64)>,
+    },
+    /// Advance to the next completion and take completed flows.
+    Drain,
+}
+
+fn step_strategy(n: usize) -> impl Strategy<Value = Step> {
+    // The shim has no `prop_oneof!`; an integer selector picks the variant
+    // (3:2 in favour of admissions so schedules keep flows in flight).
+    (
+        0u8..5,
+        0u64..2_000_000,
+        prop::collection::vec(
+            (0..n, 0..n, 20u64..80_000).prop_filter("distinct endpoints", |(a, b, _)| a != b),
+            1..6,
+        ),
+    )
+        .prop_map(|(kind, delay_ns, flows)| {
+            if kind < 3 {
+                Step::Admit { delay_ns, flows }
+            } else {
+                Step::Drain
+            }
+        })
+}
+
+/// Drive the hierarchical solver and both oracles through the same
+/// schedule, asserting equivalence at every observation point.
+fn run_schedule(fairness: FairnessModel, n: usize, steps: &[Step]) -> Result<(), TestCaseError> {
+    let ph = params_for(fairness, RateSolver::Hierarchical, false);
+    let pi = params_for(fairness, RateSolver::Incremental, false);
+    let pf = params_for(fairness, RateSolver::Full, false);
+    let cap = ph.flow_cap();
+    let mut hier = Network::new(FatTree::new(n), &ph);
+    let mut inc = Network::new(FatTree::new(n), &pi);
+    let mut full = Network::new(FatTree::new(n), &pf);
+    let mut now = SimTime::ZERO;
+    let mut live: Vec<u64> = Vec::new();
+    let mut next_token = 0u64;
+    for step in steps {
+        match step {
+            Step::Admit { delay_ns, flows } => {
+                now += SimDuration::from_nanos(*delay_ns);
+                hier.advance_to(now);
+                inc.advance_to(now);
+                full.advance_to(now);
+                for &(src, dst, bytes) in flows {
+                    let tok = next_token;
+                    next_token += 1;
+                    hier.add_flow(src, dst, bytes, cap, tok);
+                    inc.add_flow(src, dst, bytes, cap, tok);
+                    full.add_flow(src, dst, bytes, cap, tok);
+                    live.push(tok);
+                }
+            }
+            Step::Drain => {
+                let th = hier.next_completion();
+                let ti = inc.next_completion();
+                let tf = full.next_completion();
+                prop_assert_eq!(th, ti, "next_completion diverged from incremental");
+                prop_assert_eq!(th, tf, "next_completion diverged from full");
+                let Some(t) = th else { continue };
+                now = t;
+                hier.advance_to(now);
+                inc.advance_to(now);
+                full.advance_to(now);
+                let dh = hier.take_completed();
+                let di = inc.take_completed();
+                let df = full.take_completed();
+                let toks_h: Vec<u64> = dh.iter().map(|f| f.token).collect();
+                let toks_i: Vec<u64> = di.iter().map(|f| f.token).collect();
+                let toks_f: Vec<u64> = df.iter().map(|f| f.token).collect();
+                prop_assert_eq!(&toks_h, &toks_i, "completion order diverged (inc)");
+                prop_assert_eq!(&toks_h, &toks_f, "completion order diverged (full)");
+                prop_assert!(!toks_h.is_empty(), "drain at a completion instant");
+                live.retain(|t| !toks_h.contains(t));
+            }
+        }
+        // Rates must agree bitwise for every live flow after every step.
+        for &tok in &live {
+            let rh = hier.flow_rate(tok);
+            let ri = inc.flow_rate(tok);
+            let rf = full.flow_rate(tok);
+            prop_assert_eq!(rh, ri, "rate diverged from incremental for token {}", tok);
+            prop_assert_eq!(rh, rf, "rate diverged from full for token {}", tok);
+        }
+        prop_assert_eq!(hier.active_flows(), inc.active_flows());
+        prop_assert_eq!(hier.active_flows(), full.active_flows());
+    }
+    // Drain everything and compare the cumulative per-level byte accounting.
+    while let Some(t) = hier.next_completion() {
+        prop_assert_eq!(Some(t), inc.next_completion());
+        prop_assert_eq!(Some(t), full.next_completion());
+        hier.advance_to(t);
+        inc.advance_to(t);
+        full.advance_to(t);
+        let ch = hier.take_completed();
+        let ci = inc.take_completed();
+        let cf = full.take_completed();
+        prop_assert_eq!(ch.len(), ci.len());
+        prop_assert_eq!(ch.len(), cf.len());
+    }
+    prop_assert!(inc.next_completion().is_none());
+    prop_assert!(full.next_completion().is_none());
+    prop_assert_eq!(hier.bytes_per_level(), inc.bytes_per_level());
+    prop_assert_eq!(hier.bytes_per_level(), full.bytes_per_level());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random add/advance/drain schedules on a 32-node tree: max-min rates,
+    /// completion order, and byte accounting are bit-identical across the
+    /// hierarchical solver and both oracles.
+    #[test]
+    fn max_min_hierarchical_is_bit_identical(
+        steps in prop::collection::vec(step_strategy(32), 1..24),
+    ) {
+        run_schedule(FairnessModel::MaxMin, 32, &steps)?;
+    }
+
+    /// Same property under the equal-share ablation model.
+    #[test]
+    fn equal_share_hierarchical_is_bit_identical(
+        steps in prop::collection::vec(step_strategy(32), 1..24),
+    ) {
+        run_schedule(FairnessModel::EqualShare, 32, &steps)?;
+    }
+
+    /// A 64-node tree adds one more level of spine: subtree invalidation
+    /// has genuinely partial cases (dirty clusters below an unoccupied
+    /// level-2 spine) that a 32-node tree's shallow hierarchy rarely hits.
+    #[test]
+    fn max_min_hierarchical_is_bit_identical_at_64(
+        steps in prop::collection::vec(step_strategy(64), 1..16),
+    ) {
+        run_schedule(FairnessModel::MaxMin, 64, &steps)?;
+    }
+
+    /// Whole simulations: every exchange algorithm, machine size, and send
+    /// mode yields a bit-identical `SimReport` under all three solvers.
+    #[test]
+    fn simulations_are_bit_identical_across_all_solvers(
+        alg_ix in 0usize..4,
+        n_ix in 0usize..3,
+        bytes in 0u64..2048,
+        eager in any::<bool>(),
+        fair_ix in 0usize..2,
+    ) {
+        let alg = ExchangeAlg::ALL[alg_ix];
+        let n = [4usize, 8, 16][n_ix];
+        let fairness = [FairnessModel::MaxMin, FairnessModel::EqualShare][fair_ix];
+        let programs = lower(&alg.schedule(n, bytes));
+        let run = |solver| {
+            Simulation::new(n, params_for(fairness, solver, eager))
+                .record_trace(true)
+                .run_ops(&programs)
+                .unwrap()
+        };
+        let h = run(RateSolver::Hierarchical);
+        let i = run(RateSolver::Incremental);
+        let f = run(RateSolver::Full);
+        let what = format!("{alg:?} n={n} bytes={bytes} eager={eager} {fairness:?}");
+        assert_reports_bitwise(&h, &i, &format!("{what} vs incremental"));
+        assert_reports_bitwise(&h, &f, &format!("{what} vs full"));
+    }
+}
+
+/// Async sends (Isend/WaitAll) exercise the completion-queue invalidation
+/// and the batched-admission seq reservation under both send modes.
+#[test]
+fn async_programs_are_bit_identical_across_all_solvers() {
+    let n = 8;
+    let mut programs: Vec<Vec<Op>> = vec![Vec::new(); n];
+    for (i, prog) in programs.iter_mut().enumerate() {
+        // Everyone isends to two neighbours, receives two, then waits.
+        prog.push(Op::Isend {
+            to: (i + 1) % n,
+            bytes: 1536,
+            tag: ANY_TAG,
+        });
+        prog.push(Op::Isend {
+            to: (i + 3) % n,
+            bytes: 512,
+            tag: ANY_TAG,
+        });
+        prog.push(Op::RecvAny { tag: ANY_TAG });
+        prog.push(Op::RecvAny { tag: ANY_TAG });
+        prog.push(Op::WaitAll);
+        prog.push(Op::Barrier);
+    }
+    for eager in [false, true] {
+        for fairness in [FairnessModel::MaxMin, FairnessModel::EqualShare] {
+            let run = |solver| {
+                Simulation::new(n, params_for(fairness, solver, eager))
+                    .record_trace(true)
+                    .run_ops(&programs)
+                    .unwrap()
+            };
+            let h = run(RateSolver::Hierarchical);
+            let i = run(RateSolver::Incremental);
+            let f = run(RateSolver::Full);
+            assert_reports_bitwise(&h, &i, &format!("async eager={eager} {fairness:?} vs inc"));
+            assert_reports_bitwise(&h, &f, &format!("async eager={eager} {fairness:?} vs full"));
+        }
+    }
+}
+
+/// Whole exchange simulations at 128 nodes: deep enough for multi-level
+/// spine invalidation, small enough for a debug-build test run.
+#[test]
+fn exchange_at_128_nodes_is_bit_identical() {
+    for alg in [ExchangeAlg::Rex, ExchangeAlg::Pex] {
+        let programs = lower(&alg.schedule(128, 256));
+        let run = |solver| {
+            Simulation::new(128, params_for(FairnessModel::MaxMin, solver, false))
+                .run_ops(&programs)
+                .unwrap()
+        };
+        let h = run(RateSolver::Hierarchical);
+        let i = run(RateSolver::Incremental);
+        assert_reports_bitwise(&h, &i, &format!("{alg:?} n=128"));
+    }
+}
