@@ -11,5 +11,6 @@
 pub mod model_validation;
 pub mod paper;
 pub mod perf;
+pub mod querygen;
 pub mod runners;
 pub mod sweep;

@@ -190,18 +190,76 @@ fn machine_fingerprint(params: &MachineParams, tree: &FatTree) -> u64 {
     h.finish()
 }
 
+/// Point-in-time statistics of one advisor cache shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Distinct decisions memoized in this shard.
+    pub entries: usize,
+    /// Queries routed to this shard (hits + misses). Key→shard routing is
+    /// a pure hash, so this count is deterministic for a given query
+    /// stream regardless of which threads issued the queries.
+    pub queries: u64,
+}
+
+/// One shard of the decision cache: the memo map plus its query counter,
+/// behind a single mutex so a query touches exactly one lock.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<(u64, DecisionKey), Recommendation>,
+    queries: u64,
+}
+
 /// Memoizing algorithm selector. Cheap to create; intended to live for
 /// the duration of a run and be shared (`&self` methods, interior
 /// locking).
-#[derive(Debug, Default)]
+///
+/// The decision cache is split into [`Advisor::shard_count`] shards keyed
+/// by the hash of `(machine fingerprint, DecisionKey)`, so concurrent
+/// workers contend only when their queries land in the same shard — there
+/// is no global lock on the hot path. Sharding is invisible to answers:
+/// every shard runs the same quantize-then-predict computation, so
+/// recommendations are bit-identical for any shard count (asserted by
+/// `tests/advisor_props.rs`).
+#[derive(Debug)]
 pub struct Advisor {
-    cache: Mutex<HashMap<(u64, DecisionKey), Recommendation>>,
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl Default for Advisor {
+    fn default() -> Advisor {
+        Advisor::new()
+    }
 }
 
 impl Advisor {
-    /// A fresh advisor with an empty decision cache.
+    /// A fresh advisor with a single-shard decision cache.
     pub fn new() -> Advisor {
-        Advisor::default()
+        Advisor::with_shards(1)
+    }
+
+    /// A fresh advisor whose decision cache is split across `shards`
+    /// mutexes (`shards ≥ 1`). Use roughly 2–4× the number of concurrent
+    /// worker threads to make lock contention negligible.
+    pub fn with_shards(shards: usize) -> Advisor {
+        assert!(shards >= 1, "advisor needs at least one cache shard");
+        Advisor {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+        }
+    }
+
+    /// Number of cache shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a key routes to: a hash independent of the map's own
+    /// (keys cluster by workload family in `DecisionKey`'s derived hash
+    /// inputs, but `DefaultHasher` mixes well enough for routing).
+    fn shard_of(&self, fp: u64, key: &DecisionKey) -> usize {
+        let mut h = DefaultHasher::new();
+        fp.hash(&mut h);
+        key.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
     }
 
     /// Recommend an algorithm for `workload`, memoized.
@@ -213,12 +271,20 @@ impl Advisor {
     ) -> Recommendation {
         let key = DecisionKey::of(workload, params);
         let fp = machine_fingerprint(params, tree);
-        let mut cache = self.cache.lock().expect("advisor cache poisoned");
-        if let Some(hit) = cache.get(&(fp, key.clone())) {
-            return hit.clone();
+        let idx = self.shard_of(fp, &key);
+        {
+            let mut shard = self.shards[idx].lock().expect("advisor cache poisoned");
+            shard.queries += 1;
+            if let Some(hit) = shard.map.get(&(fp, key.clone())) {
+                return hit.clone();
+            }
         }
+        // Compute outside the lock: two threads racing on the same cold key
+        // both run the identical pure computation and insert equal values,
+        // so the cache contents stay deterministic.
         let rec = Self::recommend_uncached(workload, params, tree);
-        cache.insert((fp, key), rec.clone());
+        let mut shard = self.shards[idx].lock().expect("advisor cache poisoned");
+        shard.map.insert((fp, key), rec.clone());
         rec
     }
 
@@ -273,9 +339,32 @@ impl Advisor {
         }
     }
 
-    /// Number of distinct decisions currently memoized.
+    /// Number of distinct decisions currently memoized (summed over
+    /// shards).
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("advisor cache poisoned").len()
+        self.shard_stats().iter().map(|s| s.entries).sum()
+    }
+
+    /// Total queries answered (hits + misses, summed over shards).
+    pub fn cache_queries(&self) -> u64 {
+        self.shard_stats().iter().map(|s| s.queries).sum()
+    }
+
+    /// Per-shard cache statistics, in shard order. Both fields are
+    /// deterministic functions of the query multiset: entry counts because
+    /// the key→shard routing is a pure hash, query counts because every
+    /// query increments exactly its key's shard.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.lock().expect("advisor cache poisoned");
+                ShardStats {
+                    entries: s.map.len(),
+                    queries: s.queries,
+                }
+            })
+            .collect()
     }
 }
 
@@ -338,6 +427,36 @@ mod tests {
         let b = adv.recommend(&w, &p2, &t);
         assert_eq!(adv.cache_len(), 2);
         assert!(a.candidates != b.candidates);
+    }
+
+    #[test]
+    fn sharded_caches_agree_with_the_single_shard() {
+        let (p, t) = m32();
+        for shards in [2usize, 3, 8, 64] {
+            let baseline = Advisor::new();
+            let adv = Advisor::with_shards(shards);
+            assert_eq!(adv.shard_count(), shards);
+            for bytes in [0u64, 64, 256, 1920, 4096] {
+                let w = Workload::Exchange { n: 32, bytes };
+                assert_eq!(adv.recommend(&w, &p, &t), baseline.recommend(&w, &p, &t));
+                // Ask twice: the second answer must come from the cache.
+                assert_eq!(adv.recommend(&w, &p, &t), baseline.recommend(&w, &p, &t));
+            }
+            let stats = adv.shard_stats();
+            assert_eq!(stats.len(), shards);
+            assert_eq!(
+                stats.iter().map(|s| s.entries).sum::<usize>(),
+                adv.cache_len()
+            );
+            assert_eq!(adv.cache_len(), baseline.cache_len());
+            assert_eq!(adv.cache_queries(), baseline.cache_queries());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache shard")]
+    fn zero_shards_is_rejected() {
+        Advisor::with_shards(0);
     }
 
     #[test]

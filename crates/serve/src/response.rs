@@ -1,0 +1,159 @@
+//! Response rendering: the `cm5-serve/1` response line and the
+//! `cm5-advise/1` recommendation object shared with `cm5 advise --json`.
+//!
+//! Every value that reaches a response is *simulated or modeled* — never
+//! host timing — so a response line is a pure function of the request and
+//! the machine parameters. The replay determinism test leans on this:
+//! byte-identical response streams at any worker count.
+
+use cm5_model::{PatternStats, Recommendation};
+use cm5_obs::schema_id;
+use cm5_sim::tenant::TenantReport;
+
+use crate::json::Json;
+
+/// The `cm5-advise/1` recommendation object: one machine-readable format
+/// for service clients and `cm5 advise --json` alike.
+pub fn recommendation_json(rec: &Recommendation) -> Json {
+    let mut fields = vec![
+        ("schema".to_string(), Json::str(schema_id("advise", 1))),
+        ("algorithm".to_string(), Json::str(rec.algorithm.name())),
+        (
+            "predicted_us".to_string(),
+            Json::num(rec.predicted.as_micros_f64()),
+        ),
+    ];
+    if let (Some(ru), Some(rut)) = (rec.runner_up, rec.runner_up_predicted) {
+        fields.push(("runner_up".into(), Json::str(ru.name())));
+        fields.push((
+            "runner_up_predicted_us".into(),
+            Json::num(rut.as_micros_f64()),
+        ));
+        fields.push(("margin".into(), Json::num(rec.margin)));
+    }
+    fields.push((
+        "candidates".into(),
+        Json::Arr(
+            rec.candidates
+                .iter()
+                .map(|(alg, t)| {
+                    Json::Obj(vec![
+                        ("algorithm".into(), Json::str(alg.name())),
+                        ("predicted_us".into(), Json::num(t.as_micros_f64())),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Obj(fields)
+}
+
+/// Pattern classification as JSON (the `PatternStats` reduction the
+/// advisor decides from).
+pub fn stats_json(s: &PatternStats) -> Json {
+    Json::Obj(vec![
+        ("n".into(), Json::int(s.n as u64)),
+        ("nonzero_pairs".into(), Json::int(s.nonzero_pairs as u64)),
+        ("density".into(), Json::num(s.density)),
+        ("avg_msg_bytes".into(), Json::num(s.avg_msg_bytes)),
+        ("max_msg_bytes".into(), Json::int(s.max_msg_bytes)),
+        ("total_bytes".into(), Json::int(s.total_bytes)),
+        ("max_out_degree".into(), Json::int(s.max_out_degree as u64)),
+        ("max_in_degree".into(), Json::int(s.max_in_degree as u64)),
+        ("root_crossing_frac".into(), Json::num(s.root_crossing_frac)),
+    ])
+}
+
+/// Tenant slices of a shared-tree run as JSON.
+pub fn tenants_json(report: &TenantReport) -> Json {
+    Json::Obj(vec![
+        (
+            "shared_makespan_us".into(),
+            Json::num(report.report.makespan.as_micros_f64()),
+        ),
+        (
+            "root_crossings".into(),
+            Json::int(report.report.root_crossings),
+        ),
+        (
+            "tenants".into(),
+            Json::Arr(
+                report
+                    .tenants
+                    .iter()
+                    .map(|t| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::str(t.name.clone())),
+                            ("nodes".into(), Json::int(t.nodes.len() as u64)),
+                            ("makespan_us".into(), Json::num(t.makespan.as_micros_f64())),
+                            ("messages".into(), Json::int(t.messages)),
+                            ("payload_bytes".into(), Json::int(t.payload_bytes)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Start a `cm5-serve/1` response object for request `id`.
+pub fn response_base(id: u64, ok: bool) -> Vec<(String, Json)> {
+    vec![
+        ("schema".to_string(), Json::str(schema_id("serve", 1))),
+        ("id".to_string(), Json::int(id)),
+        ("ok".to_string(), Json::Bool(ok)),
+    ]
+}
+
+/// Render an error response line for `id` (or 0 when the line was too
+/// malformed to carry an id).
+pub fn error_line(id: u64, error: &str) -> String {
+    let mut fields = response_base(id, false);
+    fields.push(("error".into(), Json::str(error)));
+    Json::Obj(fields).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm5_model::{Advisor, Workload};
+    use cm5_sim::{FatTree, MachineParams};
+
+    #[test]
+    fn recommendation_json_is_schema_stamped_and_parses() {
+        let rec = Advisor::recommend_uncached(
+            &Workload::Exchange { n: 32, bytes: 1024 },
+            &MachineParams::cm5_1992(),
+            &FatTree::new(32),
+        );
+        let doc = recommendation_json(&rec);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("schema").and_then(Json::as_str),
+            Some("cm5-advise/1")
+        );
+        assert_eq!(
+            back.get("algorithm").and_then(Json::as_str),
+            Some(rec.algorithm.name())
+        );
+        assert_eq!(
+            back.get("candidates")
+                .and_then(Json::as_arr)
+                .map(|a| a.len()),
+            Some(rec.candidates.len())
+        );
+    }
+
+    #[test]
+    fn error_lines_parse() {
+        let line = error_line(7, "bad \"query\"");
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            doc.get("error").and_then(Json::as_str),
+            Some("bad \"query\"")
+        );
+    }
+}

@@ -1,0 +1,754 @@
+//! The scheduling service: classify → advise → (verify) → (simulate).
+//!
+//! One [`Service`] lives for the whole process and is shared by every
+//! worker thread. Determinism contract: everything that reaches a
+//! *response line* or the *deterministic metrics document* is a pure
+//! function of the request stream (as a set) and the machine parameters —
+//! independent of worker count and interleaving. That is achieved by:
+//!
+//! * the advisor's key-hash-sharded `DecisionKey` cache (no global lock on
+//!   the hot path; racing threads recompute the same pure value);
+//! * a sharded verification memo that amortizes `cm5-verify` runs across
+//!   the queue the same way (the first request with a given schedule pays,
+//!   duplicates hit the memo);
+//! * counters that are order-independent sums ([`AtomicU64`]), and cache
+//!   *hit* counts derived as `queries − distinct entries` instead of being
+//!   counted per-request (a per-request hit/miss flag would depend on
+//!   which racing thread inserted first);
+//! * histograms that only record *simulated or modeled* values.
+//!
+//! Host timing (per-stage latency, queue depth, wall-clock QPS) is real
+//! but nondeterministic, so it lives in a separate timing document
+//! (`cm5-serve-timing/1`) that is excluded from determinism comparisons —
+//! the same split the simulator makes for [`cm5_sim::SimPerf`].
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use cm5_core::prelude::*;
+use cm5_model::{Advisor, Algorithm, PatternStats, Recommendation, Workload};
+use cm5_obs::{schema_field, Histogram, Metrics};
+use cm5_sim::tenant::{run_tenants, Placement, TenantSpec};
+use cm5_sim::{FatTree, MachineParams, OpProgram, SimReport, Simulation};
+use cm5_verify::{exchange_policy, irregular_policy, verify_programs, verify_schedule, Severity};
+
+use crate::json::Json;
+use crate::request::{Query, Request, TenantQuery};
+use crate::response::{error_line, recommendation_json, response_base, stats_json, tenants_json};
+
+/// Per-request simulation ceiling. Advising scales to [`crate::request::MAX_NODES`];
+/// *simulating* is O(n²) messages for an exchange, so a service bounds it.
+pub const SIM_MAX_NODES: usize = 1024;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Machine the advisor and simulator model.
+    pub params: MachineParams,
+    /// Advisor-cache and verify-memo shard count (≥ 1).
+    pub shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            params: MachineParams::cm5_1992(),
+            shards: 8,
+        }
+    }
+}
+
+/// Memoized outcome of one static verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct VerifySummary {
+    clean: bool,
+    errors: usize,
+    warnings: usize,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    q_exchange: AtomicU64,
+    q_broadcast: AtomicU64,
+    q_irregular: AtomicU64,
+    q_pattern: AtomicU64,
+    q_workload: AtomicU64,
+    q_tenants: AtomicU64,
+    verify_requests: AtomicU64,
+    simulations: AtomicU64,
+}
+
+/// Host-side stage timings: real, nondeterministic, never part of the
+/// deterministic metrics document.
+#[derive(Debug, Default)]
+pub struct Timing {
+    advise_ns: Mutex<Histogram>,
+    verify_ns: Mutex<Histogram>,
+    simulate_ns: Mutex<Histogram>,
+    total_ns: Mutex<Histogram>,
+    /// Queue depth sampled by the replay pool at each dequeue.
+    pub(crate) queue_depth: Mutex<Histogram>,
+}
+
+impl Timing {
+    fn record(field: &Mutex<Histogram>, start: Instant) {
+        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        field.lock().expect("timing poisoned").record(ns);
+    }
+
+    fn hist_json(h: &Mutex<Histogram>) -> Json {
+        let h = h.lock().expect("timing poisoned");
+        Json::Obj(vec![
+            ("count".into(), Json::int(h.count)),
+            ("mean_ns".into(), Json::num(h.mean())),
+            ("max_ns".into(), Json::int(h.max)),
+        ])
+    }
+}
+
+/// The long-running scheduling service.
+#[derive(Debug)]
+pub struct Service {
+    params: MachineParams,
+    advisor: Advisor,
+    verify_memo: Vec<Mutex<HashMap<u64, VerifySummary>>>,
+    counters: Counters,
+    predicted_ns: Mutex<Histogram>,
+    sim_makespan_ns: Mutex<Histogram>,
+    timing: Timing,
+}
+
+impl Service {
+    /// Build a service with `config.shards` cache/memo shards.
+    pub fn new(config: ServiceConfig) -> Service {
+        let shards = config.shards.max(1);
+        Service {
+            params: config.params,
+            advisor: Advisor::with_shards(shards),
+            verify_memo: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            counters: Counters::default(),
+            predicted_ns: Mutex::new(Histogram::default()),
+            sim_makespan_ns: Mutex::new(Histogram::default()),
+            timing: Timing::default(),
+        }
+    }
+
+    /// The machine this service advises for.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Shard count of the advisor cache and verify memo.
+    pub fn shard_count(&self) -> usize {
+        self.advisor.shard_count()
+    }
+
+    /// Handle one request line: parse, answer, render. Never panics on
+    /// malformed input; errors become `ok:false` response lines.
+    pub fn handle_line(&self, line: &str) -> String {
+        let t0 = Instant::now();
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let out = match Request::parse_line(line) {
+            Err(e) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                // Best-effort id recovery so the client can correlate.
+                let id = Json::parse(line)
+                    .ok()
+                    .and_then(|d| d.get("id").and_then(Json::as_u64))
+                    .unwrap_or(0);
+                error_line(id, &e)
+            }
+            Ok(req) => match self.answer(&req) {
+                Ok(fields) => {
+                    self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                    Json::Obj(fields).render()
+                }
+                Err(e) => {
+                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    error_line(req.id, &e)
+                }
+            },
+        };
+        Timing::record(&self.timing.total_ns, t0);
+        out
+    }
+
+    /// Answer a parsed request: the response object's fields, or an error
+    /// string.
+    fn answer(&self, req: &Request) -> Result<Vec<(String, Json)>, String> {
+        let mut fields = response_base(req.id, true);
+        match &req.query {
+            Query::Exchange { n, bytes } => {
+                self.counters.q_exchange.fetch_add(1, Ordering::Relaxed);
+                let w = Workload::Exchange {
+                    n: *n,
+                    bytes: *bytes,
+                };
+                let rec = self.advise(&w, *n);
+                if req.verify {
+                    fields.push(("verify".into(), self.verify_regular(req, &rec, *n, *bytes)?));
+                }
+                if req.simulate {
+                    let report = self
+                        .simulate_schedule(&self.pick_exchange(&rec)?.schedule(*n, *bytes), *n)?;
+                    fields.push(("simulated".into(), sim_json(&report)));
+                }
+                fields.push(("recommendation".into(), recommendation_json(&rec)));
+            }
+            Query::Broadcast { n, bytes } => {
+                self.counters.q_broadcast.fetch_add(1, Ordering::Relaxed);
+                let w = Workload::Broadcast {
+                    n: *n,
+                    bytes: *bytes,
+                };
+                let rec = self.advise(&w, *n);
+                let alg = match rec.algorithm {
+                    Algorithm::Broadcast(b) => b,
+                    other => return Err(format!("advisor returned non-broadcast pick {other}")),
+                };
+                let programs = broadcast_programs(alg, *n, 0, *bytes);
+                if req.verify {
+                    fields.push((
+                        "verify".into(),
+                        self.verified(req, rec.algorithm.name(), || {
+                            summarize(&verify_programs(&programs))
+                        }),
+                    ));
+                }
+                if req.simulate {
+                    let report = self.simulate_programs(&programs, *n)?;
+                    fields.push(("simulated".into(), sim_json(&report)));
+                }
+                fields.push(("recommendation".into(), recommendation_json(&rec)));
+            }
+            Query::Irregular {
+                n,
+                density,
+                bytes,
+                seed,
+            } => {
+                self.counters.q_irregular.fetch_add(1, Ordering::Relaxed);
+                let pattern = Pattern::seeded_random(*n, *density, (*bytes).max(1), *seed);
+                self.answer_pattern(req, &pattern, &mut fields)?;
+            }
+            Query::Pattern { text } => {
+                self.counters.q_pattern.fetch_add(1, Ordering::Relaxed);
+                let pattern = Pattern::parse_text(text)?;
+                let n = pattern.n();
+                if !(2..=crate::request::MAX_NODES).contains(&n) || !n.is_power_of_two() {
+                    return Err(format!(
+                        "pattern must cover a power-of-two node count in 2..={}, got {n}",
+                        crate::request::MAX_NODES
+                    ));
+                }
+                self.answer_pattern(req, &pattern, &mut fields)?;
+            }
+            Query::Workload { name, n } => {
+                self.counters.q_workload.fetch_add(1, Ordering::Relaxed);
+                let pattern = named_pattern(name, *n)?;
+                self.answer_pattern(req, &pattern, &mut fields)?;
+            }
+            Query::Tenants {
+                shared_n,
+                placement,
+                tenants,
+            } => {
+                self.counters.q_tenants.fetch_add(1, Ordering::Relaxed);
+                let report =
+                    self.run_tenant_query(req, *shared_n, *placement, tenants, &mut fields)?;
+                fields.push(("tenants".into(), report));
+            }
+        }
+        Ok(fields)
+    }
+
+    /// Classify + advise + verify + simulate an irregular pattern.
+    fn answer_pattern(
+        &self,
+        req: &Request,
+        pattern: &Pattern,
+        fields: &mut Vec<(String, Json)>,
+    ) -> Result<(), String> {
+        let n = pattern.n();
+        let tree = FatTree::new(n);
+        let stats = PatternStats::of(pattern, &tree);
+        let w = Workload::Irregular(stats.clone());
+        let rec = self.advise(&w, n);
+        let alg = match rec.algorithm {
+            Algorithm::Irregular(a) => a,
+            other => return Err(format!("advisor returned non-irregular pick {other}")),
+        };
+        fields.push(("stats".into(), stats_json(&stats)));
+        if req.verify {
+            let schedule = alg.schedule(pattern);
+            fields.push((
+                "verify".into(),
+                self.verified(req, rec.algorithm.name(), || {
+                    let mut opts = irregular_policy(alg);
+                    opts.params = self.params.clone();
+                    summarize(&verify_schedule(&schedule, Some(pattern), &opts))
+                }),
+            ));
+        }
+        if req.simulate {
+            let report = self.simulate_schedule(&alg.schedule(pattern), n)?;
+            fields.push(("simulated".into(), sim_json(&report)));
+        }
+        fields.push(("recommendation".into(), recommendation_json(&rec)));
+        Ok(())
+    }
+
+    /// Advise one workload, recording the predicted time.
+    fn advise(&self, w: &Workload, n: usize) -> Recommendation {
+        let t0 = Instant::now();
+        let rec = self.advisor.recommend(w, &self.params, &FatTree::new(n));
+        Timing::record(&self.timing.advise_ns, t0);
+        self.predicted_ns
+            .lock()
+            .expect("hist poisoned")
+            .record(rec.predicted.as_nanos());
+        rec
+    }
+
+    fn pick_exchange(&self, rec: &Recommendation) -> Result<ExchangeAlg, String> {
+        match rec.algorithm {
+            Algorithm::Exchange(a) => Ok(a),
+            other => Err(format!("advisor returned non-exchange pick {other}")),
+        }
+    }
+
+    /// Verify the recommended exchange schedule (memoized).
+    fn verify_regular(
+        &self,
+        req: &Request,
+        rec: &Recommendation,
+        n: usize,
+        bytes: u64,
+    ) -> Result<Json, String> {
+        let alg = self.pick_exchange(rec)?;
+        Ok(self.verified(req, rec.algorithm.name(), || {
+            let mut opts = exchange_policy(alg);
+            opts.params = self.params.clone();
+            summarize(&verify_schedule(&alg.schedule(n, bytes), None, &opts))
+        }))
+    }
+
+    /// Memoized verification: the first request with a given
+    /// (query, algorithm) pair runs the verifier; identical queries queued
+    /// behind it hit the memo, amortizing the batch. The memo key hashes
+    /// the canonical query encoding, so it is interleaving-independent.
+    fn verified(&self, req: &Request, alg: &str, run: impl FnOnce() -> VerifySummary) -> Json {
+        self.counters
+            .verify_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let mut h = DefaultHasher::new();
+        Request {
+            id: 0,
+            query: req.query.clone(),
+            verify: false,
+            simulate: false,
+        }
+        .render_line()
+        .hash(&mut h);
+        alg.hash(&mut h);
+        let key = h.finish();
+        let shard = &self.verify_memo[(key % self.verify_memo.len() as u64) as usize];
+        if let Some(hit) = shard.lock().expect("memo poisoned").get(&key) {
+            return verify_json(hit);
+        }
+        // Run outside the lock (same determinism argument as the advisor:
+        // racing duplicates compute the identical pure summary).
+        let t0 = Instant::now();
+        let summary = run();
+        Timing::record(&self.timing.verify_ns, t0);
+        let json = verify_json(&summary);
+        shard.lock().expect("memo poisoned").insert(key, summary);
+        json
+    }
+
+    fn check_sim_size(&self, n: usize) -> Result<(), String> {
+        if n > SIM_MAX_NODES {
+            return Err(format!(
+                "simulation is capped at {SIM_MAX_NODES} nodes per request, got {n}"
+            ));
+        }
+        Ok(())
+    }
+
+    fn simulate_schedule(&self, schedule: &Schedule, n: usize) -> Result<SimReport, String> {
+        self.check_sim_size(n)?;
+        self.simulate_programs(&lower(schedule), n)
+    }
+
+    fn simulate_programs(&self, programs: &[OpProgram], n: usize) -> Result<SimReport, String> {
+        self.check_sim_size(n)?;
+        self.counters.simulations.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let report = Simulation::new(n, self.params.clone())
+            .run_ops(programs)
+            .map_err(|e| e.to_string())?;
+        Timing::record(&self.timing.simulate_ns, t0);
+        self.sim_makespan_ns
+            .lock()
+            .expect("hist poisoned")
+            .record(report.makespan.as_nanos());
+        Ok(report)
+    }
+
+    /// Advise each tenant's exchange, lower the picked schedules, and run
+    /// all tenants concurrently on the shared tree.
+    fn run_tenant_query(
+        &self,
+        req: &Request,
+        shared_n: usize,
+        placement: Placement,
+        tenants: &[TenantQuery],
+        fields: &mut Vec<(String, Json)>,
+    ) -> Result<Json, String> {
+        self.check_sim_size(shared_n)?;
+        let mut specs = Vec::with_capacity(tenants.len());
+        let mut recs = Vec::with_capacity(tenants.len());
+        for t in tenants {
+            let w = Workload::Exchange {
+                n: t.n,
+                bytes: t.bytes,
+            };
+            let rec = self.advise(&w, t.n);
+            let alg = self.pick_exchange(&rec)?;
+            specs.push(TenantSpec {
+                name: t.name.clone(),
+                programs: lower(&alg.schedule(t.n, t.bytes)),
+            });
+            recs.push(Json::Obj(vec![
+                ("name".into(), Json::str(t.name.clone())),
+                ("recommendation".into(), recommendation_json(&rec)),
+            ]));
+        }
+        if req.verify {
+            fields.push((
+                "verify".into(),
+                self.verified(req, "tenants", || {
+                    // Verify the merged shared-tree programs: structure +
+                    // blocking-semantics deadlock analysis.
+                    let sizes: Vec<usize> = specs.iter().map(|s| s.programs.len()).collect();
+                    match cm5_sim::tenant::TenantLayout::new(shared_n, &sizes, placement)
+                        .and_then(|l| l.merge_programs(&specs))
+                    {
+                        Ok(merged) => summarize(&verify_programs(&merged)),
+                        Err(_) => VerifySummary {
+                            clean: false,
+                            errors: 1,
+                            warnings: 0,
+                        },
+                    }
+                }),
+            ));
+        }
+        self.counters.simulations.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let report =
+            run_tenants(shared_n, placement, &specs, &self.params).map_err(|e| e.to_string())?;
+        Timing::record(&self.timing.simulate_ns, t0);
+        self.sim_makespan_ns
+            .lock()
+            .expect("hist poisoned")
+            .record(report.report.makespan.as_nanos());
+        fields.push(("tenant_recommendations".into(), Json::Arr(recs)));
+        Ok(tenants_json(&report))
+    }
+
+    /// Snapshot the deterministic metrics document: counters, cache/memo
+    /// occupancy and hit rates, and histograms of modeled/simulated values.
+    /// Byte-identical across worker counts for the same request set.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = Metrics::default();
+        let c = &self.counters;
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        m.counters.insert("requests", get(&c.requests));
+        m.counters.insert("responses_ok", get(&c.ok));
+        m.counters.insert("responses_error", get(&c.errors));
+        m.counters.insert("queries_exchange", get(&c.q_exchange));
+        m.counters.insert("queries_broadcast", get(&c.q_broadcast));
+        m.counters.insert("queries_irregular", get(&c.q_irregular));
+        m.counters.insert("queries_pattern", get(&c.q_pattern));
+        m.counters.insert("queries_workload", get(&c.q_workload));
+        m.counters.insert("queries_tenants", get(&c.q_tenants));
+        m.counters
+            .insert("verify_requests", get(&c.verify_requests));
+        m.counters.insert("simulations", get(&c.simulations));
+
+        // Hit counts are derived, not sampled: `queries − distinct keys`
+        // is a pure function of the request set, immune to which racing
+        // worker populated an entry first.
+        let queries = self.advisor.cache_queries();
+        let entries = self.advisor.cache_len() as u64;
+        m.counters.insert("advisor_queries", queries);
+        m.counters.insert("advisor_cache_entries", entries);
+        m.counters
+            .insert("advisor_cache_hits", queries.saturating_sub(entries));
+        m.gauges.insert(
+            "advisor_cache_hit_rate",
+            if queries > 0 {
+                queries.saturating_sub(entries) as f64 / queries as f64
+            } else {
+                0.0
+            },
+        );
+        let memo_entries: u64 = self
+            .verify_memo
+            .iter()
+            .map(|s| s.lock().expect("memo poisoned").len() as u64)
+            .sum();
+        let vreq = get(&c.verify_requests);
+        m.counters.insert("verify_memo_entries", memo_entries);
+        m.counters
+            .insert("verify_memo_hits", vreq.saturating_sub(memo_entries));
+        m.gauges.insert("shards", self.shard_count() as f64);
+
+        m.histograms.insert(
+            "predicted_ns",
+            self.predicted_ns.lock().expect("hist poisoned").clone(),
+        );
+        m.histograms.insert(
+            "sim_makespan_ns",
+            self.sim_makespan_ns.lock().expect("hist poisoned").clone(),
+        );
+        m
+    }
+
+    /// Render the nondeterministic host-timing document
+    /// (`cm5-serve-timing/1`): per-stage latency histograms plus whatever
+    /// the caller measured (wall seconds, QPS, queue depth).
+    pub fn timing_json(&self, extra: &[(String, Json)]) -> String {
+        let mut fields = vec![
+            (
+                "advise".to_string(),
+                Timing::hist_json(&self.timing.advise_ns),
+            ),
+            (
+                "verify".to_string(),
+                Timing::hist_json(&self.timing.verify_ns),
+            ),
+            (
+                "simulate".to_string(),
+                Timing::hist_json(&self.timing.simulate_ns),
+            ),
+            (
+                "request_total".to_string(),
+                Timing::hist_json(&self.timing.total_ns),
+            ),
+            (
+                "queue_depth".to_string(),
+                Timing::hist_json(&self.timing.queue_depth),
+            ),
+        ];
+        for (k, v) in extra {
+            fields.push((k.clone(), v.clone()));
+        }
+        format!(
+            "{{{},{}}}\n",
+            schema_field("serve-timing", 1),
+            fields
+                .iter()
+                .map(|(k, v)| format!("{}:{}", Json::str(k.clone()).render(), v.render()))
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+
+    /// Record one queue-depth sample (called by the replay pool).
+    pub fn sample_queue_depth(&self, depth: usize) {
+        self.timing
+            .queue_depth
+            .lock()
+            .expect("timing poisoned")
+            .record(depth as u64);
+    }
+}
+
+/// Reduce diagnostics to the deterministic summary the memo stores.
+fn summarize(diags: &cm5_verify::Diagnostics) -> VerifySummary {
+    VerifySummary {
+        clean: diags.is_clean(),
+        errors: diags.count(Severity::Error),
+        warnings: diags.count(Severity::Warning),
+    }
+}
+
+fn verify_json(s: &VerifySummary) -> Json {
+    Json::Obj(vec![
+        ("clean".into(), Json::Bool(s.clean)),
+        ("errors".into(), Json::int(s.errors as u64)),
+        ("warnings".into(), Json::int(s.warnings as u64)),
+    ])
+}
+
+fn sim_json(report: &SimReport) -> Json {
+    Json::Obj(vec![
+        (
+            "makespan_us".into(),
+            Json::num(report.makespan.as_micros_f64()),
+        ),
+        ("messages".into(), Json::int(report.messages)),
+        ("root_crossings".into(), Json::int(report.root_crossings)),
+        (
+            "effective_mb_s".into(),
+            Json::num(report.effective_bandwidth() / 1e6),
+        ),
+    ])
+}
+
+/// The named real-application patterns `cm5 advise --name` accepts.
+pub fn named_pattern(name: &str, n: usize) -> Result<Pattern, String> {
+    Ok(match name {
+        "cg" => cm5_workloads::cg_pattern(n),
+        "euler545" => cm5_workloads::euler_pattern(545, n),
+        "euler2k" => cm5_workloads::euler_pattern(2048, n),
+        "euler3k" => cm5_workloads::euler_pattern(3072, n),
+        "euler9k" => cm5_workloads::euler_pattern(9216, n),
+        other => {
+            return Err(format!(
+                "unknown workload '{other}' (cg|euler545|euler2k|euler3k|euler9k)"
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> Service {
+        Service::new(ServiceConfig::default())
+    }
+
+    #[test]
+    fn exchange_request_answers_with_recommendation() {
+        let s = service();
+        let line = r#"{"id":1,"query":{"kind":"exchange","n":32,"bytes":1024},"verify":true,"simulate":true}"#;
+        let out = s.handle_line(line);
+        let doc = Json::parse(&out).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("cm5-serve/1")
+        );
+        let rec = doc.get("recommendation").unwrap();
+        assert_eq!(
+            rec.get("schema").and_then(Json::as_str),
+            Some("cm5-advise/1")
+        );
+        assert_eq!(
+            doc.get("verify")
+                .and_then(|v| v.get("clean"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        assert!(doc
+            .get("simulated")
+            .and_then(|v| v.get("makespan_us"))
+            .is_some());
+    }
+
+    #[test]
+    fn malformed_lines_yield_error_responses() {
+        let s = service();
+        for line in ["", "garbage", r#"{"id":9,"query":{"kind":"wat"}}"#] {
+            let out = s.handle_line(line);
+            let doc = Json::parse(&out).unwrap();
+            assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false), "{line}");
+            assert!(doc.get("error").is_some());
+        }
+        let m = s.metrics();
+        assert_eq!(m.counters["responses_error"], 3);
+        assert_eq!(m.counters["requests"], 3);
+    }
+
+    #[test]
+    fn identical_queries_hit_the_caches() {
+        let s = service();
+        let line = r#"{"id":1,"query":{"kind":"exchange","n":32,"bytes":1024},"verify":true}"#;
+        let first = s.handle_line(line);
+        let second = s.handle_line(line);
+        // Same query → byte-identical response (ids match here).
+        assert_eq!(first, second);
+        let m = s.metrics();
+        assert_eq!(m.counters["advisor_queries"], 2);
+        assert_eq!(m.counters["advisor_cache_entries"], 1);
+        assert_eq!(m.counters["advisor_cache_hits"], 1);
+        assert_eq!(m.counters["verify_requests"], 2);
+        assert_eq!(m.counters["verify_memo_entries"], 1);
+        assert_eq!(m.counters["verify_memo_hits"], 1);
+    }
+
+    #[test]
+    fn pattern_and_workload_queries_classify() {
+        let s = service();
+        let out = s.handle_line(
+            r#"{"id":5,"query":{"kind":"pattern","text":"0 256 0 0\n256 0 0 0\n0 0 0 256\n0 0 256 0\n"}}"#,
+        );
+        let doc = Json::parse(&out).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{out}");
+        assert_eq!(
+            doc.get("stats")
+                .and_then(|v| v.get("n"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+        let out = s.handle_line(r#"{"id":6,"query":{"kind":"workload","name":"euler545","n":8}}"#);
+        let doc = Json::parse(&out).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{out}");
+    }
+
+    #[test]
+    fn tenant_queries_report_slices() {
+        let s = service();
+        let line = r#"{"id":9,"query":{"kind":"tenants","shared_n":64,"placement":"subtree","tenants":[{"name":"a","n":16,"bytes":1024},{"name":"b","n":16,"bytes":1024}]}}"#;
+        let out = s.handle_line(line);
+        let doc = Json::parse(&out).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{out}");
+        let tenants = doc
+            .get("tenants")
+            .and_then(|t| t.get("tenants"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(tenants.len(), 2);
+        // Congruent disjoint subtrees: identical makespans.
+        assert_eq!(
+            tenants[0].get("makespan_us").and_then(Json::as_f64),
+            tenants[1].get("makespan_us").and_then(Json::as_f64)
+        );
+    }
+
+    #[test]
+    fn oversized_simulations_are_refused() {
+        let s = service();
+        let out = s.handle_line(
+            r#"{"id":2,"query":{"kind":"exchange","n":2048,"bytes":16},"simulate":true}"#,
+        );
+        let doc = Json::parse(&out).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        // Advising alone at that size is fine.
+        let out = s.handle_line(r#"{"id":3,"query":{"kind":"exchange","n":2048,"bytes":16}}"#);
+        let doc = Json::parse(&out).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn timing_json_is_schema_stamped() {
+        let s = service();
+        s.handle_line(r#"{"id":1,"query":{"kind":"exchange","n":8,"bytes":64}}"#);
+        let t = s.timing_json(&[("qps".into(), Json::num(123.0))]);
+        assert!(t.contains("\"schema\":\"cm5-serve-timing/1\""), "{t}");
+        assert!(t.contains("\"qps\":123"), "{t}");
+        assert!(Json::parse(t.trim()).is_ok());
+    }
+}

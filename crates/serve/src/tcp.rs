@@ -1,0 +1,117 @@
+//! Optional TCP frontend: the same JSON-lines protocol as stdin/stdout,
+//! over a `std::net::TcpListener`. No external deps — plain std sockets,
+//! one thread per connection, newline-delimited requests in, newline-
+//! delimited responses out.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::service::Service;
+
+/// A running TCP frontend. Dropping the handle does NOT stop the server;
+/// call [`TcpHandle::shutdown`].
+pub struct TcpHandle {
+    /// The bound address (useful with a `:0` bind in tests).
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpHandle {
+    /// Stop accepting connections and join the accept loop. In-flight
+    /// connections finish on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:7045`, or `:0` for an ephemeral port) and
+/// serve request lines until [`TcpHandle::shutdown`].
+pub fn spawn_tcp(service: Arc<Service>, addr: &str) -> std::io::Result<TcpHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    // Poll-with-timeout accept so shutdown is prompt without unsafe
+    // self-pipe tricks.
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        while !stop2.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let service = Arc::clone(&service);
+                    std::thread::spawn(move || serve_connection(&service, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(TcpHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn serve_connection(service: &Service, stream: TcpStream) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(&line);
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::service::ServiceConfig;
+
+    #[test]
+    fn tcp_round_trip() {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        let handle = spawn_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let addr = handle.addr;
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(
+            b"{\"id\":7,\"query\":{\"kind\":\"exchange\",\"n\":8,\"bytes\":64}}\nnot json\n",
+        )
+        .unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut lines = BufReader::new(conn).lines();
+        let ok = lines.next().unwrap().unwrap();
+        let doc = Json::parse(&ok).unwrap();
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        let err = lines.next().unwrap().unwrap();
+        let doc = Json::parse(&err).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(lines.next().is_none());
+
+        handle.shutdown();
+        assert_eq!(service.metrics().counters["requests"], 2);
+    }
+}

@@ -39,6 +39,13 @@ pub enum SimError {
         /// Panic payload, if it was a string.
         message: String,
     },
+    /// A multi-tenant layout or tenant program was unusable (tenants do not
+    /// fit the shared tree, a tenant program uses a machine-wide collective,
+    /// a peer is outside the tenant, …).
+    Tenancy {
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -61,6 +68,7 @@ impl fmt::Display for SimError {
             SimError::NodePanic { node, message } => {
                 write!(f, "node {node} panicked: {message}")
             }
+            SimError::Tenancy { detail } => write!(f, "tenancy error: {detail}"),
         }
     }
 }

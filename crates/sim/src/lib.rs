@@ -78,6 +78,7 @@ pub mod ops;
 pub mod packet;
 pub mod params;
 pub mod stats;
+pub mod tenant;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -88,5 +89,6 @@ pub use error::SimError;
 pub use ops::{Op, OpProgram, ReduceOp, ANY_TAG};
 pub use params::{FairnessModel, MachineParams, RateSolver, SendMode};
 pub use stats::{NodeReport, RateSample, SimPerf, SimReport, TraceEvent, TraceKind, TraceRing};
+pub use tenant::{run_tenants, Placement, TenantLayout, TenantReport, TenantSlice, TenantSpec};
 pub use time::{SimDuration, SimTime};
 pub use topology::{FatTree, Hypercube, LinkDir, LinkId, RouteRef, RouteTable, Topology};

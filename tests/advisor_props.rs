@@ -86,6 +86,34 @@ proptest! {
         }
     }
 
+    /// Sharding the decision cache is invisible: any shard count returns
+    /// bit-identical answers to the single-shard advisor and the uncached
+    /// path, and the aggregate entry/query counts are shard-independent.
+    #[test]
+    fn sharding_is_transparent(
+        ws in prop::collection::vec(any_workload(), 1..6),
+        params in machines(),
+        shards in 1usize..16,
+    ) {
+        let reference = Advisor::new();
+        let sharded = Advisor::with_shards(shards);
+        prop_assert_eq!(sharded.shard_count(), shards);
+        for w in ws.iter().chain(ws.iter().rev()) {
+            let tree = FatTree::new(w.nodes());
+            let a = sharded.recommend(w, &params, &tree);
+            prop_assert_eq!(&a, &reference.recommend(w, &params, &tree));
+            prop_assert_eq!(&a, &Advisor::recommend_uncached(w, &params, &tree));
+        }
+        // Entry and query totals are a function of the query stream
+        // alone, not of how the cache is split.
+        prop_assert_eq!(sharded.cache_len(), reference.cache_len());
+        prop_assert_eq!(sharded.cache_queries(), reference.cache_queries());
+        let stats = sharded.shard_stats();
+        prop_assert_eq!(stats.len(), shards);
+        prop_assert_eq!(stats.iter().map(|s| s.entries).sum::<usize>(), sharded.cache_len());
+        prop_assert_eq!(stats.iter().map(|s| s.queries).sum::<u64>(), sharded.cache_queries());
+    }
+
     /// The pick is always a member of the candidate list, the list is
     /// sorted by predicted time, and the margin matches the top two.
     #[test]

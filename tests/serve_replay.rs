@@ -1,0 +1,181 @@
+//! The serve subsystem's determinism contract, end to end:
+//!
+//! * replaying the same recorded trace at any worker count produces a
+//!   byte-identical response stream AND byte-identical deterministic
+//!   metrics (host timing is quarantined in the separate timing doc);
+//! * the request codec round-trips (`parse_line ∘ render_line` is the
+//!   identity) and rejects malformed input with errors, never panics;
+//! * every line the `cm5-bench` trace generator emits is accepted by the
+//!   codec — the recorder and the service can never drift apart.
+
+use cm5_bench::querygen::{generate_trace, TraceMix};
+use cm5_serve::{replay, Query, Request, Service, ServiceConfig, TenantQuery};
+use proptest::prelude::*;
+
+#[test]
+fn replay_is_byte_identical_at_any_worker_count() {
+    let trace = generate_trace(TraceMix::Mixed, 80, 11);
+    let mut baseline: Option<(String, String)> = None;
+    for jobs in [1usize, 4, 8] {
+        let service = Service::new(ServiceConfig::default());
+        let result = replay(&service, &trace, jobs, None);
+        assert_eq!(result.requests, 80);
+        let joined = result.responses.join("\n");
+        let metrics = service.metrics().to_json();
+        match &baseline {
+            None => baseline = Some((joined, metrics)),
+            Some((r0, m0)) => {
+                assert_eq!(&joined, r0, "response stream differs at jobs={jobs}");
+                assert_eq!(&metrics, m0, "metrics differ at jobs={jobs}");
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_traces_parse_for_every_mix() {
+    for mix in [TraceMix::AdviseOnly, TraceMix::Mixed] {
+        let trace = generate_trace(mix, 400, 5);
+        for (i, line) in trace.lines().enumerate() {
+            let req = Request::parse_line(line)
+                .unwrap_or_else(|e| panic!("{} line {i} rejected: {e}\n{line}", mix.name()));
+            assert_eq!(req.id, i as u64);
+            // And the codec round-trips what it parsed.
+            assert_eq!(Request::parse_line(&req.render_line()).unwrap(), req);
+        }
+    }
+}
+
+#[test]
+fn malformed_lines_get_error_responses_not_panics() {
+    let service = Service::new(ServiceConfig::default());
+    for line in [
+        "",
+        "{",
+        "null",
+        "[1,2,3]",
+        "{\"id\":1}",
+        "{\"id\":1,\"query\":{\"kind\":\"exchange\",\"n\":3}}",
+        "{\"id\":1,\"query\":{\"kind\":\"exchange\",\"n\":32},\"simlate\":true}",
+        "{\"id\":1,\"query\":{\"kind\":\"tenants\",\"shared_n\":64,\"tenants\":[]}}",
+    ] {
+        let response = service.handle_line(line);
+        assert!(
+            response.contains("\"ok\":false"),
+            "expected error for {line:?}, got {response}"
+        );
+    }
+}
+
+/// Name alphabet for generated strings — includes every character the
+/// JSON renderer must escape.
+const NAME_CHARS: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '_', '-', '"', '\\', '\n', '\t', '{', '}', ':', ',',
+    'é', '✓',
+];
+
+fn name_from(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|i| NAME_CHARS[i % NAME_CHARS.len()])
+        .collect()
+}
+
+fn names() -> impl Strategy<Value = String> {
+    collection::vec(0usize..NAME_CHARS.len(), 1..10).prop_map(|ix| name_from(&ix))
+}
+
+/// JSON numbers are f64, so only integers below 2^53 round-trip exactly
+/// (the documented codec bound).
+fn json_safe_u64() -> impl Strategy<Value = u64> {
+    0u64..(1 << 53)
+}
+
+/// One arbitrary valid query, spanning all six kinds.
+fn queries() -> impl Strategy<Value = Query> {
+    (
+        0usize..6,
+        (1u32..=14).prop_map(|e| 1usize << e),
+        json_safe_u64(),
+        (0.0f64..=1.0, json_safe_u64()),
+        names(),
+        collection::vec(
+            (
+                collection::vec(0usize..NAME_CHARS.len(), 1..6),
+                1u32..=5,
+                json_safe_u64(),
+            ),
+            1..4,
+        ),
+    )
+        .prop_map(
+            |(kind, n, bytes, (density, seed), name, tenant_parts)| match kind {
+                0 => Query::Exchange { n, bytes },
+                1 => Query::Broadcast { n, bytes },
+                2 => Query::Irregular {
+                    n,
+                    density,
+                    bytes,
+                    seed,
+                },
+                3 => Query::Pattern { text: name },
+                4 => Query::Workload { name, n },
+                _ => Query::Tenants {
+                    shared_n: n,
+                    placement: if seed & 1 == 0 {
+                        cm5_sim::tenant::Placement::Subtree
+                    } else {
+                        cm5_sim::tenant::Placement::Striped
+                    },
+                    tenants: tenant_parts
+                        .into_iter()
+                        .map(|(ix, e, bytes)| TenantQuery {
+                            name: name_from(&ix),
+                            n: 1usize << e,
+                            bytes,
+                        })
+                        .collect(),
+                },
+            },
+        )
+}
+
+proptest! {
+    /// `parse_line ∘ render_line` is the identity on every valid request,
+    /// including names that need JSON string escaping.
+    #[test]
+    fn codec_round_trips(id in json_safe_u64(), query in queries(),
+                         verify in any::<bool>(), simulate in any::<bool>()) {
+        let req = Request { id, query, verify, simulate };
+        let line = req.render_line();
+        match Request::parse_line(&line) {
+            Ok(back) => prop_assert_eq!(back, req, "line: {}", line),
+            Err(e) => prop_assert!(false, "{e}\n{line}"),
+        }
+    }
+
+    /// Arbitrary bytes never panic the parser; they either decode or
+    /// return an error string.
+    #[test]
+    fn hostile_input_never_panics(bytes in collection::vec(any::<u8>(), 0..200)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = Request::parse_line(&line);
+    }
+
+    /// Mutating a valid line still never panics (closer-to-valid inputs
+    /// exercise deeper parser paths than pure noise).
+    #[test]
+    fn mutated_valid_lines_never_panic(query in queries(), cut in any::<u64>(),
+                                       insert in collection::vec(0usize..NAME_CHARS.len(), 1..5)) {
+        let line = Request { id: 1, query, verify: true, simulate: false }.render_line();
+        let mut at = (cut % line.len().max(1) as u64) as usize;
+        while !line.is_char_boundary(at) {
+            at -= 1;
+        }
+        let mut mutated = String::new();
+        mutated.push_str(&line[..at]);
+        mutated.push_str(&name_from(&insert));
+        mutated.push_str(&line[at..]);
+        let _ = Request::parse_line(&mutated);
+    }
+}

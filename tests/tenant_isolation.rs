@@ -1,0 +1,149 @@
+//! The multi-tenant contract, both directions:
+//!
+//! * **Isolation** — tenants whose sizes are powers of ARITY, placed in
+//!   aligned subtree blocks, own complete link groups at every level of
+//!   the shared fat tree, so each one's slice of the shared run is
+//!   bit-identical to running it alone on its own tree. (Only
+//!   power-of-ARITY sizes get this: a partial group in a standalone tree
+//!   has *less* capacity than the full group it would share in a bigger
+//!   tree, so the guarantee is deliberately not claimed for other sizes.)
+//! * **Interference** — the same tenants striped round-robin across
+//!   top-level groups route all tenant-internal traffic through the
+//!   root and measurably slow each other down; a golden cell pins the
+//!   contended makespan so the cost of bad placement stays visible.
+
+use cm5_core::prelude::*;
+use cm5_sim::tenant::{run_tenants, Placement, TenantSpec};
+use cm5_sim::{MachineParams, OpProgram, Simulation};
+
+fn exchange_programs(n: usize, bytes: u64) -> Vec<OpProgram> {
+    lower(&ExchangeAlg::Bex.schedule(n, bytes))
+}
+
+fn two_tenants(bytes_a: u64, bytes_b: u64) -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            name: "a".into(),
+            programs: exchange_programs(16, bytes_a),
+        },
+        TenantSpec {
+            name: "b".into(),
+            programs: exchange_programs(16, bytes_b),
+        },
+    ]
+}
+
+#[test]
+fn disjoint_subtree_tenants_match_standalone_bit_for_bit() {
+    let params = MachineParams::cm5_1992();
+    // 16 = ARITY^2: each tenant fills a complete aligned subtree of the
+    // 64-node shared machine.
+    let report = run_tenants(64, Placement::Subtree, &two_tenants(1024, 4096), &params)
+        .expect("tenants fit");
+    assert_eq!(report.tenants.len(), 2);
+    for (slice, bytes) in report.tenants.iter().zip([1024u64, 4096]) {
+        let standalone = Simulation::new(16, params.clone())
+            .run_ops(&exchange_programs(16, bytes))
+            .expect("standalone run");
+        assert_eq!(
+            slice.makespan, standalone.makespan,
+            "tenant {} diverged from its standalone run",
+            slice.name
+        );
+        assert_eq!(slice.messages, standalone.messages, "tenant {}", slice.name);
+        assert_eq!(
+            slice.payload_bytes, standalone.payload_bytes,
+            "tenant {}",
+            slice.name
+        );
+    }
+    // Disjoint subtrees exchange nothing through the root.
+    assert_eq!(report.report.root_crossings, 0);
+}
+
+#[test]
+fn isolation_holds_on_a_bigger_machine_and_more_tenants() {
+    let params = MachineParams::cm5_1992();
+    let tenants = vec![
+        TenantSpec {
+            name: "t0".into(),
+            programs: exchange_programs(4, 512),
+        },
+        TenantSpec {
+            name: "t1".into(),
+            programs: exchange_programs(16, 2048),
+        },
+        TenantSpec {
+            name: "t2".into(),
+            programs: exchange_programs(4, 8192),
+        },
+    ];
+    let report = run_tenants(256, Placement::Subtree, &tenants, &params).expect("tenants fit");
+    for (slice, (n, bytes)) in report
+        .tenants
+        .iter()
+        .zip([(4usize, 512u64), (16, 2048), (4, 8192)])
+    {
+        let standalone = Simulation::new(n, params.clone())
+            .run_ops(&exchange_programs(n, bytes))
+            .expect("standalone run");
+        assert_eq!(slice.makespan, standalone.makespan, "tenant {}", slice.name);
+    }
+}
+
+#[test]
+fn striped_tenants_slow_each_other_down() {
+    // Contention in this model only bites when a link carries more
+    // software-rate (10 MB/s) flows than its capacity admits; upper links
+    // give every node a guaranteed 5 MB/s share, so a level-2 link clogs
+    // only when *more than half* a group's nodes send cross-group at
+    // once. PEX does exactly that (the §3.4 effect), so: four 16-node PEX
+    // tenants striped across a fully-packed 64-node tree put all 16 of
+    // each group's residents on its 80 MB/s up-link — 5 MB/s per flow,
+    // half the 10 MB/s a solo striped tenant gets.
+    let params = MachineParams::cm5_1992();
+    let spec = |name: &str| TenantSpec {
+        name: name.into(),
+        programs: lower_with(
+            &ExchangeAlg::Pex.schedule(16, 16384),
+            &LowerOptions {
+                async_sends: true,
+                ..Default::default()
+            },
+        ),
+    };
+    let all = [spec("a"), spec("b"), spec("c"), spec("d")];
+    let alone = run_tenants(64, Placement::Striped, &all[..1], &params).expect("solo striped");
+    let shared = run_tenants(64, Placement::Striped, &all, &params).expect("contended striped");
+
+    // Striping pushes tenant-internal traffic through the root; an
+    // aligned subtree placement of the same tenants keeps it out.
+    assert!(
+        shared.report.root_crossings > 0,
+        "striped placement should cross the root"
+    );
+    let subtree = run_tenants(64, Placement::Subtree, &all, &params).expect("subtree placement");
+    assert_eq!(subtree.report.root_crossings, 0);
+
+    // The neighbours measurably slow every tenant.
+    let solo_ns = alone.tenants[0].makespan.as_nanos();
+    for slice in &shared.tenants {
+        assert!(
+            slice.makespan.as_nanos() > solo_ns * 3 / 2,
+            "tenant {}: contended {} should be >1.5x solo {}",
+            slice.name,
+            slice.makespan,
+            alone.tenants[0].makespan
+        );
+    }
+
+    // Golden cell: the contended makespan is part of the artifact. If a
+    // deliberate model change moves it, re-pin from the failure message.
+    let golden_ns = shared.report.makespan.as_nanos();
+    println!("contended striped makespan: {golden_ns} ns (solo {solo_ns} ns)");
+    assert_eq!(golden_ns, GOLDEN_CONTENDED_MAKESPAN_NS);
+}
+
+/// Pinned from `MachineParams::cm5_1992()`: four 16-node PEX tenants at
+/// 16 KB/pair striped across a fully-packed 64-node tree.
+const GOLDEN_CONTENDED_MAKESPAN_NS: u64 = 98_519_000;
