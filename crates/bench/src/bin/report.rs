@@ -15,7 +15,10 @@
 //! `perf` (opt-in, like `beyond`) measures the *simulator's* host cost —
 //! wall-clock, events/sec, incremental-vs-full solver speedup — and writes
 //! `BENCH_sim.json`; `--quick` runs one repetition per case, `--baseline F`
-//! exits nonzero if any grid's events/sec falls below the floors in `F`.
+//! exits nonzero if any grid's events/sec falls below the floors in `F`,
+//! `--no-oracle` skips the reference-solver pass (CI smoke runs that
+//! already pay for it elsewhere), and `--sim-jobs N` sets the worker count
+//! of the windowed-engine `par_*` cells (default 4, minimum 2).
 //! `perf` is excluded from the default section set so default output stays
 //! byte-identical across runs and `--jobs` values (wall-clock never is).
 //! `--jobs N` fans the grid cells across `N` worker threads (`0` = one per
@@ -51,6 +54,12 @@ static QUICK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
 
 /// `--baseline F`: events/sec floors the perf section must clear.
 static BASELINE: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
+
+/// `--no-oracle`: skip the perf section's reference-solver pass.
+static NO_ORACLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+
+/// `--sim-jobs N`: worker count for the perf section's `par_*` cells.
+static SIM_JOBS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
 
 /// `--bench-json PATH`: where the perf section writes its artifact.
 static BENCH_JSON: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();
@@ -88,12 +97,25 @@ fn main() {
     let mut gate = None;
     let mut quick = false;
     let mut baseline = None;
+    let mut no_oracle = false;
+    let mut sim_jobs = 4usize;
     let mut bench_json = std::path::PathBuf::from("BENCH_sim.json");
     let mut trace_out = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         if a == "--quick" {
             quick = true;
+        } else if a == "--no-oracle" {
+            no_oracle = true;
+        } else if a == "--sim-jobs" {
+            let n = it.next().unwrap_or_else(|| {
+                eprintln!("--sim-jobs needs a worker count >= 2 for the par_* cells");
+                std::process::exit(2);
+            });
+            sim_jobs = n.parse().unwrap_or_else(|_| {
+                eprintln!("--sim-jobs: not a number: {n}");
+                std::process::exit(2);
+            });
         } else if a == "--baseline" {
             let f = it.next().unwrap_or_else(|| {
                 eprintln!("--baseline needs a floors file (name min_events_per_sec lines)");
@@ -144,6 +166,8 @@ fn main() {
     GATE.set(gate).expect("set once");
     QUICK.set(quick).expect("set once");
     BASELINE.set(baseline).expect("set once");
+    NO_ORACLE.set(no_oracle).expect("set once");
+    SIM_JOBS.set(sim_jobs).expect("set once");
     BENCH_JSON.set(bench_json).expect("set once");
     TRACE_OUT.set(trace_out).expect("set once");
     // `beyond` and `perf` are opt-in: the default section set must stay
@@ -612,7 +636,9 @@ fn perf() {
     );
     let quick = *QUICK.get().unwrap_or(&false);
     let reps = if quick { 1 } else { 3 };
-    let measurements = p::run_perf_suite(reps);
+    let oracle = !*NO_ORACLE.get().unwrap_or(&false);
+    let sim_jobs = *SIM_JOBS.get().unwrap_or(&4);
+    let measurements = p::run_perf_suite_opts(reps, oracle, sim_jobs);
     println!(
         "{:>8} {:>6} {:>13} {:>11} {:>10} {:>12} {:>11} {:>10} {:>9}",
         "grid",
@@ -637,6 +663,18 @@ fn perf() {
             m.recomputes,
             m.flows_peak,
             m.speedup_vs_oracle
+        );
+    }
+    for m in measurements.iter().filter(|m| m.sim_jobs > 1) {
+        println!(
+            "{:>8}: windowed engine, {} workers, {} windows, {} worker events, \
+             merge {:.1} ms, speedup vs serial {:.2}x",
+            m.name,
+            m.sim_jobs,
+            m.windows,
+            m.worker_events_total,
+            m.merge_secs * 1e3,
+            m.speedup_vs_serial
         );
     }
     let json_path = BENCH_JSON.get().expect("set in main");

@@ -17,7 +17,10 @@
 use std::time::Instant;
 
 use cm5_core::prelude::*;
-use cm5_sim::{MachineParams, Op, OpProgram, RateSolver, SimReport, Simulation};
+use cm5_sim::{
+    run_tenants_jobs, MachineParams, Op, OpProgram, Placement, RateSolver, SimReport, Simulation,
+    TenantSpec,
+};
 use cm5_workloads::synthetic::synthetic_pattern_exact;
 
 /// One workload of the performance grid.
@@ -69,6 +72,19 @@ pub struct PerfMeasurement {
     pub speedup_vs_oracle: f64,
     /// Simulated makespan (sanity anchor: must not depend on the solver).
     pub makespan_ms: f64,
+    /// Worker threads used by the windowed engine (1 = serial engine).
+    pub sim_jobs: usize,
+    /// Time windows executed by the windowed engine (0 for serial cells).
+    pub windows: u64,
+    /// Total node actions speculated across workers (0 for serial cells).
+    pub worker_events_total: u64,
+    /// Host seconds the merge thread spent staging windows and collecting
+    /// worker results (0 for serial cells).
+    pub merge_secs: f64,
+    /// Serial-engine wall over windowed-engine wall for `par_*` cells
+    /// (0 when not measured). Recorded, not gated: on a one-CPU host this
+    /// is ≤ 1 — the bit-identity contract is what CI enforces.
+    pub speedup_vs_serial: f64,
 }
 
 fn solver_name(solver: RateSolver) -> &'static str {
@@ -124,7 +140,7 @@ pub fn perf_cases() -> Vec<PerfCase> {
 /// `bytes_of(i)` sets node `i`'s payload; varying it staggers completions,
 /// which is the hierarchical solver's hard case (every completion dirties a
 /// spine).
-fn pex_slice_programs(
+pub fn pex_slice_programs(
     n: usize,
     strides: &[usize],
     bytes_of: impl Fn(usize) -> u64,
@@ -199,12 +215,21 @@ fn run_with(case: &PerfCase, solver: RateSolver) -> SimReport {
         .unwrap_or_else(|e| panic!("perf case {}: {e}", case.name))
 }
 
-/// Run a slice of the grid. `reps` primary-solver repetitions per case (the
-/// best run is reported, damping scheduler noise); the oracle runs
-/// `max(1, reps / 2)` times. Cases at ≥ 1024 nodes skip the untimed warm-up
-/// run — at that size one extra simulation costs more than the scheduler
-/// noise it would dampen.
+/// Run a slice of the grid with the oracle pass enabled; see
+/// [`run_cases_opts`].
 pub fn run_cases(cases: &[PerfCase], reps: u32) -> Vec<PerfMeasurement> {
+    run_cases_opts(cases, reps, true)
+}
+
+/// Run a slice of the grid. `reps` primary-solver repetitions per case (the
+/// best run is reported, damping scheduler noise); with `oracle` set the
+/// oracle solver runs `max(1, reps / 2)` times and its makespan is checked
+/// against the primary's. `oracle: false` skips that pass entirely (the CI
+/// scaling smoke runs the suite twice and only needs to pay once), leaving
+/// `oracle_wall_secs`/`speedup_vs_oracle` at 0. Cases at ≥ 1024 nodes skip
+/// the untimed warm-up run — at that size one extra simulation costs more
+/// than the scheduler noise it would dampen.
+pub fn run_cases_opts(cases: &[PerfCase], reps: u32, oracle: bool) -> Vec<PerfMeasurement> {
     assert!(reps > 0, "at least one repetition");
     cases
         .iter()
@@ -225,20 +250,23 @@ pub fn run_cases(cases: &[PerfCase], reps: u32) -> Vec<PerfMeasurement> {
                 }
             }
             let report = report.expect("reps > 0");
-            let mut oracle_best = f64::INFINITY;
-            let mut oracle_makespan = None;
-            for _ in 0..reps.div_ceil(2) {
-                let start = Instant::now();
-                let r = run_with(case, case.oracle);
-                oracle_best = oracle_best.min(start.elapsed().as_secs_f64());
-                oracle_makespan = Some(r.makespan);
+            let mut oracle_best = 0.0f64;
+            if oracle {
+                oracle_best = f64::INFINITY;
+                let mut oracle_makespan = None;
+                for _ in 0..reps.div_ceil(2) {
+                    let start = Instant::now();
+                    let r = run_with(case, case.oracle);
+                    oracle_best = oracle_best.min(start.elapsed().as_secs_f64());
+                    oracle_makespan = Some(r.makespan);
+                }
+                assert_eq!(
+                    Some(report.makespan),
+                    oracle_makespan,
+                    "{}: solvers must agree on simulated time",
+                    case.name
+                );
             }
-            assert_eq!(
-                Some(report.makespan),
-                oracle_makespan,
-                "{}: solvers must agree on simulated time",
-                case.name
-            );
             PerfMeasurement {
                 name: case.name.to_string(),
                 n: case.n,
@@ -258,17 +286,193 @@ pub fn run_cases(cases: &[PerfCase], reps: u32) -> Vec<PerfMeasurement> {
                 oracle_wall_secs: oracle_best,
                 speedup_vs_oracle: if best > 0.0 { oracle_best / best } else { 0.0 },
                 makespan_ms: report.makespan.as_millis_f64(),
+                sim_jobs: 1,
+                windows: 0,
+                worker_events_total: 0,
+                merge_secs: 0.0,
+                speedup_vs_serial: 0.0,
             }
         })
         .collect()
 }
 
+/// Core counters that must not depend on the engine's worker count. The
+/// deep identity contract (traces, rate samples, per-node accounting) is
+/// enforced by the sim crate's own tests and `tests/determinism.rs`; the
+/// bench re-checks the headline numbers on every timed run.
+fn assert_par_identical(name: &str, serial: &SimReport, par: &SimReport) {
+    assert_eq!(serial.makespan, par.makespan, "{name}: makespan");
+    assert_eq!(serial.messages, par.messages, "{name}: messages");
+    assert_eq!(serial.payload_bytes, par.payload_bytes, "{name}: payload");
+    assert_eq!(serial.wire_bytes, par.wire_bytes, "{name}: wire bytes");
+    assert_eq!(serial.perf.events, par.perf.events, "{name}: events");
+    assert_eq!(
+        serial.perf.recomputes, par.perf.recomputes,
+        "{name}: recomputes"
+    );
+    assert_eq!(serial.perf.flows, par.perf.flows, "{name}: flows");
+}
+
+/// Time one op workload on the serial engine, then on the windowed engine
+/// at `sim_jobs` workers, asserting the reports agree.
+fn measure_ops_par(
+    name: &'static str,
+    n: usize,
+    programs: &[OpProgram],
+    solver: RateSolver,
+    sim_jobs: usize,
+) -> PerfMeasurement {
+    let mut params = MachineParams::cm5_1992();
+    params.rate_solver = solver;
+    let start = Instant::now();
+    let serial = Simulation::new(n, params.clone())
+        .run_ops(programs)
+        .unwrap_or_else(|e| panic!("par case {name} (serial): {e}"));
+    let serial_wall = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let par = Simulation::new(n, params)
+        .sim_jobs(sim_jobs)
+        .run_ops(programs)
+        .unwrap_or_else(|e| panic!("par case {name} (jobs {sim_jobs}): {e}"));
+    let wall = start.elapsed().as_secs_f64();
+    assert_par_identical(name, &serial, &par);
+    par_measurement(name, n, solver, sim_jobs, serial_wall, wall, &par)
+}
+
+fn par_measurement(
+    name: &str,
+    n: usize,
+    solver: RateSolver,
+    sim_jobs: usize,
+    serial_wall: f64,
+    wall: f64,
+    par: &SimReport,
+) -> PerfMeasurement {
+    PerfMeasurement {
+        name: name.to_string(),
+        n,
+        solver: solver_name(solver),
+        reps: 1,
+        wall_secs: wall,
+        events: par.perf.events,
+        events_per_sec: if wall > 0.0 {
+            par.perf.events as f64 / wall
+        } else {
+            0.0
+        },
+        cells_per_sec: if wall > 0.0 { 1.0 / wall } else { 0.0 },
+        recomputes: par.perf.recomputes,
+        flows: par.perf.flows,
+        flows_peak: par.perf.flows_peak,
+        oracle_wall_secs: 0.0,
+        speedup_vs_oracle: 0.0,
+        makespan_ms: par.makespan.as_millis_f64(),
+        sim_jobs,
+        windows: par.perf.windows,
+        worker_events_total: par.perf.worker_events.iter().sum(),
+        merge_secs: par.perf.merge_secs,
+        speedup_vs_serial: if wall > 0.0 { serial_wall / wall } else { 0.0 },
+    }
+}
+
+/// An Isend/Recv/WaitAll ring — the tenant-safe analogue of PEX traffic
+/// (collectives are rejected inside tenant slices).
+fn ring_programs(n: usize, bytes: u64) -> Vec<OpProgram> {
+    (0..n)
+        .map(|i| {
+            vec![
+                Op::Isend {
+                    to: (i + 1) % n,
+                    bytes,
+                    tag: 7,
+                },
+                Op::Recv {
+                    from: (i + n - 1) % n,
+                    tag: 7,
+                },
+                Op::WaitAll,
+            ]
+        })
+        .collect()
+}
+
+/// The windowed-engine cells: each workload runs once serial and once at
+/// `sim_jobs` workers, the reports must agree, and the wall-clock ratio is
+/// recorded as `speedup_vs_serial`. `par_pex_16k` is the large-grid PEX
+/// slice on the parallel engine; `par_tenants` runs three striped ring
+/// tenants through [`run_tenants_jobs`], covering the tenancy path.
+pub fn run_par_cases(sim_jobs: usize) -> Vec<PerfMeasurement> {
+    assert!(sim_jobs >= 2, "a par cell needs at least two workers");
+    let mut out = Vec::new();
+
+    let n = 16384usize;
+    let strides = [1usize, 2, 3, n / 4, n / 2, n / 2 + 1];
+    let programs = pex_slice_programs(n, &strides, |_| 1024);
+    out.push(measure_ops_par(
+        "par_pex_16k",
+        n,
+        &programs,
+        RateSolver::Hierarchical,
+        sim_jobs,
+    ));
+
+    let shared_n = 1024usize;
+    let specs = vec![
+        TenantSpec {
+            name: "ring-a".to_string(),
+            programs: ring_programs(512, 4096),
+        },
+        TenantSpec {
+            name: "ring-b".to_string(),
+            programs: ring_programs(256, 1024),
+        },
+        TenantSpec {
+            name: "ring-c".to_string(),
+            programs: ring_programs(256, 256),
+        },
+    ];
+    let mut params = MachineParams::cm5_1992();
+    params.rate_solver = RateSolver::Hierarchical;
+    let start = Instant::now();
+    let serial = run_tenants_jobs(shared_n, Placement::Striped, &specs, &params, 1)
+        .unwrap_or_else(|e| panic!("par case par_tenants (serial): {e}"));
+    let serial_wall = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let par = run_tenants_jobs(shared_n, Placement::Striped, &specs, &params, sim_jobs)
+        .unwrap_or_else(|e| panic!("par case par_tenants (jobs {sim_jobs}): {e}"));
+    let wall = start.elapsed().as_secs_f64();
+    assert_par_identical("par_tenants", &serial.report, &par.report);
+    for (s, p) in serial.tenants.iter().zip(&par.tenants) {
+        assert_eq!(s.makespan, p.makespan, "par_tenants: slice {}", s.name);
+        assert_eq!(s.messages, p.messages, "par_tenants: slice {}", s.name);
+    }
+    out.push(par_measurement(
+        "par_tenants",
+        shared_n,
+        RateSolver::Hierarchical,
+        sim_jobs,
+        serial_wall,
+        wall,
+        &par.report,
+    ));
+    out
+}
+
 /// Run the whole suite: the standard grid at `reps` repetitions, then the
 /// large-N grid at one repetition each (a 16384-node cell is its own
-/// noise damping — the run is long enough to average out the scheduler).
+/// noise damping — the run is long enough to average out the scheduler),
+/// then the windowed-engine `par_*` cells at `sim_jobs` workers.
 pub fn run_perf_suite(reps: u32) -> Vec<PerfMeasurement> {
-    let mut ms = run_cases(&perf_cases(), reps);
-    ms.extend(run_cases(&perf_cases_large(), 1));
+    run_perf_suite_opts(reps, true, 4)
+}
+
+/// [`run_perf_suite`] with the oracle pass and worker count configurable
+/// (`report perf --no-oracle --sim-jobs N`). `sim_jobs` is fixed at 4 by
+/// default so the recorded `par_*` cells are comparable across hosts.
+pub fn run_perf_suite_opts(reps: u32, oracle: bool, sim_jobs: usize) -> Vec<PerfMeasurement> {
+    let mut ms = run_cases_opts(&perf_cases(), reps, oracle);
+    ms.extend(run_cases_opts(&perf_cases_large(), 1, oracle));
+    ms.extend(run_par_cases(sim_jobs.max(2)));
     ms
 }
 
@@ -288,7 +492,9 @@ pub fn to_json(measurements: &[PerfMeasurement], quick: bool) -> String {
              \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}, \
              \"cells_per_sec\": {:.3}, \"recomputes\": {}, \"flows\": {}, \
              \"flows_peak\": {}, \"oracle_wall_secs\": {:.6}, \
-             \"speedup_vs_oracle\": {:.2}, \"makespan_ms\": {:.4}}}{}\n",
+             \"speedup_vs_oracle\": {:.2}, \"makespan_ms\": {:.4}, \
+             \"sim_jobs\": {}, \"windows\": {}, \"worker_events_total\": {}, \
+             \"merge_secs\": {:.6}, \"speedup_vs_serial\": {:.2}}}{}\n",
             m.name,
             m.n,
             m.solver,
@@ -303,6 +509,11 @@ pub fn to_json(measurements: &[PerfMeasurement], quick: bool) -> String {
             m.oracle_wall_secs,
             m.speedup_vs_oracle,
             m.makespan_ms,
+            m.sim_jobs,
+            m.windows,
+            m.worker_events_total,
+            m.merge_secs,
+            m.speedup_vs_serial,
             if i + 1 < measurements.len() { "," } else { "" },
         ));
     }
@@ -365,7 +576,33 @@ mod tests {
         assert!(json.contains("\"schema\": \"cm5-bench-sim-perf/2\""));
         assert!(json.contains("\"rex_128\""));
         assert!(json.contains("\"solver\": \"incremental\""));
+        assert!(json.contains("\"sim_jobs\": 1"));
+        assert!(json.contains("\"speedup_vs_serial\": 0.00"));
         assert_eq!(json.matches("\"name\"").count(), 5);
+    }
+
+    #[test]
+    fn no_oracle_skips_the_reference_pass() {
+        let cases = perf_cases();
+        let ms = run_cases_opts(&cases[..1], 1, false);
+        assert_eq!(ms[0].oracle_wall_secs, 0.0);
+        assert_eq!(ms[0].speedup_vs_oracle, 0.0);
+        assert!(ms[0].events > 0);
+    }
+
+    #[test]
+    fn par_measurement_covers_windowed_counters() {
+        // A scaled-down `par_pex_16k`: debug builds can't afford the real
+        // cell, but the measurement path (serial + windowed run, identity
+        // assert, counter extraction) is size-independent.
+        let programs = pex_slice_programs(64, &[1, 2, 32, 33], |i| 128 + i as u64);
+        let m = measure_ops_par("par_smoke", 64, &programs, RateSolver::Incremental, 2);
+        assert_eq!(m.sim_jobs, 2);
+        assert!(m.windows > 0);
+        assert!(m.worker_events_total > 0);
+        assert!(m.speedup_vs_serial > 0.0);
+        let json = to_json(&[m], true);
+        assert!(json.contains("\"sim_jobs\": 2"));
     }
 
     #[test]
@@ -420,6 +657,11 @@ mod tests {
             oracle_wall_secs: 2.0,
             speedup_vs_oracle: 2.0,
             makespan_ms: 1.0,
+            sim_jobs: 1,
+            windows: 0,
+            worker_events_total: 0,
+            merge_secs: 0.0,
+            speedup_vs_serial: 0.0,
         }];
         let failures = check_baseline(&ms, &base);
         assert_eq!(failures.len(), 1);

@@ -212,7 +212,7 @@ fn advise_print(w: &Workload, params: &MachineParams, n: usize) -> Recommendatio
 
 fn cmd_exchange(args: &Args) -> Result<(), String> {
     args.check_flags(&[
-        "alg", "n", "bytes", "machine", "rates", "topology", "async", "render",
+        "alg", "n", "bytes", "machine", "rates", "topology", "async", "render", "sim-jobs",
     ])?;
     let n = args.usize_or("n", 32)?;
     let bytes = args.u64_or("bytes", 1024)?;
@@ -248,6 +248,7 @@ fn cmd_exchange(args: &Args) -> Result<(), String> {
         },
     );
     let report = Simulation::new_on(topo, params)
+        .sim_jobs(args.usize_or("sim-jobs", 1)?)
         .run_ops(&programs)
         .map_err(|e| e.to_string())?;
     print_report(Some(&schedule), &report, n);
@@ -445,9 +446,10 @@ fn cmd_advise(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
-    use cm5_bench::sweep::{run_exchange_grid, run_irregular_grid, SweepRunner};
-    args.check_flags(&["grid", "jobs"])?;
+    use cm5_bench::sweep::{run_exchange_grid_jobs, run_irregular_grid_jobs, SweepRunner};
+    args.check_flags(&["grid", "jobs", "sim-jobs"])?;
     let runner = SweepRunner::new(args.usize_or("jobs", 0)?);
+    let sim_jobs = args.usize_or("sim-jobs", 1)?;
     match args.get("grid").unwrap_or("exchange") {
         "exchange" => {
             println!(
@@ -458,7 +460,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
                 "{:>10} {:>6} {:>8} {:>12} {:>9} {:>12}",
                 "alg", "nodes", "bytes", "makespan_ms", "messages", "wire_bytes"
             );
-            for (cell, r) in run_exchange_grid(&runner) {
+            for (cell, r) in run_exchange_grid_jobs(&runner, sim_jobs) {
                 println!(
                     "{:>10} {:>6} {:>8} {:>12.3} {:>9} {:>12}",
                     cell.alg.name(),
@@ -481,7 +483,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
                 "{:>10} {:>8} {:>8} {:>5} {:>12} {:>9}",
                 "alg", "density", "msg", "seed", "makespan_ms", "messages"
             );
-            for (cell, r) in run_irregular_grid(&runner, &densities, &msgs) {
+            for (cell, r) in run_irregular_grid_jobs(&runner, &densities, &msgs, sim_jobs) {
                 println!(
                     "{:>10} {:>8.2} {:>8} {:>5} {:>12.3} {:>9}",
                     cell.alg.name(),
@@ -506,19 +508,24 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 /// and write the `BENCH_sim.json` artifact.
 fn cmd_bench(args: &Args) -> Result<(), String> {
     use cm5_bench::perf;
-    args.check_flags(&["quick", "json", "large"])?;
+    args.check_flags(&["quick", "json", "large", "no-oracle", "sim-jobs"])?;
     let quick = args.has("quick");
     let reps = if quick { 1 } else { 3 };
+    // `--no-oracle` skips the reference-solver pass (and its makespan
+    // cross-check) — for CI smoke runs that already pay for the oracle in
+    // a separate differential gate.
+    let oracle = !args.has("no-oracle");
     println!(
         "simulator performance suite ({reps} rep{} per grid, best run):",
         if reps == 1 { "" } else { "s" }
     );
     // `--large` adds the 1024/4096/16384-node hierarchical-solver cells
+    // and the windowed-engine `par_*` cells at `--sim-jobs` workers
     // (seconds per cell in a release build; opt-in for that reason).
     let measurements = if args.has("large") {
-        perf::run_perf_suite(reps)
+        perf::run_perf_suite_opts(reps, oracle, args.usize_or("sim-jobs", 4)?)
     } else {
-        perf::run_cases(&perf::perf_cases(), reps)
+        perf::run_cases_opts(&perf::perf_cases(), reps, oracle)
     };
     println!(
         "{:>8} {:>6} {:>13} {:>11} {:>12} {:>10} {:>9}",
@@ -933,6 +940,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "qps",
         "jobs",
         "shards",
+        "sim-jobs",
         "out",
         "metrics-json",
         "timing-json",
@@ -962,7 +970,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
-    let service = Service::new(ServiceConfig { params, shards });
+    let sim_jobs = args.usize_or("sim-jobs", 1)?.max(1);
+    let service = Service::new(ServiceConfig {
+        params,
+        shards,
+        sim_jobs,
+    });
 
     // Replay mode: drive a recorded trace through the worker pool and
     // report sustained QPS (optionally gated against a baseline floor).
@@ -1124,21 +1137,23 @@ cm5 — schedule and simulate CM-5 communication patterns
 
 USAGE:
   cm5 exchange  [--alg lex|pex|rex|bex|auto] [-n N] [--bytes B] [--machine 1992|vector|buffered]
-                [--topology fat-tree|hypercube] [--async] [--render]
+                [--topology fat-tree|hypercube] [--async] [--render] [--sim-jobs N]
   cm5 broadcast [--alg lib|reb|system|auto] [-n N] [--bytes B] [--root R]
   cm5 irregular [--alg ls|ps|bs|gs|crystal|auto] [-n N] [--density D] [--bytes B] [--seed S] [--pattern paper] [--render]
   cm5 workload  [--name cg|euler545|euler2k|euler3k|euler9k] [-n N]
   cm5 advise    exchange|broadcast|irregular [-n N] [--bytes B] [--density D] [--name W]
-  cm5 sweep     [--grid exchange|irregular] [--jobs N]   (0 = one worker per core)
+  cm5 sweep     [--grid exchange|irregular] [--jobs N] [--sim-jobs N]   (0 = one worker per core)
   cm5 lint      [--alg lex|..|bex|lib|reb|ls|..|gs|crystal] [-n N] [--bytes B] [--density D]
                 [--seed S] [--pattern paper] [--pattern-file PATH] [--all] [--json] [--async]
                 [--inject swap-order|drop-recv|retag]
-  cm5 bench     [--quick] [--large] [--json PATH]   (simulator host-cost suite -> BENCH_sim.json;
-                --large adds the 1024/4096/16384-node hierarchical-solver cells)
+  cm5 bench     [--quick] [--large] [--no-oracle] [--sim-jobs N] [--json PATH]
+                (simulator host-cost suite -> BENCH_sim.json; --large adds the
+                1024/4096/16384-node hierarchical cells and the windowed-engine
+                par_* cells; --no-oracle skips the reference-solver pass)
   cm5 trace     [--alg lex|..|bex|lib|reb|ls|..|gs|crystal] [-n N] [--bytes B] [--density D]
                 [--seed S] [--pattern paper] [--pattern-file PATH] [--out trace.json]
                 [--timeline] [--links] [--json] [--width W] [--async]
-  cm5 serve     [--tcp ADDR] [--shards N] [--machine M]            (JSON-lines on stdin/stdout)
+  cm5 serve     [--tcp ADDR] [--shards N] [--sim-jobs N] [--machine M]  (JSON-lines on stdin/stdout)
   cm5 serve     --record PATH [--queries K] [--seed S] [--mix advise|mixed]
   cm5 serve     --replay PATH [--qps N] [--jobs N] [--shards N] [--out PATH]
                 [--metrics-json PATH] [--timing-json PATH] [--bench-json PATH] [--baseline PATH]
@@ -1166,7 +1181,10 @@ Simulating commands also take `--rates full|incremental|hierarchical`
 to select the network rate solver (`full` = the original per-admission
 recompute, kept as an ablation/differential-testing oracle;
 `hierarchical` = subtree-dirty recompute for large fat trees; results
-are bit-identical across all three).
+are bit-identical across all three). `--sim-jobs N` runs each simulation
+on the windowed parallel engine with N workers (1 = serial engine,
+0 = one per core); reports are bit-identical at any worker count, so it
+is purely a wall-clock knob for large runs.
 
 The full paper evaluation: cargo run --release -p cm5-bench --bin report
 ";
@@ -1265,6 +1283,15 @@ mod tests {
         assert!(dispatch(&argv("broadcast --n 8 --render")).is_err());
         assert!(dispatch(&argv("sweep --alg gs")).is_err());
         assert!(dispatch(&argv("advise exchange --root 3")).is_err());
+    }
+
+    #[test]
+    fn sim_jobs_flag_is_accepted_where_it_simulates() {
+        dispatch(&argv("exchange --alg pex --n 8 --bytes 64 --sim-jobs 2")).unwrap();
+        dispatch(&argv("exchange --alg rex --n 8 --bytes 64 --sim-jobs 0")).unwrap();
+        // Non-simulating commands reject it like any unknown flag.
+        assert!(dispatch(&argv("advise exchange --n 8 --sim-jobs 2")).is_err());
+        assert!(dispatch(&argv("exchange --n 8 --sim-jobs nope")).is_err());
     }
 
     #[test]

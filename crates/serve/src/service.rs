@@ -32,7 +32,7 @@ use std::time::Instant;
 use cm5_core::prelude::*;
 use cm5_model::{Advisor, Algorithm, PatternStats, Recommendation, Workload};
 use cm5_obs::{schema_field, Histogram, Metrics};
-use cm5_sim::tenant::{run_tenants, Placement, TenantSpec};
+use cm5_sim::tenant::{run_tenants_jobs, Placement, TenantSpec};
 use cm5_sim::{FatTree, MachineParams, OpProgram, SimReport, Simulation};
 use cm5_verify::{exchange_policy, irregular_policy, verify_programs, verify_schedule, Severity};
 
@@ -51,6 +51,11 @@ pub struct ServiceConfig {
     pub params: MachineParams,
     /// Advisor-cache and verify-memo shard count (≥ 1).
     pub shards: usize,
+    /// Worker threads inside each simulation
+    /// ([`cm5_sim::Simulation::sim_jobs`]; 1 = serial engine). Results are
+    /// bit-identical across values, so this is purely a latency knob for
+    /// large simulate-mode queries.
+    pub sim_jobs: usize,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +63,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             params: MachineParams::cm5_1992(),
             shards: 8,
+            sim_jobs: 1,
         }
     }
 }
@@ -117,6 +123,7 @@ impl Timing {
 #[derive(Debug)]
 pub struct Service {
     params: MachineParams,
+    sim_jobs: usize,
     advisor: Advisor,
     verify_memo: Vec<Mutex<HashMap<u64, VerifySummary>>>,
     counters: Counters,
@@ -131,6 +138,7 @@ impl Service {
         let shards = config.shards.max(1);
         Service {
             params: config.params,
+            sim_jobs: config.sim_jobs.max(1),
             advisor: Advisor::with_shards(shards),
             verify_memo: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             counters: Counters::default(),
@@ -392,6 +400,7 @@ impl Service {
         self.counters.simulations.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
         let report = Simulation::new(n, self.params.clone())
+            .sim_jobs(self.sim_jobs)
             .run_ops(programs)
             .map_err(|e| e.to_string())?;
         Timing::record(&self.timing.simulate_ns, t0);
@@ -453,8 +462,8 @@ impl Service {
         }
         self.counters.simulations.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
-        let report =
-            run_tenants(shared_n, placement, &specs, &self.params).map_err(|e| e.to_string())?;
+        let report = run_tenants_jobs(shared_n, placement, &specs, &self.params, self.sim_jobs)
+            .map_err(|e| e.to_string())?;
         Timing::record(&self.timing.simulate_ns, t0);
         self.sim_makespan_ns
             .lock()

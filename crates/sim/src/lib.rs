@@ -89,6 +89,8 @@ pub use error::SimError;
 pub use ops::{Op, OpProgram, ReduceOp, ANY_TAG};
 pub use params::{FairnessModel, MachineParams, RateSolver, SendMode};
 pub use stats::{NodeReport, RateSample, SimPerf, SimReport, TraceEvent, TraceKind, TraceRing};
-pub use tenant::{run_tenants, Placement, TenantLayout, TenantReport, TenantSlice, TenantSpec};
+pub use tenant::{
+    run_tenants, run_tenants_jobs, Placement, TenantLayout, TenantReport, TenantSlice, TenantSpec,
+};
 pub use time::{SimDuration, SimTime};
 pub use topology::{FatTree, Hypercube, LinkDir, LinkId, RouteRef, RouteTable, Topology};

@@ -226,6 +226,16 @@ impl MachineParams {
         self.leaf_bandwidth.min(self.software_bandwidth)
     }
 
+    /// End-to-end cost of a zero-byte message when both sides are ready:
+    /// the paper's 88 µs figure on the 1992 preset. This is the minimum
+    /// time any node-to-node causality needs to propagate, and therefore
+    /// the default conservative window width of the parallel engine
+    /// ([`crate::Simulation::sim_jobs`]).
+    #[inline]
+    pub fn min_message_latency(&self) -> SimDuration {
+        self.send_overhead + self.recv_overhead + self.wire_latency
+    }
+
     /// Validate internal consistency; called by the engine at startup.
     pub fn validate(&self) -> Result<(), String> {
         if self.packet_payload == 0 || self.packet_wire < self.packet_payload {
@@ -287,6 +297,7 @@ mod tests {
         let p = MachineParams::cm5_1992();
         let total = p.send_overhead + p.recv_overhead + p.wire_latency;
         assert_eq!(total, SimDuration::from_micros(88));
+        assert_eq!(p.min_message_latency(), total);
     }
 
     #[test]

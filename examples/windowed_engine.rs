@@ -1,0 +1,90 @@
+//! Measure the windowed parallel engine on one large simulation: speedup
+//! vs worker count, and sensitivity to the time-window width.
+//!
+//! ```sh
+//! cargo run --release -p cm5-examples --example windowed_engine        # 4096 nodes
+//! cargo run --release -p cm5-examples --example windowed_engine 16384
+//! ```
+//!
+//! The workload is the large perf grid's truncated pairwise exchange
+//! (`pex_slice_programs`) under the hierarchical rate solver — the same
+//! cell `report perf` records as `par_pex_16k`. Every run is checked
+//! bit-identical to the serial engine before its time is printed, so the
+//! tables below can never drift from a correct simulation.
+
+use std::time::Instant;
+
+use cm5_bench::perf::pex_slice_programs;
+use cm5_sim::{MachineParams, RateSolver, SimDuration, SimReport, Simulation};
+
+fn params() -> MachineParams {
+    let mut p = MachineParams::cm5_1992();
+    p.rate_solver = RateSolver::Hierarchical;
+    p
+}
+
+fn check(serial: &SimReport, par: &SimReport, what: &str) {
+    assert_eq!(serial.makespan, par.makespan, "{what}: makespan");
+    assert_eq!(serial.wire_bytes, par.wire_bytes, "{what}: wire bytes");
+    assert_eq!(serial.perf.events, par.perf.events, "{what}: events");
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("node count"))
+        .unwrap_or(4096);
+    let strides = [1usize, 2, 3, n / 4, n / 2, n / 2 + 1];
+    let programs = pex_slice_programs(n, &strides, |_| 1024);
+
+    let t0 = Instant::now();
+    let serial = Simulation::new(n, params()).run_ops(&programs).unwrap();
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "truncated PEX, {n} nodes, hierarchical solver: serial {serial_ms:.1} ms, {} events",
+        serial.perf.events
+    );
+
+    println!("\nspeedup vs workers (window width = default 88 us):");
+    println!(
+        "{:>8} {:>10} {:>9} {:>9} {:>10}",
+        "jobs", "wall ms", "windows", "merge ms", "speedup"
+    );
+    for jobs in [1usize, 2, 4, 8] {
+        let t = Instant::now();
+        let r = Simulation::new(n, params())
+            .sim_jobs(jobs)
+            .run_ops(&programs)
+            .unwrap();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        check(&serial, &r, &format!("jobs={jobs}"));
+        println!(
+            "{jobs:>8} {ms:>10.1} {:>9} {:>9.1} {:>9.2}x",
+            r.perf.windows,
+            r.perf.merge_secs * 1e3,
+            serial_ms / ms
+        );
+    }
+
+    println!("\nwindow-width sensitivity (4 workers):");
+    println!(
+        "{:>10} {:>10} {:>9} {:>9} {:>10}",
+        "width us", "wall ms", "windows", "merge ms", "speedup"
+    );
+    for width_us in [11u64, 44, 88, 352, 1408] {
+        let t = Instant::now();
+        let r = Simulation::new(n, params())
+            .sim_jobs(4)
+            .window_width(SimDuration::from_micros(width_us))
+            .run_ops(&programs)
+            .unwrap();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        check(&serial, &r, &format!("width={width_us}us"));
+        println!(
+            "{width_us:>10} {ms:>10.1} {:>9} {:>9.1} {:>9.2}x",
+            r.perf.windows,
+            r.perf.merge_secs * 1e3,
+            serial_ms / ms
+        );
+    }
+}
