@@ -21,6 +21,11 @@
 //! of the windowed-engine `par_*` cells (default 4, minimum 2).
 //! `perf` is excluded from the default section set so default output stays
 //! byte-identical across runs and `--jobs` values (wall-clock never is).
+//! `certify` (opt-in) cross-checks every Fig 5/6–8/10/11 grid point
+//! against `cm5-verify`'s static `[LB, UB]` makespan certificates and
+//! exits nonzero on a containment miss or a regular-exchange tightness
+//! above 2.0× at ≥ 1 KB (the CI certify-smoke gate); `--csv` adds
+//! `certify.csv`.
 //! `--jobs N` fans the grid cells across `N` worker threads (`0` = one per
 //! hardware thread); output is byte-identical to the serial run because
 //! results are merged in canonical grid order before printing.
@@ -170,10 +175,13 @@ fn main() {
     SIM_JOBS.set(sim_jobs).expect("set once");
     BENCH_JSON.set(bench_json).expect("set once");
     TRACE_OUT.set(trace_out).expect("set once");
-    // `beyond` and `perf` are opt-in: the default section set must stay
-    // byte-identical across runs, and perf output includes wall-clock.
+    // `beyond`, `perf` and `certify` are opt-in: the default section set
+    // must stay byte-identical across runs, perf output includes
+    // wall-clock, and certify is a gate (it exits nonzero on a violation)
+    // rather than a reproduction table.
     let want = |s: &str| {
-        args.is_empty() && s != "beyond" && s != "perf" || args.iter().any(|a| a == s || a == "all")
+        args.is_empty() && s != "beyond" && s != "perf" && s != "certify"
+            || args.iter().any(|a| a == s || a == "all")
     };
 
     if want("fig5") {
@@ -202,6 +210,9 @@ fn main() {
     }
     if want("table12") {
         table12();
+    }
+    if want("certify") {
+        certify();
     }
     if want("beyond") {
         beyond();
@@ -704,6 +715,208 @@ fn perf() {
             }
             std::process::exit(1);
         }
+    }
+}
+
+/// One certified grid point: a static `[LB, UB]` makespan interval from
+/// `cm5-verify` next to the simulated makespan it must bracket.
+struct CertRow {
+    fig: &'static str,
+    alg: &'static str,
+    /// Whether the UB/LB ≤ 2.0 tightness gate at ≥ 1 KB applies (the four
+    /// regular exchange algorithms; broadcasts are reported, not gated).
+    gated: bool,
+    n: usize,
+    bytes: u64,
+    lb_ms: f64,
+    ub_ms: f64,
+    sim_ms: f64,
+    tightness: f64,
+    contained: bool,
+}
+
+fn cert_row(
+    fig: &'static str,
+    alg: &'static str,
+    gated: bool,
+    n: usize,
+    bytes: u64,
+    cert: &cm5_verify::Certificate,
+    sim: cm5_sim::SimDuration,
+) -> CertRow {
+    CertRow {
+        fig,
+        alg,
+        gated,
+        n,
+        bytes,
+        lb_ms: cert.lb.as_millis_f64(),
+        ub_ms: cert.ub.as_millis_f64(),
+        sim_ms: sim.as_millis_f64(),
+        tightness: cert.tightness(),
+        contained: cert.contains(sim),
+    }
+}
+
+/// Static certification sweep (`report certify`, opt-in): certify every
+/// Fig 5/6–8/10/11 grid point with `cm5-verify`'s abstract interpreter and
+/// check the simulated makespan lands inside `[LB, UB]`. Exits nonzero on
+/// any containment miss, or if a regular exchange algorithm certifies
+/// looser than 2.0× at ≥ 1 KB — this is the CI certify-smoke gate.
+fn certify() {
+    header(
+        "Certify — static [LB, UB] makespan certificates vs simulation",
+        "not in the paper; every simulated Fig 5/6-8/10/11 grid point must \
+         land inside its certified interval, and the four exchange \
+         algorithms must certify within 2.0x at >= 1 KB",
+    );
+    enum Cell {
+        Exchange(&'static str, ExchangeAlg, usize, u64),
+        Broadcast(&'static str, BroadcastAlg, usize, u64),
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+    for &bytes in &FIG5_MSG_SIZES {
+        for alg in ExchangeAlg::ALL {
+            cells.push(Cell::Exchange("fig5", alg, 32, bytes));
+        }
+    }
+    for &(fig, bytes) in &[("fig6", 0u64), ("fig6", 256), ("fig7", 512), ("fig8", 1920)] {
+        for &n in &MACHINE_SIZES {
+            for alg in ExchangeAlg::ALL {
+                cells.push(Cell::Exchange(fig, alg, n, bytes));
+            }
+        }
+    }
+    for &bytes in &FIG10_MSG_SIZES {
+        for alg in BroadcastAlg::ALL {
+            cells.push(Cell::Broadcast("fig10", alg, 32, bytes));
+        }
+    }
+    for &bytes in &[256u64, 1024, 2048, 8192] {
+        for &n in &MACHINE_SIZES {
+            for alg in [BroadcastAlg::Recursive, BroadcastAlg::System] {
+                cells.push(Cell::Broadcast("fig11", alg, n, bytes));
+            }
+        }
+    }
+    let params = MachineParams::cm5_1992();
+    let rows: Vec<CertRow> = runner().run(&cells, |_, cell| match *cell {
+        Cell::Exchange(fig, alg, n, bytes) => {
+            let cert = cm5_verify::certify_schedule(
+                &alg.schedule(n, bytes),
+                &LowerOptions::default(),
+                &params,
+            )
+            .unwrap_or_else(|e| panic!("certify {} n={n} bytes={bytes}: {e}", alg.name()));
+            cert_row(
+                fig,
+                alg.name(),
+                true,
+                n,
+                bytes,
+                &cert,
+                exchange_time(alg, n, bytes),
+            )
+        }
+        Cell::Broadcast(fig, alg, n, bytes) => {
+            let programs = broadcast_programs(alg, n, 0, bytes);
+            let cert = cm5_verify::certify_programs(&programs, &params)
+                .unwrap_or_else(|e| panic!("certify {} n={n} bytes={bytes}: {e}", alg.name()));
+            cert_row(
+                fig,
+                alg.name(),
+                false,
+                n,
+                bytes,
+                &cert,
+                broadcast_time(alg, n, bytes),
+            )
+        }
+    });
+
+    let mut failures = Vec::new();
+    for r in &rows {
+        if !r.contained {
+            failures.push(format!(
+                "{} {} n={} bytes={}: simulated {:.3} ms outside [{:.3}, {:.3}] ms",
+                r.fig, r.alg, r.n, r.bytes, r.sim_ms, r.lb_ms, r.ub_ms
+            ));
+        }
+    }
+    println!(
+        "{:>10} {:>6} {:>10} {:>12} {:>18}",
+        "algorithm", "cells", "contained", "worst UB/LB", "worst UB/LB >=1KB"
+    );
+    let mut algs: Vec<&'static str> = Vec::new();
+    for r in &rows {
+        if !algs.contains(&r.alg) {
+            algs.push(r.alg);
+        }
+    }
+    for alg in algs {
+        let sel: Vec<&CertRow> = rows.iter().filter(|r| r.alg == alg).collect();
+        let contained = sel.iter().filter(|r| r.contained).count();
+        let worst = sel.iter().map(|r| r.tightness).fold(0.0f64, f64::max);
+        let worst_big = sel
+            .iter()
+            .filter(|r| r.bytes >= 1024)
+            .map(|r| r.tightness)
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:>10} {:>6} {:>10} {:>12.3} {:>18.3}",
+            alg,
+            sel.len(),
+            contained,
+            worst,
+            worst_big
+        );
+        if sel.iter().any(|r| r.gated) && worst_big > 2.0 {
+            failures.push(format!(
+                "{alg}: worst UB/LB at >= 1 KB is {worst_big:.3}, above the 2.0 gate"
+            ));
+        }
+    }
+    write_csv(
+        "certify",
+        &[
+            "figure",
+            "algorithm",
+            "nodes",
+            "bytes",
+            "lb_ms",
+            "ub_ms",
+            "sim_ms",
+            "tightness",
+            "contained",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.fig.to_string(),
+                    r.alg.to_string(),
+                    r.n.to_string(),
+                    r.bytes.to_string(),
+                    format!("{:.4}", r.lb_ms),
+                    format!("{:.4}", r.ub_ms),
+                    format!("{:.4}", r.sim_ms),
+                    format!("{:.4}", r.tightness),
+                    r.contained.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    if failures.is_empty() {
+        println!(
+            "certify gate: PASS — {} grid points contained, exchange tightness <= 2.0 at >= 1 KB",
+            rows.len()
+        );
+    } else {
+        println!("certify gate: FAIL");
+        for f in &failures {
+            println!("  {f}");
+        }
+        std::process::exit(1);
     }
 }
 

@@ -634,7 +634,85 @@ fn lint_all_targets(params: &MachineParams) -> Vec<LintTarget> {
         Some(pattern),
         with_params(cm5_verify::VerifyOptions::default()),
     ));
+    // Multi-tenant placements: two 8-node tenants running PEX inside one
+    // 32-node machine, remapped by each placement policy. The merged
+    // schedule must still pass step-disjointness (each global node appears
+    // once per step) — but not the permutation lint, since only 16 of the
+    // 32 shared nodes participate.
+    for placement in [cm5_sim::Placement::Subtree, cm5_sim::Placement::Striped] {
+        targets.push(LintTarget::new(
+            format!("pex 2x8 tenants placement={}", placement.name()),
+            tenant_merged_schedule(32, &[8, 8], placement),
+            None,
+            with_params(cm5_verify::VerifyOptions {
+                expect_disjoint: true,
+                ..cm5_verify::VerifyOptions::default()
+            }),
+        ));
+    }
     targets
+}
+
+/// Remap one 8-node PEX schedule per tenant onto the shared machine and
+/// merge the tenants step-wise — the schedule a multi-tenant run actually
+/// presents to the network.
+fn tenant_merged_schedule(
+    shared_n: usize,
+    sizes: &[usize],
+    placement: cm5_sim::Placement,
+) -> Schedule {
+    let layout =
+        cm5_sim::TenantLayout::new(shared_n, sizes, placement).expect("builtin tenant layout fits");
+    let inners: Vec<Schedule> = sizes
+        .iter()
+        .map(|&size| ExchangeAlg::Pex.schedule(size, 1024))
+        .collect();
+    let steps = inners.iter().map(Schedule::num_steps).max().unwrap_or(0);
+    let mut merged = Schedule::new(shared_n);
+    for s in 0..steps {
+        let mut ops = Vec::new();
+        for (t, inner) in inners.iter().enumerate() {
+            let Some(step) = inner.steps().get(s) else {
+                continue;
+            };
+            for op in &step.ops {
+                ops.push(match *op {
+                    CommOp::Exchange {
+                        a,
+                        b,
+                        bytes_ab,
+                        bytes_ba,
+                    } => {
+                        // Striped remapping is not monotone: restore the
+                        // lower-participant-first invariant after mapping.
+                        let (ga, gb) = (layout.global_id(t, a), layout.global_id(t, b));
+                        if ga <= gb {
+                            CommOp::Exchange {
+                                a: ga,
+                                b: gb,
+                                bytes_ab,
+                                bytes_ba,
+                            }
+                        } else {
+                            CommOp::Exchange {
+                                a: gb,
+                                b: ga,
+                                bytes_ab: bytes_ba,
+                                bytes_ba: bytes_ab,
+                            }
+                        }
+                    }
+                    CommOp::Send { from, to, bytes } => CommOp::Send {
+                        from: layout.global_id(t, from),
+                        to: layout.global_id(t, to),
+                        bytes,
+                    },
+                });
+            }
+        }
+        merged.push_step(Step { ops });
+    }
+    merged
 }
 
 /// `cm5 lint` — statically verify a schedule (deadlock freedom, byte
@@ -655,23 +733,39 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
         "machine",
         "all",
         "json",
+        "sarif",
+        "certify",
         "async",
         "inject",
     ])?;
     let params = machine(args)?;
     let json = args.has("json");
+    let sarif = args.has("sarif");
+    if sarif && !json {
+        return Err("--sarif requires --json (it replaces the JSON rendering)".into());
+    }
 
     if args.has("all") {
+        if args.has("certify") {
+            return Err(
+                "--certify applies to a single target; the full-grid check is \
+                 `cargo run --release -p cm5-bench --bin report -- certify`"
+                    .into(),
+            );
+        }
         let targets = lint_all_targets(&params);
         let mut dirty = 0usize;
         let mut rows = Vec::new();
+        let mut reports = Vec::new();
         for t in &targets {
             let report = verify_schedule(&t.schedule, t.pattern.as_ref(), &t.opts);
             let clean = report.is_clean();
             if !clean {
                 dirty += 1;
             }
-            if json {
+            if sarif {
+                reports.push((t.name.clone(), report));
+            } else if json {
                 rows.push(format!(
                     "{{\"target\":\"{}\",\"report\":{}}}",
                     t.name,
@@ -689,7 +783,11 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
                 }
             }
         }
-        if json {
+        if sarif {
+            let refs: Vec<(String, &cm5_verify::Diagnostics)> =
+                reports.iter().map(|(n, r)| (n.clone(), r)).collect();
+            println!("{}", cm5_verify::render_sarif(&refs));
+        } else if json {
             println!("{{\"targets\":[{}],\"dirty\":{dirty}}}", rows.join(","));
         } else {
             println!("{} targets, {} dirty", targets.len(), dirty);
@@ -771,7 +869,12 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
         None => verify_schedule(&schedule, pattern.as_ref(), &opts),
     };
 
-    if json {
+    if sarif {
+        println!(
+            "{}",
+            cm5_verify::render_sarif(&[(format!("{name} n={}", schedule.n()), &report)])
+        );
+    } else if json {
         println!("{}", report.render_json());
     } else {
         println!(
@@ -782,6 +885,20 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
         );
         print!("{}", report.render_human());
     }
+    if args.has("certify") {
+        let cert = cm5_verify::certify_schedule(&schedule, &opts.lower, &opts.params)
+            .map_err(|e| e.to_string())?;
+        if json {
+            println!("{}", cert.render_json());
+        } else {
+            println!(
+                "certify    : makespan in [{}, {}], tightness {:.2}",
+                cert.lb,
+                cert.ub,
+                cert.tightness()
+            );
+        }
+    }
     if report.is_clean() {
         Ok(())
     } else {
@@ -789,6 +906,191 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
             "schedule failed verification: {}",
             report.summary()
         ))
+    }
+}
+
+/// `cm5 certify` — compute a certified makespan interval `[LB, UB]` and
+/// static buffer-occupancy bounds for one schedule, optionally
+/// cross-checked against a simulation (`--sim-check`) — or, with
+/// `--model-check`, exhaustively enumerate the windowed engine's cursor
+/// protocol interleavings and gate on merge-order determinism.
+fn cmd_certify(args: &Args) -> Result<(), String> {
+    args.check_flags(&[
+        "alg",
+        "n",
+        "bytes",
+        "density",
+        "seed",
+        "pattern",
+        "pattern-file",
+        "root",
+        "machine",
+        "rates",
+        "async",
+        "json",
+        "steps",
+        "sim-check",
+        "budget-eager",
+        "budget-pending",
+        "model-check",
+    ])?;
+    let json = args.has("json");
+
+    if args.has("model-check") {
+        let good = cm5_sim::check_cursor_protocol(3);
+        let racy = cm5_sim::check_racy_shared_node(2);
+        if json {
+            println!(
+                "{{{},\"disjoint\":{{\"states\":{},\"terminals\":{},\"outcomes\":{},\"deterministic\":{}}},\
+                 \"racy\":{{\"states\":{},\"terminals\":{},\"outcomes\":{},\"deterministic\":{}}}}}",
+                cm5_obs::schema_field("modelcheck", 1),
+                good.states,
+                good.terminals,
+                good.outcomes,
+                good.deterministic(),
+                racy.states,
+                racy.terminals,
+                racy.outcomes,
+                racy.deterministic(),
+            );
+        } else {
+            println!(
+                "cursor protocol, disjoint ownership: {} states, {} terminal, {} outcome(s) — {}",
+                good.states,
+                good.terminals,
+                good.outcomes,
+                if good.deterministic() {
+                    "deterministic"
+                } else {
+                    "DIVERGENT"
+                }
+            );
+            println!(
+                "cursor protocol, racy shared node  : {} states, {} terminal, {} outcome(s) — {}",
+                racy.states,
+                racy.terminals,
+                racy.outcomes,
+                if racy.deterministic() {
+                    "race NOT detected"
+                } else {
+                    "race detected (expected)"
+                }
+            );
+        }
+        if !good.deterministic() {
+            return Err("windowed-engine cursor protocol diverged under disjoint ownership".into());
+        }
+        if racy.deterministic() {
+            return Err(
+                "the racy fixture produced one outcome — the checker failed to detect races".into(),
+            );
+        }
+        return Ok(());
+    }
+
+    let params = machine(args)?;
+    let schedule = trace_schedule(args)?;
+    let opts = LowerOptions {
+        async_sends: args.has("async"),
+        ..Default::default()
+    };
+    let meta = cm5_core::exec::lower_annotated(&schedule, &opts);
+    let cert = cm5_verify::certify_meta(&meta, &params).map_err(|e| e.to_string())?;
+    let bounds = cm5_verify::occupancy_bounds(&meta.programs, &params);
+
+    if json {
+        println!("{}", cert.render_json());
+    } else {
+        println!(
+            "certify {}: {} nodes, {} steps, {} messages",
+            args.get("alg").unwrap_or("bex"),
+            schedule.n(),
+            schedule.num_steps(),
+            cert.messages
+        );
+        println!(
+            "interval   : [{}, {}]  tightness {:.2}",
+            cert.lb,
+            cert.ub,
+            cert.tightness()
+        );
+        println!(
+            "evidence   : critical path {}, link drain {}, slack {}",
+            cert.critical_path, cert.link_bound, cert.slack
+        );
+        if let Some(b) = &cert.bottleneck {
+            println!(
+                "bottleneck : level {} group {} {}, {} concurrent flows, {} wire B over {:.0} MB/s",
+                b.level,
+                b.group,
+                if b.up { "up" } else { "down" },
+                b.concurrency,
+                b.load_bytes,
+                b.capacity / 1e6
+            );
+        }
+        println!(
+            "occupancy  : eager <= {} B/node, pending <= {} B/node",
+            bounds.max_eager(),
+            bounds.max_pending()
+        );
+        if args.has("steps") {
+            for (s, t) in cert.step_finish.iter().enumerate() {
+                println!("step {s:>2}    : done by {t}");
+            }
+        }
+    }
+
+    let parse_budget = |flag: &str| -> Result<Option<u64>, String> {
+        match args.get(flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{flag} expects bytes, got '{v}'")),
+        }
+    };
+    let budget = cm5_verify::OccupancyBudget {
+        eager_bytes: parse_budget("budget-eager")?,
+        pending_bytes: parse_budget("budget-pending")?,
+    };
+    let occ = bounds.diagnose(&budget);
+    if !occ.is_empty() && !json {
+        print!("{}", occ.render_human());
+    }
+
+    if args.has("sim-check") {
+        let report = Simulation::new(schedule.n(), params.clone())
+            .run_ops(&meta.programs)
+            .map_err(|e| e.to_string())?;
+        if !cert.contains(report.makespan) {
+            return Err(format!(
+                "containment violated: simulated {} outside [{}, {}]",
+                report.makespan, cert.lb, cert.ub
+            ));
+        }
+        let static_bound = bounds.sim_bound();
+        for (node, &peak) in report.buffer_peak.iter().enumerate() {
+            if peak > static_bound[node] {
+                return Err(format!(
+                    "occupancy violated: node {node} buffered {peak} B, static bound {} B",
+                    static_bound[node]
+                ));
+            }
+        }
+        if !json {
+            println!(
+                "sim-check  : simulated {} inside the interval; peak buffer {} B <= bound",
+                report.makespan,
+                report.buffer_peak.iter().max().copied().unwrap_or(0)
+            );
+        }
+    }
+
+    if occ.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("occupancy budget exceeded: {}", occ.summary()))
     }
 }
 
@@ -1144,8 +1446,12 @@ USAGE:
   cm5 advise    exchange|broadcast|irregular [-n N] [--bytes B] [--density D] [--name W]
   cm5 sweep     [--grid exchange|irregular] [--jobs N] [--sim-jobs N]   (0 = one worker per core)
   cm5 lint      [--alg lex|..|bex|lib|reb|ls|..|gs|crystal] [-n N] [--bytes B] [--density D]
-                [--seed S] [--pattern paper] [--pattern-file PATH] [--all] [--json] [--async]
-                [--inject swap-order|drop-recv|retag]
+                [--seed S] [--pattern paper] [--pattern-file PATH] [--all] [--json] [--sarif]
+                [--certify] [--async] [--inject swap-order|drop-recv|retag]
+  cm5 certify   [--alg lex|..|bex|lib|reb|ls|..|gs|crystal] [-n N] [--bytes B] [--density D]
+                [--seed S] [--pattern paper] [--pattern-file PATH] [--async] [--json] [--steps]
+                [--sim-check] [--budget-eager B] [--budget-pending B]
+  cm5 certify   --model-check [--json]
   cm5 bench     [--quick] [--large] [--no-oracle] [--sim-jobs N] [--json PATH]
                 (simulator host-cost suite -> BENCH_sim.json; --large adds the
                 1024/4096/16384-node hierarchical cells and the windowed-engine
@@ -1163,8 +1469,19 @@ the prediction table without running the simulator.
 `cm5 lint` statically verifies a schedule before it runs: CMMD deadlock
 analysis, byte conservation against the pattern, step-shape lints, and
 predicted fat-tree hotspots. `--all` sweeps every builtin generator
-(the CI gate); `--inject` deliberately breaks the lowered programs to
-demonstrate a finding.
+(the CI gate, including the multi-tenant Subtree/Striped placements);
+`--inject` deliberately breaks the lowered programs to demonstrate a
+finding. `--json --sarif` renders the findings as a SARIF 2.1.0 log for
+code-review tooling; `--certify` appends a certified makespan interval.
+`cm5 certify` statically computes a makespan interval [LB, UB] plus
+per-node buffer-occupancy bounds from the lowered programs alone:
+`--sim-check` runs the simulator and fails unless the measured makespan
+lands inside the interval and measured peak buffering stays under the
+static bound; `--budget-eager`/`--budget-pending` gate the bounds
+against a byte budget (V040/V041); `--steps` prints the per-step
+critical-path transcript; `--model-check` instead exhaustively
+enumerates the windowed engine's shared-cursor interleavings (2-worker
+model, atomic-step granularity) and fails on any merge-order divergence.
 `cm5 serve` runs the scheduling service: one JSON request per line
 (`{\"id\":1,\"query\":{\"kind\":\"exchange\",\"n\":32,\"bytes\":1024},\"verify\":true}`),
 one schema-stamped response line back. `--record` writes a deterministic
@@ -1199,6 +1516,7 @@ fn dispatch(raw: &[String]) -> Result<(), String> {
         Some("advise") => cmd_advise(&args),
         Some("sweep") => cmd_sweep(&args),
         Some("lint") => cmd_lint(&args),
+        Some("certify") => cmd_certify(&args),
         Some("bench") => cmd_bench(&args),
         Some("trace") => cmd_trace(&args),
         Some("serve") => cmd_serve(&args),
@@ -1414,6 +1732,61 @@ mod tests {
     fn lint_all_sweeps_every_builtin() {
         dispatch(&argv("lint --all")).unwrap();
         dispatch(&argv("lint --all --json")).unwrap();
+    }
+
+    #[test]
+    fn lint_sarif_and_certify_flags() {
+        dispatch(&argv("lint --all --json --sarif")).unwrap();
+        dispatch(&argv("lint --alg pex --n 8 --json --sarif")).unwrap();
+        dispatch(&argv("lint --alg pex --n 8 --certify")).unwrap();
+        dispatch(&argv("lint --alg pex --n 8 --json --certify")).unwrap();
+        // --sarif without --json, and --certify with --all, are refused.
+        assert!(dispatch(&argv("lint --alg pex --n 8 --sarif")).is_err());
+        assert!(dispatch(&argv("lint --all --certify")).is_err());
+    }
+
+    #[test]
+    fn tenant_placements_are_in_the_lint_matrix() {
+        let targets = lint_all_targets(&MachineParams::cm5_1992());
+        for placement in ["subtree", "striped"] {
+            let name = format!("pex 2x8 tenants placement={placement}");
+            let t = targets
+                .iter()
+                .find(|t| t.name == name)
+                .unwrap_or_else(|| panic!("missing lint target {name}"));
+            assert_eq!(t.schedule.n(), 32);
+            let report = cm5_verify::verify_schedule(&t.schedule, None, &t.opts);
+            assert!(report.is_clean(), "{name}: {}", report.render_human());
+        }
+    }
+
+    #[test]
+    fn certify_command_runs_and_gates() {
+        dispatch(&argv("certify --alg pex --n 8 --bytes 1024")).unwrap();
+        dispatch(&argv("certify --alg lex --n 8 --bytes 256 --steps")).unwrap();
+        dispatch(&argv("certify --alg pex --n 8 --bytes 256 --sim-check")).unwrap();
+        dispatch(&argv("certify --alg gs --n 8 --pattern paper --sim-check")).unwrap();
+        dispatch(&argv("certify --alg pex --n 8 --json")).unwrap();
+        dispatch(&argv(
+            "certify --alg pex --n 8 --machine buffered --sim-check",
+        ))
+        .unwrap();
+        // A tight eager budget must flip the exit status (buffered mode
+        // actually buffers; V040 findings are warnings -> dirty).
+        assert!(dispatch(&argv(
+            "certify --alg pex --n 8 --machine buffered --budget-eager 64"
+        ))
+        .is_err());
+        // Rendezvous blocking sends never buffer: generous budget passes.
+        dispatch(&argv("certify --alg pex --n 8 --budget-pending 1")).unwrap();
+        assert!(dispatch(&argv("certify --alg zzz")).is_err());
+        assert!(dispatch(&argv("certify --alg pex --budget-eager lots")).is_err());
+    }
+
+    #[test]
+    fn certify_model_check_gates_the_cursor_protocol() {
+        dispatch(&argv("certify --model-check")).unwrap();
+        dispatch(&argv("certify --model-check --json")).unwrap();
     }
 
     #[test]

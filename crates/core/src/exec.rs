@@ -40,8 +40,28 @@ pub fn lower(schedule: &Schedule) -> Vec<OpProgram> {
     lower_with(schedule, &LowerOptions::default())
 }
 
+/// A lowered schedule plus per-op provenance, the metadata the static
+/// certifier ([`cm5-verify`]'s abstract interpreter) needs to report
+/// per-step critical paths: `step_of[node][i]` is the schedule step that
+/// produced op `i` of `programs[node]`. The trailing `WaitAll` of async
+/// lowering belongs to no step and maps to `schedule.num_steps()`.
+#[derive(Debug, Clone)]
+pub struct LoweredMeta {
+    /// Per-node op programs, identical to [`lower_with`]'s output.
+    pub programs: Vec<OpProgram>,
+    /// Schedule-step provenance of every op, parallel to `programs`.
+    pub step_of: Vec<Vec<usize>>,
+    /// Number of schedule steps the programs were lowered from.
+    pub num_steps: usize,
+}
+
 /// Lower a schedule to per-node op programs.
 pub fn lower_with(schedule: &Schedule, opts: &LowerOptions) -> Vec<OpProgram> {
+    lower_annotated(schedule, opts).programs
+}
+
+/// Lower a schedule, keeping the op → schedule-step provenance.
+pub fn lower_annotated(schedule: &Schedule, opts: &LowerOptions) -> LoweredMeta {
     let n = schedule.n();
     let saf = schedule.store_and_forward;
     let send_op = |to: usize, bytes: u64, tag: u32| -> Op {
@@ -51,19 +71,21 @@ pub fn lower_with(schedule: &Schedule, opts: &LowerOptions) -> Vec<OpProgram> {
             Op::Send { to, bytes, tag }
         }
     };
-    let mut programs: Vec<OpProgram> = vec![Vec::new(); n];
+    // Build (op, step) pairs in lockstep so the provenance cannot drift
+    // from the program.
+    let mut tagged: Vec<Vec<(Op, usize)>> = vec![Vec::new(); n];
     for (s, step) in schedule.steps().iter().enumerate() {
         let tag = s as u32;
         for op in &step.ops {
             match *op {
                 CommOp::Send { from, to, bytes } => {
                     if saf {
-                        programs[from].push(Op::Memcpy { bytes });
+                        tagged[from].push((Op::Memcpy { bytes }, s));
                     }
-                    programs[from].push(send_op(to, bytes, tag));
-                    programs[to].push(Op::Recv { from, tag });
+                    tagged[from].push((send_op(to, bytes, tag), s));
+                    tagged[to].push((Op::Recv { from, tag }, s));
                     if saf {
-                        programs[to].push(Op::Memcpy { bytes });
+                        tagged[to].push((Op::Memcpy { bytes }, s));
                     }
                 }
                 CommOp::Exchange {
@@ -75,36 +97,47 @@ pub fn lower_with(schedule: &Schedule, opts: &LowerOptions) -> Vec<OpProgram> {
                     if saf {
                         // Figure 3 ordering: the lower node packs and sends
                         // first; the higher receives, unpacks, packs, sends.
-                        programs[a].push(Op::Memcpy { bytes: bytes_ab });
-                        programs[a].push(send_op(b, bytes_ab, tag));
-                        programs[a].push(Op::Recv { from: b, tag });
-                        programs[a].push(Op::Memcpy { bytes: bytes_ba });
-                        programs[b].push(Op::Recv { from: a, tag });
-                        programs[b].push(Op::Memcpy { bytes: bytes_ab });
-                        programs[b].push(Op::Memcpy { bytes: bytes_ba });
-                        programs[b].push(send_op(a, bytes_ba, tag));
+                        tagged[a].push((Op::Memcpy { bytes: bytes_ab }, s));
+                        tagged[a].push((send_op(b, bytes_ab, tag), s));
+                        tagged[a].push((Op::Recv { from: b, tag }, s));
+                        tagged[a].push((Op::Memcpy { bytes: bytes_ba }, s));
+                        tagged[b].push((Op::Recv { from: a, tag }, s));
+                        tagged[b].push((Op::Memcpy { bytes: bytes_ab }, s));
+                        tagged[b].push((Op::Memcpy { bytes: bytes_ba }, s));
+                        tagged[b].push((send_op(a, bytes_ba, tag), s));
                     } else {
                         // Figure 2 ordering: the lower node receives first.
-                        programs[a].push(Op::Recv { from: b, tag });
-                        programs[a].push(send_op(b, bytes_ab, tag));
-                        programs[b].push(send_op(a, bytes_ba, tag));
-                        programs[b].push(Op::Recv { from: a, tag });
+                        tagged[a].push((Op::Recv { from: b, tag }, s));
+                        tagged[a].push((send_op(b, bytes_ab, tag), s));
+                        tagged[b].push((send_op(a, bytes_ba, tag), s));
+                        tagged[b].push((Op::Recv { from: a, tag }, s));
                     }
                 }
             }
         }
         if opts.barrier_between_steps {
-            for prog in programs.iter_mut() {
-                prog.push(Op::Barrier);
+            for prog in tagged.iter_mut() {
+                prog.push((Op::Barrier, s));
             }
         }
     }
     if opts.async_sends {
-        for prog in programs.iter_mut() {
-            prog.push(Op::WaitAll);
+        for prog in tagged.iter_mut() {
+            prog.push((Op::WaitAll, schedule.num_steps()));
         }
     }
-    programs
+    let mut programs: Vec<OpProgram> = Vec::with_capacity(n);
+    let mut step_of: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for prog in tagged {
+        let (ops, steps): (Vec<Op>, Vec<usize>) = prog.into_iter().unzip();
+        programs.push(ops);
+        step_of.push(steps);
+    }
+    LoweredMeta {
+        programs,
+        step_of,
+        num_steps: schedule.num_steps(),
+    }
 }
 
 /// Lower and run a schedule on a fresh simulation with `params`.
@@ -369,6 +402,43 @@ pub fn broadcast_payload(node: &CmmdNode, alg: BroadcastAlg, root: usize, data: 
 mod tests {
     use super::*;
     use cm5_sim::ANY_TAG;
+
+    /// `lower_annotated` must tag every op with its schedule step, in
+    /// lockstep with the programs `lower_with` produces — the provenance
+    /// the static certifier's per-step transcript depends on.
+    #[test]
+    fn lower_annotated_provenance_is_in_lockstep() {
+        for opts in [
+            LowerOptions::default(),
+            LowerOptions {
+                barrier_between_steps: true,
+                ..Default::default()
+            },
+            LowerOptions {
+                async_sends: true,
+                ..Default::default()
+            },
+        ] {
+            let schedule = crate::regular::pex(8, 256);
+            let meta = lower_annotated(&schedule, &opts);
+            assert_eq!(meta.programs, lower_with(&schedule, &opts));
+            assert_eq!(meta.num_steps, schedule.num_steps());
+            for (node, prog) in meta.programs.iter().enumerate() {
+                assert_eq!(meta.step_of[node].len(), prog.len(), "node {node}");
+                // Steps are non-decreasing along each program; the trailing
+                // WaitAll of async lowering is tagged one past the last step.
+                let mut prev = 0;
+                for &s in &meta.step_of[node] {
+                    assert!(s >= prev, "node {node}: step regressed");
+                    assert!(s <= schedule.num_steps());
+                    prev = s;
+                }
+                if opts.async_sends {
+                    assert_eq!(*meta.step_of[node].last().unwrap(), schedule.num_steps());
+                }
+            }
+        }
+    }
 
     #[test]
     fn lower_simple_send() {

@@ -636,6 +636,10 @@ struct Engine<'a, S: ProgramSource> {
     wire_bytes: u64,
     root_crossings: u64,
     collectives_done: u64,
+    /// Currently buffered payload bytes per node (mailbox + parked async
+    /// sends) and the running peak — the occupancy differential.
+    buf_cur: Vec<u64>,
+    buf_peak: Vec<u64>,
     trace: TraceRing,
     record_trace: bool,
     /// Worker pool state; `Some` turns `run` into the windowed merge loop.
@@ -704,6 +708,8 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
             wire_bytes: 0,
             root_crossings: 0,
             collectives_done: 0,
+            buf_cur: vec![0; n],
+            buf_peak: vec![0; n],
             trace: match (obs.record_trace, obs.trace_capacity) {
                 (false, _) => TraceRing::default(),
                 (true, Some(cap)) => TraceRing::bounded(cap),
@@ -977,6 +983,14 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
         }
     }
 
+    /// Charge `bytes` of buffered payload to `node` and update its peak.
+    fn buf_charge(&mut self, node: usize, bytes: u64) {
+        self.buf_cur[node] += bytes;
+        if self.buf_cur[node] > self.buf_peak[node] {
+            self.buf_peak[node] = self.buf_cur[node];
+        }
+    }
+
     fn report(&mut self) -> SimReport {
         let makespan = self
             .nodes
@@ -997,6 +1011,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
             trace: self.trace.take_events(),
             trace_dropped: self.trace.dropped(),
             rate_samples: self.network.take_rate_samples(),
+            buffer_peak: self.buf_peak.clone(),
             perf: SimPerf {
                 events: self.events_processed,
                 recomputes: self.network.recompute_count(),
@@ -1191,6 +1206,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
                         Some(req.handle),
                     );
                 } else {
+                    self.buf_charge(dst, req.bytes);
                     self.async_by_dst[dst].push(req);
                 }
             }
@@ -1257,6 +1273,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
                 // 1) Eager mailbox (completed, unclaimed messages).
                 if let Some(pos) = self.mailbox_match(node, from, tag) {
                     let msg = self.arrived[node].remove(pos);
+                    self.buf_cur[node] = self.buf_cur[node].saturating_sub(msg.bytes);
                     self.resume_node(
                         node,
                         t,
@@ -1297,6 +1314,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
                 if use_async {
                     let req =
                         self.async_by_dst[node].remove(async_pos.expect("async candidate present"));
+                    self.buf_cur[node] = self.buf_cur[node].saturating_sub(req.bytes);
                     self.start_message(
                         t,
                         req.src,
@@ -1534,6 +1552,7 @@ impl<'a, S: ProgramSource> Engine<'a, S> {
             // Receiver side: under rendezvous a receive was already matched;
             // under eager the message may land in the mailbox.
             if msg.eager && !msg.recv_claimed {
+                self.buf_charge(msg.dst, msg.bytes);
                 self.arrived[msg.dst].push(ArrivedMsg {
                     msg_id: flow.token,
                     src: msg.src,

@@ -85,6 +85,11 @@ pub struct SimReport {
     /// (enabled via [`crate::engine::Simulation::record_rates`]); one entry
     /// per rate recomputation, empty when disabled.
     pub rate_samples: Vec<RateSample>,
+    /// Peak buffered payload bytes per node over the run: eager messages
+    /// resident in the mailbox plus non-blocking rendezvous sends parked at
+    /// the destination. The differential for `cm5-verify`'s static
+    /// occupancy bounds — measured peaks must never exceed them.
+    pub buffer_peak: Vec<u64>,
     /// Host-side performance counters for the run (never part of the
     /// simulated results; excluded from determinism comparisons).
     pub perf: SimPerf,

@@ -1,0 +1,1058 @@
+//! Static makespan certification: a whole-program abstract interpreter
+//! over lowered schedule programs.
+//!
+//! The paper's thesis is that schedule *structure* determines completion
+//! time on the fat tree — so completion time should be provable from the
+//! program text alone. This module computes a certified makespan interval
+//! `[LB, UB]` for any lowered [`OpProgram`] set by replaying the programs
+//! through a discrete abstract executor that mirrors the simulator's
+//! matching and charging semantics exactly (send/recv software overheads,
+//! rendezvous vs eager matching, wire latency, collective fences), but
+//! prices every transfer with a *closed-form* rate instead of the dynamic
+//! max-min flow solver:
+//!
+//! * **Lower bound** — the optimistic replay gives every message the best
+//!   rate it could ever see: `min(flow_cap, min over route links of
+//!   capacity)`. Because the real solver can never beat the per-flow cap
+//!   and matching of named-source receives is structural (timing cannot
+//!   change *who* matches *whom*), event times in the real run dominate the
+//!   optimistic replay — this is the dependency-critical-path bound. It is
+//!   combined with the aggregate link-load bound `max_l (total wire bytes
+//!   over l) / capacity_l`: no run can finish before its most loaded link
+//!   drains.
+//! * **Upper bound** — the pessimistic replay prices each message at
+//!   `min(flow_cap, min over route links of capacity_l / U_l)` where `U_l`
+//!   bounds the number of flows that can *ever* cross link `l`
+//!   concurrently: under blocking rendezvous each sender has at most one
+//!   outbound and each receiver at most one inbound flow in flight, so
+//!   `U_l = min(#distinct senders over l, #distinct receivers over l)`;
+//!   with non-blocking sends only the receiver side survives
+//!   (`U_l = #receivers`); under eager sends neither does (`U_l = #messages`).
+//!   Max-min fairness guarantees every flow at least
+//!   `min(flow_cap, capacity_l / concurrent_l)` at each instant, and
+//!   `concurrent_l ≤ U_l` always, so by induction over the (fixed) matching
+//!   DAG every real event time is dominated by the pessimistic replay.
+//!
+//! Both bounds are padded by a small rounding slack (a few nanoseconds per
+//! event) so integer-nanosecond rounding drift between the replay and the
+//! flow solver's piecewise byte integration can never produce a false
+//! containment failure.
+//!
+//! The certificate also carries per-step finish times from the optimistic
+//! replay (when lowered with provenance, [`LoweredMeta`]) — the per-step
+//! critical-path transcript `cm5 certify` prints.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use cm5_core::exec::{lower_annotated, LowerOptions, LoweredMeta};
+use cm5_core::schedule::Schedule;
+use cm5_sim::{FatTree, LinkDir, MachineParams, Op, OpProgram, SendMode, SimDuration, SimTime};
+
+/// Why a program set cannot be certified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertifyError {
+    /// The programs use a construct outside the certifiable fragment
+    /// (wildcard receives, out-of-range nodes, duplicate message keys).
+    Unsupported(String),
+    /// The abstract execution got stuck: the programs deadlock under
+    /// blocking semantics (run `cm5 lint` for the witness).
+    Stuck(String),
+}
+
+impl fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertifyError::Unsupported(m) => write!(f, "uncertifiable program: {m}"),
+            CertifyError::Stuck(m) => write!(f, "abstract execution stuck: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+/// The most contended link of the pessimistic pricing — the static
+/// bottleneck the certificate blames the `UB/LB` gap on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bottleneck {
+    /// Tree level of the link (0 = leaf).
+    pub level: u32,
+    /// Group index at that level.
+    pub group: usize,
+    /// Whether the link points up (towards the root).
+    pub up: bool,
+    /// The concurrency bound `U_l` used to price flows over this link.
+    pub concurrency: u64,
+    /// Total wire bytes routed over the link.
+    pub load_bytes: u64,
+    /// Link capacity, bytes/second.
+    pub capacity: f64,
+}
+
+/// A certified makespan interval plus the evidence behind it.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// Certified lower bound: the simulated makespan cannot be below this.
+    pub lb: SimDuration,
+    /// Certified upper bound: the simulated makespan cannot exceed this.
+    pub ub: SimDuration,
+    /// The optimistic replay's makespan (dependency critical path).
+    pub critical_path: SimDuration,
+    /// The aggregate link-drain bound `max_l load_l / capacity_l`.
+    pub link_bound: SimDuration,
+    /// Rounding slack subtracted from `lb` and added to `ub`.
+    pub slack: SimDuration,
+    /// Point-to-point messages the programs post.
+    pub messages: u64,
+    /// User bytes the programs move point-to-point.
+    pub payload_bytes: u64,
+    /// Worst ratio of optimistic to pessimistic per-message rate.
+    pub max_stretch: f64,
+    /// The statically most contended link (None for message-free programs).
+    pub bottleneck: Option<Bottleneck>,
+    /// Optimistic-replay finish time per schedule step (empty when the
+    /// programs were certified without lowering provenance).
+    pub step_finish: Vec<SimDuration>,
+}
+
+impl Certificate {
+    /// Interval tightness `UB / LB` (1.0 for an empty program).
+    pub fn tightness(&self) -> f64 {
+        if self.lb.as_nanos() == 0 {
+            if self.ub.as_nanos() == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.ub.as_nanos() as f64 / self.lb.as_nanos() as f64
+        }
+    }
+
+    /// Whether a simulated makespan lands inside the certified interval.
+    pub fn contains(&self, makespan: SimDuration) -> bool {
+        self.lb <= makespan && makespan <= self.ub
+    }
+
+    /// JSON rendering, schema-stamped like every other artifact emitter.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&cm5_obs::schema_field("certify", 1));
+        out.push_str(&format!(
+            ",\"lb_ns\":{},\"ub_ns\":{},\"critical_path_ns\":{},\"link_bound_ns\":{},\"slack_ns\":{},\"tightness\":{:.6},\"messages\":{},\"payload_bytes\":{},\"max_stretch\":{:.6}",
+            self.lb.as_nanos(),
+            self.ub.as_nanos(),
+            self.critical_path.as_nanos(),
+            self.link_bound.as_nanos(),
+            self.slack.as_nanos(),
+            self.tightness(),
+            self.messages,
+            self.payload_bytes,
+            self.max_stretch,
+        ));
+        if let Some(b) = &self.bottleneck {
+            out.push_str(&format!(
+                ",\"bottleneck\":{{\"level\":{},\"group\":{},\"dir\":\"{}\",\"concurrency\":{},\"load_bytes\":{},\"capacity\":{:.0}}}",
+                b.level,
+                b.group,
+                if b.up { "up" } else { "down" },
+                b.concurrency,
+                b.load_bytes,
+                b.capacity,
+            ));
+        }
+        if !self.step_finish.is_empty() {
+            out.push_str(",\"step_finish_ns\":[");
+            for (i, t) in self.step_finish.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&t.as_nanos().to_string());
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Certify a schedule: lower it with `opts` and certify the programs.
+pub fn certify_schedule(
+    schedule: &Schedule,
+    opts: &LowerOptions,
+    params: &MachineParams,
+) -> Result<Certificate, CertifyError> {
+    certify_meta(&lower_annotated(schedule, opts), params)
+}
+
+/// Certify lowered programs that carry step provenance.
+pub fn certify_meta(
+    meta: &LoweredMeta,
+    params: &MachineParams,
+) -> Result<Certificate, CertifyError> {
+    certify(
+        &meta.programs,
+        Some((&meta.step_of, meta.num_steps)),
+        params,
+    )
+}
+
+/// Certify raw per-node programs (no per-step transcript).
+pub fn certify_programs(
+    programs: &[OpProgram],
+    params: &MachineParams,
+) -> Result<Certificate, CertifyError> {
+    certify(programs, None, params)
+}
+
+/// Message key: matching of named-source receives is purely structural.
+type Key = (usize, usize, u32);
+
+/// Static per-link traffic statistics from the pre-pass.
+struct LinkStats {
+    senders: HashSet<usize>,
+    receivers: HashSet<usize>,
+    msgs: u64,
+    load: u64,
+}
+
+/// Everything the pre-pass learns about the programs' network usage.
+struct NetStats {
+    tree: Option<FatTree>,
+    links: Vec<LinkStats>,
+    pairs: HashSet<(usize, usize)>,
+    has_isend: bool,
+    messages: u64,
+    payload_bytes: u64,
+    collectives: u64,
+}
+
+fn analyze(programs: &[OpProgram], params: &MachineParams) -> Result<NetStats, CertifyError> {
+    let n = programs.len();
+    let tree = if n >= 2 { Some(FatTree::new(n)) } else { None };
+    let link_count = tree.as_ref().map_or(0, |t| t.link_count());
+    let mut links: Vec<LinkStats> = (0..link_count)
+        .map(|_| LinkStats {
+            senders: HashSet::new(),
+            receivers: HashSet::new(),
+            msgs: 0,
+            load: 0,
+        })
+        .collect();
+    let mut pairs = HashSet::new();
+    let mut seen_keys: HashSet<Key> = HashSet::new();
+    let mut has_isend = false;
+    let mut messages = 0u64;
+    let mut payload_bytes = 0u64;
+    let mut collectives = 0u64;
+    for (node, prog) in programs.iter().enumerate() {
+        for (i, op) in prog.iter().enumerate() {
+            match *op {
+                Op::Send { to, bytes, tag } | Op::Isend { to, bytes, tag } => {
+                    if to >= n || to == node {
+                        return Err(CertifyError::Unsupported(format!(
+                            "node {node} op {i}: send to invalid destination {to}"
+                        )));
+                    }
+                    if !seen_keys.insert((node, to, tag)) {
+                        return Err(CertifyError::Unsupported(format!(
+                            "node {node} op {i}: duplicate message key {node}->{to} tag {tag} \
+                             (matching order would be timing-dependent)"
+                        )));
+                    }
+                    if matches!(op, Op::Isend { .. }) {
+                        has_isend = true;
+                    }
+                    messages += 1;
+                    payload_bytes += bytes;
+                    let wire = params.wire_bytes(bytes);
+                    let tree = tree.as_ref().expect("n >= 2 when sends exist");
+                    for l in tree.route(node, to) {
+                        links[l].senders.insert(node);
+                        links[l].receivers.insert(to);
+                        links[l].msgs += 1;
+                        links[l].load += wire;
+                    }
+                    pairs.insert((node, to));
+                }
+                Op::Recv { from, tag: _ } if from >= n || from == node => {
+                    return Err(CertifyError::Unsupported(format!(
+                        "node {node} op {i}: recv from invalid source {from}"
+                    )));
+                }
+                Op::Recv { .. } => {}
+                Op::RecvAny { .. } => {
+                    return Err(CertifyError::Unsupported(format!(
+                        "node {node} op {i}: wildcard receive (RecvAny) — matching is \
+                         timing-dependent, outside the certifiable fragment"
+                    )));
+                }
+                Op::Barrier | Op::SystemBcast { .. } | Op::Reduce | Op::Scan => {
+                    collectives += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(NetStats {
+        tree,
+        links,
+        pairs,
+        has_isend,
+        messages,
+        payload_bytes,
+        collectives,
+    })
+}
+
+/// Concurrency bound `U_l` for one link under the programs' send semantics.
+fn concurrency_bound(stats: &LinkStats, mode: SendMode, has_isend: bool) -> u64 {
+    match mode {
+        SendMode::Eager => stats.msgs,
+        SendMode::Rendezvous if has_isend => stats.receivers.len() as u64,
+        SendMode::Rendezvous => stats.senders.len().min(stats.receivers.len()) as u64,
+    }
+}
+
+/// Per-pair closed-form rates: optimistic divides by 1, pessimistic by `U_l`.
+fn rate_map(
+    net: &NetStats,
+    params: &MachineParams,
+    pessimistic: bool,
+) -> HashMap<(usize, usize), f64> {
+    let mut rates = HashMap::with_capacity(net.pairs.len());
+    let Some(tree) = &net.tree else {
+        return rates;
+    };
+    let cap: Vec<f64> = (0..tree.link_count())
+        .map(|idx| tree.link_capacity(tree.link_from_index(idx), params))
+        .collect();
+    for &(src, dst) in &net.pairs {
+        let mut rate = params.flow_cap();
+        for l in tree.route(src, dst) {
+            let div = if pessimistic {
+                concurrency_bound(&net.links[l], params.send_mode, net.has_isend).max(1) as f64
+            } else {
+                1.0
+            };
+            rate = rate.min(cap[l] / div);
+        }
+        rates.insert((src, dst), rate);
+    }
+    rates
+}
+
+/// What a node is currently parked on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    No,
+    Send,
+    Recv,
+    Wait,
+    Collective,
+}
+
+struct NodeSt {
+    pc: usize,
+    clock: SimTime,
+    outstanding: Vec<Option<SimTime>>,
+    blocked: Blocked,
+    coll_count: usize,
+    done: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum CollKind {
+    Barrier,
+    Bcast { root: usize, bytes: u64 },
+    Reduce,
+    Scan,
+}
+
+struct CollSlot {
+    kind: CollKind,
+    arrivals: usize,
+    max: SimTime,
+    members: Vec<usize>,
+}
+
+struct SendEntry {
+    node: usize,
+    ready: SimTime,
+    bytes: u64,
+    /// `Some(handle)` for non-blocking sends, `None` for blocking ones.
+    handle: Option<usize>,
+}
+
+struct RecvEntry {
+    node: usize,
+    posted: SimTime,
+}
+
+struct ReplayOut {
+    makespan: SimDuration,
+    step_finish: Vec<SimDuration>,
+}
+
+/// The abstract executor: a deterministic replay of the programs under
+/// fixed per-message rates. Matching is structural (unique keys), so the
+/// worklist order cannot change the outcome.
+struct Exec<'a> {
+    programs: &'a [OpProgram],
+    step_of: Option<&'a [Vec<usize>]>,
+    params: &'a MachineParams,
+    rates: &'a HashMap<(usize, usize), f64>,
+    /// Pessimistic replays round ambiguous eager resumes up; optimistic
+    /// replays round them down (both directions stay sound).
+    pessimistic: bool,
+    nodes: Vec<NodeSt>,
+    send_wait: HashMap<Key, VecDeque<SendEntry>>,
+    recv_wait: HashMap<Key, VecDeque<RecvEntry>>,
+    eager_done: HashMap<Key, VecDeque<SimTime>>,
+    colls: Vec<CollSlot>,
+    runnable: VecDeque<usize>,
+    queued: Vec<bool>,
+    step_finish: Vec<SimDuration>,
+}
+
+impl<'a> Exec<'a> {
+    fn new(
+        programs: &'a [OpProgram],
+        provenance: Option<(&'a [Vec<usize>], usize)>,
+        params: &'a MachineParams,
+        rates: &'a HashMap<(usize, usize), f64>,
+        pessimistic: bool,
+    ) -> Exec<'a> {
+        let n = programs.len();
+        let (step_of, num_steps) = match provenance {
+            Some((s, k)) => (Some(s), k),
+            None => (None, 0),
+        };
+        Exec {
+            programs,
+            step_of,
+            params,
+            rates,
+            pessimistic,
+            nodes: (0..n)
+                .map(|_| NodeSt {
+                    pc: 0,
+                    clock: SimTime::ZERO,
+                    outstanding: Vec::new(),
+                    blocked: Blocked::No,
+                    coll_count: 0,
+                    done: false,
+                })
+                .collect(),
+            send_wait: HashMap::new(),
+            recv_wait: HashMap::new(),
+            eager_done: HashMap::new(),
+            colls: Vec::new(),
+            runnable: (0..n).collect(),
+            queued: vec![true; n],
+            step_finish: vec![SimDuration::ZERO; num_steps],
+        }
+    }
+
+    fn transfer(&self, src: usize, dst: usize, bytes: u64) -> SimDuration {
+        let rate = *self
+            .rates
+            .get(&(src, dst))
+            .expect("pre-pass saw every pair");
+        SimDuration::from_rate(self.params.wire_bytes(bytes) as f64, rate)
+    }
+
+    /// Record an op completion for the per-step transcript.
+    fn record(&mut self, node: usize, op_idx: usize, t: SimTime) {
+        if let Some(step_of) = self.step_of {
+            if let Some(&s) = step_of[node].get(op_idx) {
+                if s < self.step_finish.len() {
+                    let d = t.since(SimTime::ZERO);
+                    if d > self.step_finish[s] {
+                        self.step_finish[s] = d;
+                    }
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, node: usize) {
+        if !self.queued[node] {
+            self.queued[node] = true;
+            self.runnable.push_back(node);
+        }
+    }
+
+    /// Wake a node parked on a blocking op: the op at `pc - 1` completes at
+    /// `t`.
+    fn wake(&mut self, node: usize, t: SimTime) {
+        self.nodes[node].clock = t;
+        self.nodes[node].blocked = Blocked::No;
+        let op_idx = self.nodes[node].pc - 1;
+        self.record(node, op_idx, t);
+        self.enqueue(node);
+    }
+
+    /// A non-blocking send completed for the sender at `tc`: fill the
+    /// outstanding slot and re-check a parked `WaitAll`.
+    fn complete_async(&mut self, sender: usize, handle: usize, tc: SimTime) {
+        self.nodes[sender].outstanding[handle] = Some(tc);
+        if self.nodes[sender].blocked == Blocked::Wait
+            && self.nodes[sender].outstanding.iter().all(|c| c.is_some())
+        {
+            let resume = self.wait_resume(sender);
+            self.nodes[sender].outstanding.clear();
+            self.wake(sender, resume);
+        }
+    }
+
+    fn wait_resume(&self, node: usize) -> SimTime {
+        let mut t = self.nodes[node].clock;
+        for c in &self.nodes[node].outstanding {
+            t = t.max(c.expect("all completions known"));
+        }
+        t
+    }
+
+    /// Eager receive resume rule. The engine resumes at `r_post` when the
+    /// message already sits in the mailbox and at `tc + λ` when the receive
+    /// claimed it first; the branch is not monotone in `r_post`, so each
+    /// replay takes the sound side: optimistic `max(r_post, tc)` ≤ real ≤
+    /// pessimistic `max(r_post, tc + λ)`.
+    fn eager_resume(&self, r_post: SimTime, tc: SimTime) -> SimTime {
+        if self.pessimistic {
+            r_post.max(tc + self.params.wire_latency)
+        } else {
+            r_post.max(tc)
+        }
+    }
+
+    /// Deliver an eager message posted at `s_post` (transfer fully priced at
+    /// post time): wake a parked receiver or bank the completion.
+    fn eager_deliver(&mut self, key: Key, tc: SimTime) {
+        let waiting = self.recv_wait.get_mut(&key).and_then(|q| q.pop_front());
+        if let Some(r) = waiting {
+            let resume = self.eager_resume(r.posted, tc);
+            self.wake(r.node, resume);
+        } else {
+            self.eager_done.entry(key).or_default().push_back(tc);
+        }
+    }
+
+    fn run(mut self) -> Result<ReplayOut, CertifyError> {
+        while let Some(id) = self.runnable.pop_front() {
+            self.queued[id] = false;
+            if self.nodes[id].done || self.nodes[id].blocked != Blocked::No {
+                continue;
+            }
+            self.step(id)?;
+        }
+        if let Some(stuck) = self.nodes.iter().position(|s| !s.done) {
+            return Err(CertifyError::Stuck(format!(
+                "node {stuck} blocked at op {} ({:?}) with no matching partner",
+                self.nodes[stuck].pc.saturating_sub(1),
+                self.nodes[stuck].blocked,
+            )));
+        }
+        let makespan = self
+            .nodes
+            .iter()
+            .map(|s| s.clock)
+            .fold(SimTime::ZERO, SimTime::max)
+            .since(SimTime::ZERO);
+        Ok(ReplayOut {
+            makespan,
+            step_finish: self.step_finish,
+        })
+    }
+
+    /// Advance one node until it parks or finishes.
+    fn step(&mut self, id: usize) -> Result<(), CertifyError> {
+        let eager = self.params.send_mode == SendMode::Eager;
+        loop {
+            let Some(op) = self.programs[id].get(self.nodes[id].pc) else {
+                self.nodes[id].done = true;
+                return Ok(());
+            };
+            let op = op.clone();
+            self.nodes[id].pc += 1;
+            let op_idx = self.nodes[id].pc - 1;
+            match op {
+                Op::Compute(d) => {
+                    self.nodes[id].clock += d;
+                    let t = self.nodes[id].clock;
+                    self.record(id, op_idx, t);
+                }
+                Op::Memcpy { bytes } => {
+                    self.nodes[id].clock += self.params.memcpy_time(bytes);
+                    let t = self.nodes[id].clock;
+                    self.record(id, op_idx, t);
+                }
+                Op::Flops { flops } => {
+                    self.nodes[id].clock += self.params.flops_time(flops);
+                    let t = self.nodes[id].clock;
+                    self.record(id, op_idx, t);
+                }
+                Op::Send { to, bytes, tag } => {
+                    self.nodes[id].clock += self.params.send_overhead;
+                    let s_post = self.nodes[id].clock;
+                    let key = (id, to, tag);
+                    if eager {
+                        // Transfer starts at post; the sender resumes once
+                        // its bytes are injected at the leaf link rate.
+                        let tc = s_post + self.transfer(id, to, bytes);
+                        self.eager_deliver(key, tc);
+                        self.nodes[id].clock = s_post
+                            + SimDuration::from_rate(
+                                self.params.wire_bytes(bytes) as f64,
+                                self.params.leaf_bandwidth,
+                            );
+                        let t = self.nodes[id].clock;
+                        self.record(id, op_idx, t);
+                    } else {
+                        let waiting = self.recv_wait.get_mut(&key).and_then(|q| q.pop_front());
+                        if let Some(r) = waiting {
+                            let start = s_post.max(r.posted);
+                            let tc = start + self.transfer(id, to, bytes);
+                            self.nodes[id].clock = tc;
+                            self.record(id, op_idx, tc);
+                            self.wake(r.node, tc + self.params.wire_latency);
+                        } else {
+                            self.send_wait.entry(key).or_default().push_back(SendEntry {
+                                node: id,
+                                ready: s_post,
+                                bytes,
+                                handle: None,
+                            });
+                            self.nodes[id].blocked = Blocked::Send;
+                            return Ok(());
+                        }
+                    }
+                }
+                Op::Isend { to, bytes, tag } => {
+                    self.nodes[id].clock += self.params.send_overhead;
+                    let s_post = self.nodes[id].clock;
+                    self.record(id, op_idx, s_post);
+                    let key = (id, to, tag);
+                    let handle = self.nodes[id].outstanding.len();
+                    if eager {
+                        let tc = s_post + self.transfer(id, to, bytes);
+                        self.nodes[id].outstanding.push(Some(tc));
+                        self.eager_deliver(key, tc);
+                    } else {
+                        let waiting = self.recv_wait.get_mut(&key).and_then(|q| q.pop_front());
+                        if let Some(r) = waiting {
+                            let start = s_post.max(r.posted);
+                            let tc = start + self.transfer(id, to, bytes);
+                            self.nodes[id].outstanding.push(Some(tc));
+                            self.wake(r.node, tc + self.params.wire_latency);
+                        } else {
+                            self.nodes[id].outstanding.push(None);
+                            self.send_wait.entry(key).or_default().push_back(SendEntry {
+                                node: id,
+                                ready: s_post,
+                                bytes,
+                                handle: Some(handle),
+                            });
+                        }
+                    }
+                }
+                Op::WaitAll => {
+                    if self.nodes[id].outstanding.iter().all(|c| c.is_some()) {
+                        let resume = self.wait_resume(id);
+                        self.nodes[id].outstanding.clear();
+                        self.nodes[id].clock = resume;
+                        self.record(id, op_idx, resume);
+                    } else {
+                        self.nodes[id].blocked = Blocked::Wait;
+                        return Ok(());
+                    }
+                }
+                Op::Recv { from, tag } => {
+                    self.nodes[id].clock += self.params.recv_overhead;
+                    let r_post = self.nodes[id].clock;
+                    let key = (from, id, tag);
+                    if eager {
+                        let done = self.eager_done.get_mut(&key).and_then(|q| q.pop_front());
+                        if let Some(tc) = done {
+                            self.nodes[id].clock = self.eager_resume(r_post, tc);
+                            let t = self.nodes[id].clock;
+                            self.record(id, op_idx, t);
+                        } else {
+                            self.recv_wait.entry(key).or_default().push_back(RecvEntry {
+                                node: id,
+                                posted: r_post,
+                            });
+                            self.nodes[id].blocked = Blocked::Recv;
+                            return Ok(());
+                        }
+                    } else {
+                        let pending = self.send_wait.get_mut(&key).and_then(|q| q.pop_front());
+                        if let Some(e) = pending {
+                            let start = e.ready.max(r_post);
+                            let tc = start + self.transfer(from, id, e.bytes);
+                            self.nodes[id].clock = tc + self.params.wire_latency;
+                            let t = self.nodes[id].clock;
+                            self.record(id, op_idx, t);
+                            match e.handle {
+                                None => self.wake(e.node, tc),
+                                Some(h) => self.complete_async(e.node, h, tc),
+                            }
+                        } else {
+                            self.recv_wait.entry(key).or_default().push_back(RecvEntry {
+                                node: id,
+                                posted: r_post,
+                            });
+                            self.nodes[id].blocked = Blocked::Recv;
+                            return Ok(());
+                        }
+                    }
+                }
+                Op::RecvAny { .. } => {
+                    return Err(CertifyError::Unsupported(
+                        "wildcard receive reached the executor".into(),
+                    ));
+                }
+                Op::Barrier => return self.collective(id, CollKind::Barrier),
+                Op::SystemBcast { root, bytes } => {
+                    return self.collective(id, CollKind::Bcast { root, bytes })
+                }
+                Op::Reduce => return self.collective(id, CollKind::Reduce),
+                Op::Scan => return self.collective(id, CollKind::Scan),
+            }
+        }
+    }
+
+    /// Park `id` on its next collective; resolve the slot once all nodes
+    /// arrive.
+    fn collective(&mut self, id: usize, kind: CollKind) -> Result<(), CertifyError> {
+        let k = self.nodes[id].coll_count;
+        self.nodes[id].coll_count += 1;
+        if k == self.colls.len() {
+            self.colls.push(CollSlot {
+                kind: kind.clone(),
+                arrivals: 0,
+                max: SimTime::ZERO,
+                members: Vec::new(),
+            });
+        }
+        if self.colls[k].kind != kind {
+            return Err(CertifyError::Stuck(format!(
+                "collective mismatch at ordinal {k}: node {id} posts {kind:?}, others {:?}",
+                self.colls[k].kind,
+            )));
+        }
+        let clock = self.nodes[id].clock;
+        self.colls[k].arrivals += 1;
+        self.colls[k].max = self.colls[k].max.max(clock);
+        self.colls[k].members.push(id);
+        self.nodes[id].blocked = Blocked::Collective;
+        if self.colls[k].arrivals == self.programs.len() {
+            let mut finish = self.colls[k].max + self.params.control_latency;
+            if let CollKind::Bcast { bytes, .. } = self.colls[k].kind {
+                finish = finish
+                    + self.params.system_bcast_overhead
+                    + SimDuration::from_rate(
+                        self.params.wire_bytes(bytes) as f64,
+                        self.params.system_bcast_bandwidth,
+                    );
+            }
+            let members = std::mem::take(&mut self.colls[k].members);
+            for m in members {
+                self.wake(m, finish);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn certify(
+    programs: &[OpProgram],
+    provenance: Option<(&[Vec<usize>], usize)>,
+    params: &MachineParams,
+) -> Result<Certificate, CertifyError> {
+    let net = analyze(programs, params)?;
+    let opt_rates = rate_map(&net, params, false);
+    let pess_rates = rate_map(&net, params, true);
+    let optimistic = Exec::new(programs, provenance, params, &opt_rates, false).run()?;
+    let pessimistic = Exec::new(programs, provenance, params, &pess_rates, true).run()?;
+
+    // Aggregate drain bound and the static bottleneck link.
+    let mut link_bound = SimDuration::ZERO;
+    let mut bottleneck = None;
+    if let Some(tree) = &net.tree {
+        for (idx, stats) in net.links.iter().enumerate() {
+            if stats.load == 0 {
+                continue;
+            }
+            let link = tree.link_from_index(idx);
+            let cap = tree.link_capacity(link, params);
+            let drain = SimDuration::from_rate(stats.load as f64, cap);
+            if drain > link_bound {
+                link_bound = drain;
+                bottleneck = Some(Bottleneck {
+                    level: link.level,
+                    group: link.group,
+                    up: link.dir == LinkDir::Up,
+                    concurrency: concurrency_bound(stats, params.send_mode, net.has_isend),
+                    load_bytes: stats.load,
+                    capacity: cap,
+                });
+            }
+        }
+    }
+
+    let mut max_stretch = 1.0f64;
+    for (pair, opt) in &opt_rates {
+        let pess = pess_rates[pair];
+        if pess > 0.0 {
+            max_stretch = max_stretch.max(opt / pess);
+        }
+    }
+
+    // Integer-nanosecond rounding drift: the replay and the flow solver both
+    // round transfer durations independently, so pad each bound by a few
+    // nanoseconds per discrete event before comparing against a simulation.
+    let slack = SimDuration::from_nanos(4 * (net.messages + net.collectives + 16));
+    let critical_path = optimistic.makespan;
+    let raw_lb = critical_path.max(link_bound);
+    let lb = SimDuration::from_nanos(raw_lb.as_nanos().saturating_sub(slack.as_nanos()));
+    let ub = pessimistic.makespan + slack;
+
+    Ok(Certificate {
+        lb,
+        ub,
+        critical_path,
+        link_bound,
+        slack,
+        messages: net.messages,
+        payload_bytes: net.payload_bytes,
+        max_stretch,
+        bottleneck,
+        step_finish: optimistic.step_finish,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm5_core::prelude::*;
+    use cm5_sim::Simulation;
+
+    fn sim(schedule: &Schedule, params: &MachineParams) -> SimDuration {
+        cm5_core::exec::run_schedule(schedule, params)
+            .unwrap()
+            .makespan
+    }
+
+    #[test]
+    fn single_message_interval_is_tight() {
+        let mut s = Schedule::new(2);
+        s.push_step(Step {
+            ops: vec![CommOp::Send {
+                from: 0,
+                to: 1,
+                bytes: 0,
+            }],
+        });
+        let params = MachineParams::cm5_1992();
+        let cert = certify_schedule(&s, &LowerOptions::default(), &params).unwrap();
+        let m = sim(&s, &params);
+        assert!(cert.contains(m), "{m} not in [{}, {}]", cert.lb, cert.ub);
+        // One uncontended message: both replays agree up to the slack.
+        assert!(cert.tightness() < 1.01, "{}", cert.tightness());
+    }
+
+    #[test]
+    fn regular_algorithms_are_contained_and_tight() {
+        let params = MachineParams::cm5_1992();
+        for alg in ExchangeAlg::ALL {
+            for bytes in [0u64, 256, 1920] {
+                let schedule = alg.schedule(32, bytes);
+                let cert = certify_schedule(&schedule, &LowerOptions::default(), &params).unwrap();
+                let m = sim(&schedule, &params);
+                assert!(
+                    cert.contains(m),
+                    "{} @ {bytes}B: {m} outside [{}, {}]",
+                    alg.name(),
+                    cert.lb,
+                    cert.ub
+                );
+                if bytes >= 1024 {
+                    assert!(
+                        cert.tightness() <= 2.0,
+                        "{} @ {bytes}B: tightness {:.3}",
+                        alg.name(),
+                        cert.tightness()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn async_lowering_is_contained() {
+        let params = MachineParams::cm5_1992();
+        let schedule = lex(16, 256);
+        let opts = LowerOptions {
+            async_sends: true,
+            ..Default::default()
+        };
+        let cert = certify_schedule(&schedule, &opts, &params).unwrap();
+        let progs = cm5_core::exec::lower_with(&schedule, &opts);
+        let m = Simulation::new(16, params.clone())
+            .run_ops(&progs)
+            .unwrap()
+            .makespan;
+        assert!(cert.contains(m), "{m} outside [{}, {}]", cert.lb, cert.ub);
+    }
+
+    #[test]
+    fn barrier_lowering_is_contained() {
+        let params = MachineParams::cm5_1992();
+        let schedule = pex(16, 512);
+        let opts = LowerOptions {
+            barrier_between_steps: true,
+            ..Default::default()
+        };
+        let cert = certify_schedule(&schedule, &opts, &params).unwrap();
+        let progs = cm5_core::exec::lower_with(&schedule, &opts);
+        let m = Simulation::new(16, params.clone())
+            .run_ops(&progs)
+            .unwrap()
+            .makespan;
+        assert!(cert.contains(m), "{m} outside [{}, {}]", cert.lb, cert.ub);
+    }
+
+    #[test]
+    fn eager_mode_is_contained() {
+        let params = MachineParams::cm5_1992_buffered();
+        for alg in [ExchangeAlg::Lex, ExchangeAlg::Pex] {
+            let schedule = alg.schedule(16, 256);
+            let cert = certify_schedule(&schedule, &LowerOptions::default(), &params).unwrap();
+            let m = sim(&schedule, &params);
+            assert!(
+                cert.contains(m),
+                "{}: {m} outside [{}, {}]",
+                alg.name(),
+                cert.lb,
+                cert.ub
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_programs_certify() {
+        let params = MachineParams::cm5_1992();
+        for alg in BroadcastAlg::ALL {
+            let progs = cm5_core::exec::broadcast_programs(alg, 16, 0, 4096);
+            let cert = certify_programs(&progs, &params).unwrap();
+            let m = Simulation::new(16, params.clone())
+                .run_ops(&progs)
+                .unwrap()
+                .makespan;
+            assert!(
+                cert.contains(m),
+                "{}: {m} outside [{}, {}]",
+                alg.name(),
+                cert.lb,
+                cert.ub
+            );
+        }
+    }
+
+    /// The System broadcast is a closed-form collective: LB and UB collapse
+    /// to the same value (up to slack).
+    #[test]
+    fn system_broadcast_is_exact() {
+        let params = MachineParams::cm5_1992();
+        let progs = cm5_core::exec::broadcast_programs(BroadcastAlg::System, 32, 0, 8192);
+        let cert = certify_programs(&progs, &params).unwrap();
+        assert!(cert.tightness() < 1.01, "{}", cert.tightness());
+    }
+
+    #[test]
+    fn irregular_schedules_certify() {
+        let params = MachineParams::cm5_1992();
+        let pattern = Pattern::paper_pattern_p(3);
+        for alg in IrregularAlg::ALL {
+            let schedule = alg.schedule(&pattern);
+            let cert = certify_schedule(&schedule, &LowerOptions::default(), &params).unwrap();
+            let m = sim(&schedule, &params);
+            assert!(
+                cert.contains(m),
+                "{}: {m} outside [{}, {}]",
+                alg.name(),
+                cert.lb,
+                cert.ub
+            );
+        }
+    }
+
+    #[test]
+    fn step_transcript_is_monotone_and_full() {
+        let params = MachineParams::cm5_1992();
+        let schedule = pex(16, 1024);
+        let cert = certify_schedule(&schedule, &LowerOptions::default(), &params).unwrap();
+        assert_eq!(cert.step_finish.len(), schedule.num_steps());
+        assert!(cert.step_finish.iter().all(|d| d.as_nanos() > 0));
+        // The last step's finish is the critical path.
+        let max = cert.step_finish.iter().copied().max().unwrap();
+        assert_eq!(max, cert.critical_path);
+    }
+
+    #[test]
+    fn wildcard_receives_are_rejected() {
+        let params = MachineParams::cm5_1992();
+        let progs = vec![
+            vec![Op::Send {
+                to: 1,
+                bytes: 8,
+                tag: 0,
+            }],
+            vec![Op::RecvAny { tag: 0 }],
+        ];
+        assert!(matches!(
+            certify_programs(&progs, &params),
+            Err(CertifyError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn deadlock_is_reported_as_stuck() {
+        let params = MachineParams::cm5_1992();
+        // Two nodes both receive first: classic rendezvous deadlock.
+        let progs = vec![
+            vec![
+                Op::Recv { from: 1, tag: 0 },
+                Op::Send {
+                    to: 1,
+                    bytes: 8,
+                    tag: 0,
+                },
+            ],
+            vec![
+                Op::Recv { from: 0, tag: 0 },
+                Op::Send {
+                    to: 0,
+                    bytes: 8,
+                    tag: 0,
+                },
+            ],
+        ];
+        assert!(matches!(
+            certify_programs(&progs, &params),
+            Err(CertifyError::Stuck(_))
+        ));
+    }
+
+    #[test]
+    fn json_rendering_is_schema_stamped() {
+        let params = MachineParams::cm5_1992();
+        let cert = certify_schedule(&pex(8, 256), &LowerOptions::default(), &params).unwrap();
+        let json = cert.render_json();
+        assert!(json.starts_with("{\"schema\":\"cm5-certify/1\""), "{json}");
+        assert!(json.contains("\"lb_ns\":"));
+        assert!(json.contains("\"step_finish_ns\":["));
+    }
+}

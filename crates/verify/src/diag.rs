@@ -1,7 +1,7 @@
 //! Diagnostic codes, severities and the report type.
 //!
 //! Every finding the verifier can produce carries a stable machine-readable
-//! code (`V001`–`V031`), a severity, and a span locating it in the schedule
+//! code (`V001`–`V041`), a severity, and a span locating it in the schedule
 //! (step/op indices) or in a lowered program (node/op indices). The
 //! [`Diagnostics`] report renders both a human transcript and JSON, so the
 //! `cm5 lint` pipeline and CI can consume the same data.
@@ -39,8 +39,9 @@ impl fmt::Display for Severity {
 /// Stable machine-readable diagnostic codes.
 ///
 /// The numbering is grouped: `V00x` structural, `V01x` conservation/shape,
-/// `V02x` blocking-semantics (deadlock), `V03x` contention. Codes are
-/// append-only; renumbering would break downstream consumers.
+/// `V02x` blocking-semantics (deadlock), `V03x` contention, `V04x` buffer
+/// occupancy. Codes are append-only; renumbering would break downstream
+/// consumers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// V001: an op references a node outside `0..n`.
@@ -79,11 +80,19 @@ pub enum Code {
     /// V031: a step oversubscribes a link below the root (e.g. a fan-in
     /// serializing at one receiver's leaf link).
     LinkHotspot,
+    /// V040: the static eager-send buffer bound of some node exceeds the
+    /// configured receive-buffer budget — the "irregular pattern overflows
+    /// receive buffers" failure mode the paper's GS scheduler prevents.
+    EagerOverflow,
+    /// V041: the static bound on rendezvous sends parked at a destination
+    /// (posted `Isend`s whose receive has not been reached) exceeds the
+    /// configured pending-message budget.
+    PendingBacklog,
 }
 
 impl Code {
     /// Every code, in numbering order.
-    pub const ALL: [Code; 13] = [
+    pub const ALL: [Code; 15] = [
         Code::BadNode,
         Code::SelfMessage,
         Code::ZeroBytes,
@@ -97,6 +106,8 @@ impl Code {
         Code::CollectiveMismatch,
         Code::RootHotspot,
         Code::LinkHotspot,
+        Code::EagerOverflow,
+        Code::PendingBacklog,
     ];
 
     /// The stable code string (`"V001"`…).
@@ -115,13 +126,17 @@ impl Code {
             Code::CollectiveMismatch => "V022",
             Code::RootHotspot => "V030",
             Code::LinkHotspot => "V031",
+            Code::EagerOverflow => "V040",
+            Code::PendingBacklog => "V041",
         }
     }
 
     /// The severity this code always carries.
     pub fn severity(&self) -> Severity {
         match self {
-            Code::ZeroBytes | Code::DuplicatePair => Severity::Warning,
+            Code::ZeroBytes | Code::DuplicatePair | Code::EagerOverflow | Code::PendingBacklog => {
+                Severity::Warning
+            }
             Code::RootHotspot | Code::LinkHotspot => Severity::Advice,
             _ => Severity::Error,
         }
@@ -143,6 +158,8 @@ impl Code {
             Code::CollectiveMismatch => "nodes reach different collectives",
             Code::RootHotspot => "step exceeds fat-tree bisection (root) capacity",
             Code::LinkHotspot => "step oversubscribes a link below the root",
+            Code::EagerOverflow => "eager-send buffer bound exceeds the receive budget",
+            Code::PendingBacklog => "pending-rendezvous bound exceeds the backlog budget",
         }
     }
 }

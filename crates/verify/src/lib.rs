@@ -22,6 +22,18 @@
 //!   bounds over the fat tree; steps that exceed bisection capacity are
 //!   flagged as predicted hotspots (`V030`/`V031`) — advice, not errors,
 //!   because the paper's own PEX deliberately saturates the root.
+//! * **Makespan certification** ([`certify`]): a whole-program abstract
+//!   interpreter that replays the lowered programs under closed-form
+//!   optimistic/pessimistic transfer rates and emits a certified interval
+//!   `[LB, UB]` the simulated makespan provably lands in, plus the
+//!   per-step critical-path transcript behind it (`cm5 certify`).
+//! * **Buffer-occupancy bounds** ([`occupancy`]): static per-node bounds
+//!   on eager-send buffer usage and pending rendezvous backlog, with
+//!   budget diagnostics (`V040`/`V041`) — the "irregular pattern overflows
+//!   receive buffers" failure mode the paper's GS scheduler exists to
+//!   prevent.
+//! * **SARIF rendering** ([`sarif`]): deterministic SARIF 2.1.0 export of
+//!   any diagnostics run for code-review tooling.
 //!
 //! Findings carry stable codes, severities and spans in a [`Diagnostics`]
 //! report with human and JSON rendering; `cm5 lint` wires it to the shell.
@@ -40,14 +52,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod contention;
 pub mod deadlock;
 pub mod diag;
 pub mod lints;
 pub mod mutate;
+pub mod occupancy;
+pub mod sarif;
 
+pub use certify::{certify_meta, certify_programs, certify_schedule, Certificate, CertifyError};
 pub use diag::{Code, Diagnostic, Diagnostics, Severity, Span};
 pub use lints::{verify_programs, verify_schedule, VerifyOptions};
+pub use occupancy::{occupancy_bounds, OccupancyBounds, OccupancyBudget};
+pub use sarif::render_sarif;
 
 use cm5_core::broadcast::BroadcastAlg;
 use cm5_core::irregular::IrregularAlg;

@@ -1,0 +1,230 @@
+//! Static per-node buffer-occupancy bounds.
+//!
+//! The paper's GS scheduler exists because an unscheduled irregular pattern
+//! can land an unbounded pile of messages on one node at once — on a real
+//! CM-5 that overflows the receive buffers CMMD manages. This module bounds
+//! that pile *statically*, per node, from the lowered programs alone:
+//!
+//! * **Eager occupancy** — under buffered ([`SendMode::Eager`]) semantics a
+//!   message occupies the destination's buffer from arrival until the
+//!   matching receive claims it. In the worst case every inbound message is
+//!   resident at once, so the bound for node `d` is the total inbound
+//!   payload of `d`. The simulator's per-run `buffer_peak` differential
+//!   (see [`cm5_sim::SimReport`]) must stay at or below this.
+//! * **Pending-rendezvous occupancy** — under rendezvous semantics blocking
+//!   sends are never buffered (the transfer runs in place), but
+//!   *non-blocking* sends park until the receiver posts. A sender can only
+//!   have the isends of its current send window (since the last
+//!   [`Op::WaitAll`]) outstanding, so the bound for node `d` sums, over
+//!   every sender, that sender's largest per-window payload toward `d`.
+//!
+//! When a budget is configured, bounds above it raise `V040`
+//! ([`Code::EagerOverflow`]) or `V041` ([`Code::PendingBacklog`]) — both
+//! warnings, because a generous host buffer may still absorb the worst
+//! case; the point is that the worst case is now a printed number instead
+//! of a runtime surprise.
+
+use crate::diag::{Code, Diagnostic, Diagnostics, Span};
+use cm5_sim::{MachineParams, Op, OpProgram, SendMode};
+
+/// Configurable buffer budgets, in payload bytes per node. `None` disables
+/// the corresponding diagnostic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OccupancyBudget {
+    /// Budget for eager-mode receive buffering (`V040`).
+    pub eager_bytes: Option<u64>,
+    /// Budget for pending non-blocking rendezvous sends (`V041`).
+    pub pending_bytes: Option<u64>,
+}
+
+/// Static per-node occupancy bounds for one lowered program set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancyBounds {
+    /// Worst-case eager receive-buffer residency per node, payload bytes.
+    pub eager_peak: Vec<u64>,
+    /// Worst-case pending non-blocking send backlog per destination node,
+    /// payload bytes.
+    pub pending_peak: Vec<u64>,
+    /// The send mode the programs will run under (decides which bound the
+    /// simulator differential compares against).
+    pub mode: SendMode,
+}
+
+impl OccupancyBounds {
+    /// Largest eager bound across nodes.
+    pub fn max_eager(&self) -> u64 {
+        self.eager_peak.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Largest pending bound across nodes.
+    pub fn max_pending(&self) -> u64 {
+        self.pending_peak.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The bound the simulator's measured `buffer_peak` must respect under
+    /// this mode, per node.
+    pub fn sim_bound(&self) -> &[u64] {
+        match self.mode {
+            SendMode::Eager => &self.eager_peak,
+            SendMode::Rendezvous => &self.pending_peak,
+        }
+    }
+
+    /// Check the bounds against a budget, emitting `V040`/`V041` findings.
+    pub fn diagnose(&self, budget: &OccupancyBudget) -> Diagnostics {
+        let mut out = Diagnostics::new();
+        if let Some(limit) = budget.eager_bytes {
+            for (node, &peak) in self.eager_peak.iter().enumerate() {
+                if peak > limit {
+                    out.push(Diagnostic::new(
+                        Code::EagerOverflow,
+                        Span {
+                            step: None,
+                            op: None,
+                            node: Some(node),
+                        },
+                        format!(
+                            "eager receive buffering on node {node} may reach {peak} B \
+                             (budget {limit} B)"
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(limit) = budget.pending_bytes {
+            for (node, &peak) in self.pending_peak.iter().enumerate() {
+                if peak > limit {
+                    out.push(Diagnostic::new(
+                        Code::PendingBacklog,
+                        Span {
+                            step: None,
+                            op: None,
+                            node: Some(node),
+                        },
+                        format!(
+                            "pending non-blocking sends toward node {node} may reach {peak} B \
+                             (budget {limit} B)"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Compute static occupancy bounds for `programs` under `params.send_mode`.
+pub fn occupancy_bounds(programs: &[OpProgram], params: &MachineParams) -> OccupancyBounds {
+    let n = programs.len();
+    let mut eager_peak = vec![0u64; n];
+    let mut pending_peak = vec![0u64; n];
+    for prog in programs.iter() {
+        // Per-destination payload of this sender's current isend window and
+        // the largest window seen so far.
+        let mut window = vec![0u64; n];
+        let mut worst = vec![0u64; n];
+        for op in prog {
+            match *op {
+                Op::Send { to, bytes, .. } if to < n => {
+                    eager_peak[to] += bytes;
+                }
+                Op::Isend { to, bytes, .. } if to < n => {
+                    eager_peak[to] += bytes;
+                    window[to] += bytes;
+                    if window[to] > worst[to] {
+                        worst[to] = window[to];
+                    }
+                }
+                Op::WaitAll => {
+                    window.iter_mut().for_each(|w| *w = 0);
+                }
+                _ => {}
+            }
+        }
+        // A program that never waits keeps its whole backlog pending.
+        for (d, &w) in worst.iter().enumerate() {
+            pending_peak[d] += w;
+        }
+    }
+    OccupancyBounds {
+        eager_peak,
+        pending_peak,
+        mode: params.send_mode,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm5_core::prelude::*;
+
+    #[test]
+    fn eager_bound_is_total_inbound_payload() {
+        let params = MachineParams::cm5_1992_buffered();
+        let progs = cm5_core::exec::exchange_programs(ExchangeAlg::Pex, 8, 1024);
+        let b = occupancy_bounds(&progs, &params);
+        // Complete exchange: each node receives from the 7 others.
+        assert_eq!(b.eager_peak, vec![7 * 1024; 8]);
+        assert_eq!(b.mode, SendMode::Eager);
+    }
+
+    #[test]
+    fn blocking_rendezvous_has_no_pending_backlog() {
+        let params = MachineParams::cm5_1992();
+        let progs = cm5_core::exec::exchange_programs(ExchangeAlg::Lex, 8, 1024);
+        let b = occupancy_bounds(&progs, &params);
+        assert_eq!(b.max_pending(), 0);
+        assert!(b.sim_bound().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn waitall_resets_the_pending_window() {
+        let params = MachineParams::cm5_1992();
+        let isend = |to: usize, bytes: u64, tag: u32| Op::Isend { to, bytes, tag };
+        // Two windows of 64 B toward node 1 — bounded by the larger window,
+        // not their sum.
+        let progs: Vec<OpProgram> = vec![
+            vec![isend(1, 64, 0), Op::WaitAll, isend(1, 64, 1), Op::WaitAll],
+            vec![Op::Recv { from: 0, tag: 0 }, Op::Recv { from: 0, tag: 1 }],
+        ];
+        let b = occupancy_bounds(&progs, &params);
+        assert_eq!(b.pending_peak[1], 64);
+
+        // Without the WaitAll the windows accumulate.
+        let progs2: Vec<OpProgram> = vec![
+            vec![isend(1, 64, 0), isend(1, 64, 1), Op::WaitAll],
+            vec![Op::Recv { from: 0, tag: 0 }, Op::Recv { from: 0, tag: 1 }],
+        ];
+        let b2 = occupancy_bounds(&progs2, &params);
+        assert_eq!(b2.pending_peak[1], 128);
+    }
+
+    #[test]
+    fn budget_raises_v040_and_v041() {
+        let eager = MachineParams::cm5_1992_buffered();
+        let progs = cm5_core::exec::exchange_programs(ExchangeAlg::Pex, 8, 1024);
+        let bounds = occupancy_bounds(&progs, &eager);
+        let report = bounds.diagnose(&OccupancyBudget {
+            eager_bytes: Some(4096),
+            pending_bytes: None,
+        });
+        assert_eq!(report.count(crate::Severity::Warning), 8);
+        assert!(report.has(Code::EagerOverflow));
+
+        // No budget, no findings.
+        assert!(bounds.diagnose(&OccupancyBudget::default()).is_clean());
+
+        let rendezvous = MachineParams::cm5_1992();
+        let opts = LowerOptions {
+            async_sends: true,
+            ..Default::default()
+        };
+        let progs = cm5_core::exec::lower_with(&pex(8, 1024), &opts);
+        let bounds = occupancy_bounds(&progs, &rendezvous);
+        let report = bounds.diagnose(&OccupancyBudget {
+            eager_bytes: None,
+            pending_bytes: Some(512),
+        });
+        assert!(report.has(Code::PendingBacklog));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the static certifier: for random communication
+//! patterns the certified interval must bracket the simulated makespan,
+//! and the static buffer-occupancy bound must dominate the engine's
+//! measured per-node peak. These are the soundness properties the paper
+//! grids spot-check, pushed across the whole input space.
+
+use cm5_core::exec::lower_annotated;
+use cm5_core::prelude::*;
+use cm5_sim::{MachineParams, Simulation};
+use cm5_verify::{certify_meta, occupancy_bounds};
+use cm5_workloads::synthetic::synthetic_pattern_exact;
+use proptest::prelude::*;
+
+/// Certify `schedule` under `params`, simulate it, and assert containment
+/// plus the occupancy differential (static bound >= engine buffer peak).
+fn check_certified(
+    label: &str,
+    schedule: &Schedule,
+    params: &MachineParams,
+) -> Result<(), TestCaseError> {
+    let opts = LowerOptions::default();
+    let meta = lower_annotated(schedule, &opts);
+    let cert = cm5_verify::certify_meta(&meta, params)
+        .map_err(|e| TestCaseError::fail(format!("{label}: certify failed: {e}")))?;
+    let report = Simulation::new(meta.programs.len(), params.clone())
+        .run_ops(&meta.programs)
+        .map_err(|e| TestCaseError::fail(format!("{label}: simulation failed: {e}")))?;
+    prop_assert!(
+        cert.contains(report.makespan),
+        "{label}: simulated {} outside [{}, {}]",
+        report.makespan,
+        cert.lb,
+        cert.ub
+    );
+    let bounds = occupancy_bounds(&meta.programs, params);
+    let static_bound = bounds.sim_bound();
+    for (node, &peak) in report.buffer_peak.iter().enumerate() {
+        prop_assert!(
+            peak <= static_bound[node],
+            "{label}: node {node} buffered {peak} B, static bound {} B",
+            static_bound[node]
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random irregular patterns, all four scheduling algorithms, both
+    /// machine modes: LB <= simulated makespan <= UB, and the engine's
+    /// per-node buffer peak never exceeds the static occupancy bound.
+    #[test]
+    fn irregular_certificates_bracket_the_simulator(
+        density in 0.05f64..0.6,
+        msg_bytes in 1u64..4096,
+        seed in 0u64..1_000_000,
+    ) {
+        let pattern = synthetic_pattern_exact(16, density, msg_bytes, seed);
+        for alg in IrregularAlg::ALL {
+            let schedule = alg.schedule(&pattern);
+            check_certified(alg.name(), &schedule, &MachineParams::cm5_1992())?;
+            check_certified(alg.name(), &schedule, &MachineParams::cm5_1992_buffered())?;
+        }
+    }
+
+    /// Random sizes for the four regular exchange algorithms: same
+    /// containment and occupancy dominance, on rendezvous and eager modes.
+    #[test]
+    fn regular_certificates_bracket_the_simulator(
+        n_pow in 2u32..6,
+        bytes in 0u64..4096,
+    ) {
+        let n = 1usize << n_pow;
+        for alg in ExchangeAlg::ALL {
+            let schedule = alg.schedule(n, bytes);
+            check_certified(alg.name(), &schedule, &MachineParams::cm5_1992())?;
+            check_certified(alg.name(), &schedule, &MachineParams::cm5_1992_buffered())?;
+        }
+    }
+
+    /// Async (isend/waitall) lowering of random irregular patterns: the
+    /// pending-rendezvous occupancy bound must dominate, and the interval
+    /// must still bracket the simulated makespan.
+    #[test]
+    fn async_lowering_certificates_hold(
+        density in 0.05f64..0.5,
+        seed in 0u64..1_000_000,
+    ) {
+        let pattern = synthetic_pattern_exact(8, density, 512, seed);
+        let schedule = IrregularAlg::Gs.schedule(&pattern);
+        let opts = LowerOptions {
+            async_sends: true,
+            ..Default::default()
+        };
+        let params = MachineParams::cm5_1992();
+        let meta = lower_annotated(&schedule, &opts);
+        let cert = certify_meta(&meta, &params)
+            .map_err(|e| TestCaseError::fail(format!("certify failed: {e}")))?;
+        let report = Simulation::new(meta.programs.len(), params.clone())
+            .run_ops(&meta.programs)
+            .map_err(|e| TestCaseError::fail(format!("simulation failed: {e}")))?;
+        prop_assert!(
+            cert.contains(report.makespan),
+            "async: simulated {} outside [{}, {}]",
+            report.makespan,
+            cert.lb,
+            cert.ub
+        );
+        let bounds = occupancy_bounds(&meta.programs, &params);
+        let static_bound = bounds.sim_bound();
+        for (node, &peak) in report.buffer_peak.iter().enumerate() {
+            prop_assert!(
+                peak <= static_bound[node],
+                "async: node {node} buffered {peak} B, static bound {} B",
+                static_bound[node]
+            );
+        }
+    }
+}

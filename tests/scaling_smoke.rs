@@ -143,7 +143,9 @@ mod release_only {
         use cm5_sim::{Op, Simulation};
         let n = 16384usize;
         let strides = [1usize, 2, 3, n / 4, n / 2, n / 2 + 1];
-        let mut programs: Vec<Vec<Op>> = vec![Vec::with_capacity(2 * strides.len()); n];
+        let mut programs: Vec<Vec<Op>> = (0..n)
+            .map(|_| Vec::with_capacity(2 * strides.len()))
+            .collect();
         for (step, &j) in strides.iter().enumerate() {
             let tag = step as u32;
             for (i, prog) in programs.iter_mut().enumerate() {
