@@ -21,6 +21,13 @@
 //! of the windowed-engine `par_*` cells (default 4, minimum 2).
 //! `perf` is excluded from the default section set so default output stays
 //! byte-identical across runs and `--jobs` values (wall-clock never is).
+//! `watch` (opt-in) is the perf-regression watchdog: it re-reads the
+//! written `BENCH_sim.json` (including the `serve_replay` cell merged by
+//! `cm5 serve --replay --bench-json`) against the `--baseline` floors,
+//! writes a `cm5-watch/1` verdict (`--watch-json PATH`), and exits nonzero
+//! on any miss — including a baseline cell missing from the artifact.
+//! `--prom-lint PATH` runs the offline Prometheus-exposition linter over a
+//! scraped `GET /metrics` body.
 //! `certify` (opt-in) cross-checks every Fig 5/6–8/10/11 grid point
 //! against `cm5-verify`'s static `[LB, UB]` makespan certificates and
 //! exits nonzero on a containment miss or a regular-exchange tightness
@@ -73,6 +80,10 @@ static BENCH_JSON: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock
 /// there (one file per exchange algorithm at 32 nodes).
 static TRACE_OUT: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
 
+/// `--watch-json PATH`: where the `watch` section writes its `cm5-watch/1`
+/// verdict document.
+static WATCH_JSON: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
+
 fn runner() -> SweepRunner {
     SweepRunner::new(*JOBS.get().unwrap_or(&1))
 }
@@ -106,6 +117,8 @@ fn main() {
     let mut sim_jobs = 4usize;
     let mut bench_json = std::path::PathBuf::from("BENCH_sim.json");
     let mut trace_out = None;
+    let mut watch_json = None;
+    let mut prom_lint = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         if a == "--quick" {
@@ -140,6 +153,18 @@ fn main() {
             });
             std::fs::create_dir_all(&dir).expect("create trace dir");
             trace_out = Some(std::path::PathBuf::from(dir));
+        } else if a == "--watch-json" {
+            let f = it.next().unwrap_or_else(|| {
+                eprintln!("--watch-json needs a path for the cm5-watch/1 verdict");
+                std::process::exit(2);
+            });
+            watch_json = Some(std::path::PathBuf::from(f));
+        } else if a == "--prom-lint" {
+            let f = it.next().unwrap_or_else(|| {
+                eprintln!("--prom-lint needs a scraped /metrics file to check");
+                std::process::exit(2);
+            });
+            prom_lint = Some(std::path::PathBuf::from(f));
         } else if a == "--csv" {
             let dir = it.next().unwrap_or_else(|| "report_csv".to_string());
             std::fs::create_dir_all(&dir).expect("create csv dir");
@@ -175,12 +200,16 @@ fn main() {
     SIM_JOBS.set(sim_jobs).expect("set once");
     BENCH_JSON.set(bench_json).expect("set once");
     TRACE_OUT.set(trace_out).expect("set once");
-    // `beyond`, `perf` and `certify` are opt-in: the default section set
-    // must stay byte-identical across runs, perf output includes
-    // wall-clock, and certify is a gate (it exits nonzero on a violation)
-    // rather than a reproduction table.
+    WATCH_JSON.set(watch_json).expect("set once");
+    if let Some(path) = prom_lint {
+        run_prom_lint(&path);
+    }
+    // `beyond`, `perf`, `certify` and `watch` are opt-in: the default
+    // section set must stay byte-identical across runs, perf output
+    // includes wall-clock, and certify/watch are gates (they exit nonzero
+    // on a violation) rather than reproduction tables.
     let want = |s: &str| {
-        args.is_empty() && s != "beyond" && s != "perf" && s != "certify"
+        args.is_empty() && s != "beyond" && s != "perf" && s != "certify" && s != "watch"
             || args.iter().any(|a| a == s || a == "all")
     };
 
@@ -223,7 +252,79 @@ fn main() {
     if want("perf") {
         perf();
     }
+    if want("watch") {
+        watch();
+    }
     write_traces();
+}
+
+/// `--prom-lint PATH`: run the offline Prometheus-exposition linter over a
+/// scraped `/metrics` body (CI pipes `curl` output here). Exits nonzero on
+/// the first format violation.
+fn run_prom_lint(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("could not read {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    match cm5_obs::lint_prometheus(&text) {
+        Ok(samples) => println!("prom-lint: {} — {samples} samples, clean", path.display()),
+        Err(e) => {
+            eprintln!("prom-lint: {} — {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `watch` section: the perf-regression watchdog. Reads the
+/// `BENCH_sim.json` artifact (`--bench-json`, including the merged
+/// `serve_replay` cell) and the `--baseline` floors, prints the per-cell
+/// verdict, optionally writes the `cm5-watch/1` document (`--watch-json`),
+/// and exits nonzero if any floor is missed or any baseline cell is
+/// missing from the artifact.
+fn watch() {
+    use cm5_bench::watch as w;
+    header(
+        "Perf-regression watchdog (opt-in gate)",
+        "BENCH_sim.json vs ci/perf_baseline.txt floors; missing cells fail \
+         closed. Verdict JSON is a timing artifact — never byte-diffed",
+    );
+    let bench = BENCH_JSON.get().expect("set in main");
+    let Some(Some(baseline)) = BASELINE.get().map(|b| b.as_ref()) else {
+        eprintln!("watch needs --baseline <floors file>");
+        std::process::exit(2);
+    };
+    let bench_text = std::fs::read_to_string(bench).unwrap_or_else(|e| {
+        eprintln!("could not read {}: {e}", bench.display());
+        std::process::exit(2);
+    });
+    let baseline_text = std::fs::read_to_string(baseline).unwrap_or_else(|e| {
+        eprintln!("could not read {}: {e}", baseline.display());
+        std::process::exit(2);
+    });
+    let verdict = w::watch(&bench_text, &baseline_text).unwrap_or_else(|e| {
+        eprintln!("watch: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", w::verdict_table(&verdict));
+    if let Some(Some(path)) = WATCH_JSON.get().map(|p| p.as_ref()) {
+        match std::fs::write(path, w::verdict_json(&verdict)) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("could not write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if verdict.pass {
+        println!("watch: all {} floors met", verdict.checks.len());
+    } else {
+        eprintln!(
+            "watch: FAILED — {} cell(s) below floor, {} missing",
+            verdict.checks.iter().filter(|c| !c.pass).count(),
+            verdict.missing.len()
+        );
+        std::process::exit(1);
+    }
 }
 
 /// `--trace-out DIR`: rerun the four Fig 5 exchange algorithms at 32 nodes
@@ -664,7 +765,7 @@ fn perf() {
     );
     for m in &measurements {
         println!(
-            "{:>8} {:>6} {:>13} {:>11.3} {:>10} {:>12.0} {:>11} {:>10} {:>8.2}x",
+            "{:>8} {:>6} {:>13} {:>11.3} {:>10} {:>12.0} {:>11} {:>10} {:>9}",
             m.name,
             m.n,
             m.solver,
@@ -674,6 +775,7 @@ fn perf() {
             m.recomputes,
             m.flows_peak,
             m.speedup_vs_oracle
+                .map_or("n/a".to_string(), |s| format!("{s:.2}x")),
         );
     }
     for m in measurements.iter().filter(|m| m.sim_jobs > 1) {

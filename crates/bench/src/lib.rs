@@ -14,3 +14,4 @@ pub mod perf;
 pub mod querygen;
 pub mod runners;
 pub mod sweep;
+pub mod watch;

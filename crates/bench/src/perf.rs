@@ -67,9 +67,12 @@ pub struct PerfMeasurement {
     /// Peak simultaneous flows.
     pub flows_peak: usize,
     /// Wall-clock of the same workload under the oracle solver, seconds.
-    pub oracle_wall_secs: f64,
+    /// `None` when the oracle pass was skipped (`--no-oracle` / `par_*`
+    /// cells) — rendered as JSON `null`, never a fake `0.00`.
+    pub oracle_wall_secs: Option<f64>,
     /// `oracle_wall_secs / wall_secs` — the measured solver's speedup.
-    pub speedup_vs_oracle: f64,
+    /// `None` whenever the oracle pass was skipped.
+    pub speedup_vs_oracle: Option<f64>,
     /// Simulated makespan (sanity anchor: must not depend on the solver).
     pub makespan_ms: f64,
     /// Worker threads used by the windowed engine (1 = serial engine).
@@ -226,7 +229,7 @@ pub fn run_cases(cases: &[PerfCase], reps: u32) -> Vec<PerfMeasurement> {
 /// oracle solver runs `max(1, reps / 2)` times and its makespan is checked
 /// against the primary's. `oracle: false` skips that pass entirely (the CI
 /// scaling smoke runs the suite twice and only needs to pay once), leaving
-/// `oracle_wall_secs`/`speedup_vs_oracle` at 0. Cases at ≥ 1024 nodes skip
+/// `oracle_wall_secs`/`speedup_vs_oracle` `None`. Cases at ≥ 1024 nodes skip
 /// the untimed warm-up run — at that size one extra simulation costs more
 /// than the scheduler noise it would dampen.
 pub fn run_cases_opts(cases: &[PerfCase], reps: u32, oracle: bool) -> Vec<PerfMeasurement> {
@@ -250,14 +253,14 @@ pub fn run_cases_opts(cases: &[PerfCase], reps: u32, oracle: bool) -> Vec<PerfMe
                 }
             }
             let report = report.expect("reps > 0");
-            let mut oracle_best = 0.0f64;
+            let mut oracle_best = None;
             if oracle {
-                oracle_best = f64::INFINITY;
+                let mut oracle_wall = f64::INFINITY;
                 let mut oracle_makespan = None;
                 for _ in 0..reps.div_ceil(2) {
                     let start = Instant::now();
                     let r = run_with(case, case.oracle);
-                    oracle_best = oracle_best.min(start.elapsed().as_secs_f64());
+                    oracle_wall = oracle_wall.min(start.elapsed().as_secs_f64());
                     oracle_makespan = Some(r.makespan);
                 }
                 assert_eq!(
@@ -266,6 +269,7 @@ pub fn run_cases_opts(cases: &[PerfCase], reps: u32, oracle: bool) -> Vec<PerfMe
                     "{}: solvers must agree on simulated time",
                     case.name
                 );
+                oracle_best = Some(oracle_wall);
             }
             PerfMeasurement {
                 name: case.name.to_string(),
@@ -284,7 +288,7 @@ pub fn run_cases_opts(cases: &[PerfCase], reps: u32, oracle: bool) -> Vec<PerfMe
                 flows: report.perf.flows,
                 flows_peak: report.perf.flows_peak,
                 oracle_wall_secs: oracle_best,
-                speedup_vs_oracle: if best > 0.0 { oracle_best / best } else { 0.0 },
+                speedup_vs_oracle: oracle_best.and_then(|o| (best > 0.0).then(|| o / best)),
                 makespan_ms: report.makespan.as_millis_f64(),
                 sim_jobs: 1,
                 windows: 0,
@@ -364,8 +368,8 @@ fn par_measurement(
         recomputes: par.perf.recomputes,
         flows: par.perf.flows,
         flows_peak: par.perf.flows_peak,
-        oracle_wall_secs: 0.0,
-        speedup_vs_oracle: 0.0,
+        oracle_wall_secs: None,
+        speedup_vs_oracle: None,
         makespan_ms: par.makespan.as_millis_f64(),
         sim_jobs,
         windows: par.perf.windows,
@@ -479,10 +483,15 @@ pub fn run_perf_suite_opts(reps: u32, oracle: bool, sim_jobs: usize) -> Vec<Perf
 /// Serialise measurements as the `BENCH_sim.json` artifact (hand-rolled —
 /// the build is offline and the schema is flat).
 pub fn to_json(measurements: &[PerfMeasurement], quick: bool) -> String {
+    // Skipped oracle passes serialise as `null`, not a fake `0.00`.
+    let opt = |v: Option<f64>, digits: usize| match v {
+        Some(v) => format!("{v:.digits$}"),
+        None => "null".to_string(),
+    };
     let mut out = format!(
         "{{\n  \"{}\": \"{}\",\n",
         cm5_obs::SCHEMA_KEY,
-        cm5_obs::schema_id("bench-sim-perf", 2)
+        cm5_obs::schema_id("bench-sim-perf", 3)
     );
     out.push_str(&format!("  \"quick\": {quick},\n  \"grids\": [\n"));
     for (i, m) in measurements.iter().enumerate() {
@@ -491,8 +500,8 @@ pub fn to_json(measurements: &[PerfMeasurement], quick: bool) -> String {
              \"reps\": {}, \
              \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}, \
              \"cells_per_sec\": {:.3}, \"recomputes\": {}, \"flows\": {}, \
-             \"flows_peak\": {}, \"oracle_wall_secs\": {:.6}, \
-             \"speedup_vs_oracle\": {:.2}, \"makespan_ms\": {:.4}, \
+             \"flows_peak\": {}, \"oracle_wall_secs\": {}, \
+             \"speedup_vs_oracle\": {}, \"makespan_ms\": {:.4}, \
              \"sim_jobs\": {}, \"windows\": {}, \"worker_events_total\": {}, \
              \"merge_secs\": {:.6}, \"speedup_vs_serial\": {:.2}}}{}\n",
             m.name,
@@ -506,8 +515,8 @@ pub fn to_json(measurements: &[PerfMeasurement], quick: bool) -> String {
             m.recomputes,
             m.flows,
             m.flows_peak,
-            m.oracle_wall_secs,
-            m.speedup_vs_oracle,
+            opt(m.oracle_wall_secs, 6),
+            opt(m.speedup_vs_oracle, 2),
             m.makespan_ms,
             m.sim_jobs,
             m.windows,
@@ -573,7 +582,7 @@ mod tests {
             assert_eq!(m.solver, "incremental", "{}", m.name);
         }
         let json = to_json(&ms, true);
-        assert!(json.contains("\"schema\": \"cm5-bench-sim-perf/2\""));
+        assert!(json.contains("\"schema\": \"cm5-bench-sim-perf/3\""));
         assert!(json.contains("\"rex_128\""));
         assert!(json.contains("\"solver\": \"incremental\""));
         assert!(json.contains("\"sim_jobs\": 1"));
@@ -585,9 +594,13 @@ mod tests {
     fn no_oracle_skips_the_reference_pass() {
         let cases = perf_cases();
         let ms = run_cases_opts(&cases[..1], 1, false);
-        assert_eq!(ms[0].oracle_wall_secs, 0.0);
-        assert_eq!(ms[0].speedup_vs_oracle, 0.0);
+        assert_eq!(ms[0].oracle_wall_secs, None);
+        assert_eq!(ms[0].speedup_vs_oracle, None);
         assert!(ms[0].events > 0);
+        // Skipped passes must read as null downstream, never "0× speedup".
+        let json = to_json(&ms, true);
+        assert!(json.contains("\"oracle_wall_secs\": null"), "{json}");
+        assert!(json.contains("\"speedup_vs_oracle\": null"), "{json}");
     }
 
     #[test]
@@ -654,8 +667,8 @@ mod tests {
             recomputes: 1,
             flows: 1,
             flows_peak: 1,
-            oracle_wall_secs: 2.0,
-            speedup_vs_oracle: 2.0,
+            oracle_wall_secs: Some(2.0),
+            speedup_vs_oracle: Some(2.0),
             makespan_ms: 1.0,
             sim_jobs: 1,
             windows: 0,

@@ -533,7 +533,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     );
     for m in &measurements {
         println!(
-            "{:>8} {:>6} {:>13} {:>11.3} {:>12.0} {:>10.1} {:>8.2}x",
+            "{:>8} {:>6} {:>13} {:>11.3} {:>12.0} {:>10.1} {:>9}",
             m.name,
             m.n,
             m.solver,
@@ -541,6 +541,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             m.events_per_sec,
             m.cells_per_sec,
             m.speedup_vs_oracle
+                .map_or("n/a".to_string(), |s| format!("{s:.2}x")),
         );
     }
     let path = args.get("json").unwrap_or("BENCH_sim.json");
@@ -1251,6 +1252,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "tcp",
         "machine",
         "rates",
+        "spans-out",
+        "trace-out",
+        "metrics-out",
+        "flight-dir",
+        "flight-cap",
+        "slo-ms",
+        "trace-ring",
     ])?;
 
     // Record mode: write a deterministic query trace and exit.
@@ -1273,10 +1281,22 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         return Err("--shards must be at least 1".into());
     }
     let sim_jobs = args.usize_or("sim-jobs", 1)?.max(1);
+    let trace_ring = match args.get("trace-ring") {
+        Some(_) => Some(args.usize_or("trace-ring", 0)?),
+        None => None,
+    };
+    let flight_slo_ms = match args.get("slo-ms") {
+        Some(_) => Some(args.u64_or("slo-ms", 0)?),
+        None => None,
+    };
     let service = Service::new(ServiceConfig {
         params,
         shards,
         sim_jobs,
+        trace_ring,
+        flight_capacity: args.usize_or("flight-cap", 64)?,
+        flight_slo_ms,
+        flight_dir: args.get("flight-dir").map(std::path::PathBuf::from),
     });
 
     // Replay mode: drive a recorded trace through the worker pool and
@@ -1323,6 +1343,21 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             std::fs::write(mpath, metrics.to_json())
                 .map_err(|e| format!("could not write {mpath}: {e}"))?;
             println!("wrote {mpath}");
+        }
+        if let Some(spath) = args.get("spans-out") {
+            std::fs::write(spath, cm5_obs::spans_json(&result.spans))
+                .map_err(|e| format!("could not write {spath}: {e}"))?;
+            println!("wrote {spath} ({} query spans)", result.spans.len());
+        }
+        if let Some(tpath) = args.get("trace-out") {
+            std::fs::write(tpath, cm5_obs::spans_chrome_trace(&result.spans))
+                .map_err(|e| format!("could not write {tpath}: {e}"))?;
+            println!("wrote {tpath} (load in Perfetto / chrome://tracing)");
+        }
+        if let Some(lpath) = args.get("metrics-out") {
+            std::fs::write(lpath, service.live_metrics().to_json())
+                .map_err(|e| format!("could not write {lpath}: {e}"))?;
+            println!("wrote {lpath} (live snapshot; wall-clock, not diffable)");
         }
         if let Some(tpath) = args.get("timing-json") {
             let extra = vec![
@@ -1371,6 +1406,27 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
         None => None,
     };
+    // `--metrics-out` in interactive mode: a background thread rewrites
+    // the live snapshot every second, and a final flush after shutdown
+    // (post-TCP-join, so the last write sees every request) makes the file
+    // trustworthy even after a crash-adjacent exit.
+    let metrics_out = args.get("metrics-out").map(str::to_string);
+    let snap_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let snapshotter = metrics_out.clone().map(|path| {
+        let service = service.clone();
+        let stop = snap_stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                let _ = std::fs::write(&path, service.live_metrics().to_json());
+                for _ in 0..10 {
+                    if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+            }
+        })
+    });
     use std::io::{BufRead as _, Write as _};
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -1385,6 +1441,27 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     if let Some(handle) = tcp {
         handle.shutdown();
+    }
+    snap_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    if let Some(t) = snapshotter {
+        let _ = t.join();
+    }
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, service.live_metrics().to_json())
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    // Interactive exports cover the flight ring (the last `--flight-cap`
+    // queries); replay mode exports the full span set instead.
+    if let Some(spath) = args.get("spans-out") {
+        std::fs::write(spath, cm5_obs::spans_json(&service.recent_spans()))
+            .map_err(|e| format!("could not write {spath}: {e}"))?;
+        eprintln!("wrote {spath}");
+    }
+    if let Some(tpath) = args.get("trace-out") {
+        std::fs::write(tpath, cm5_obs::spans_chrome_trace(&service.recent_spans()))
+            .map_err(|e| format!("could not write {tpath}: {e}"))?;
+        eprintln!("wrote {tpath}");
     }
     Ok(())
 }
@@ -1404,7 +1481,7 @@ fn merge_serve_cell(
         Err(_) => Json::Obj(vec![
             (
                 cm5_obs::SCHEMA_KEY.to_string(),
-                Json::str(cm5_obs::schema_id("bench-sim-perf", 2)),
+                Json::str(cm5_obs::schema_id("bench-sim-perf", 3)),
             ),
             ("quick".to_string(), Json::Bool(false)),
             ("grids".to_string(), Json::Arr(Vec::new())),
@@ -1463,6 +1540,8 @@ USAGE:
   cm5 serve     --record PATH [--queries K] [--seed S] [--mix advise|mixed]
   cm5 serve     --replay PATH [--qps N] [--jobs N] [--shards N] [--out PATH]
                 [--metrics-json PATH] [--timing-json PATH] [--bench-json PATH] [--baseline PATH]
+                [--spans-out PATH] [--trace-out PATH] [--metrics-out PATH]
+                [--flight-dir DIR] [--flight-cap N] [--slo-ms MS] [--trace-ring N]
 
 `--alg auto` asks the cm5-model cost models to pick; `cm5 advise` prints
 the prediction table without running the simulator.
@@ -1489,6 +1568,18 @@ query trace, `--replay` drives one through a worker pool and reports
 sustained queries/sec (`--baseline` gates it, `--bench-json` merges the
 cell into BENCH_sim.json). `cm5 advise --json` prints the same
 `cm5-advise/1` document the service returns.
+Service telemetry: every query carries a request span with typed child
+phases (parse, advise-hit/miss, verify, simulate, render). `--spans-out`
+writes the canonical `cm5-serve-spans/1` document (deterministic: byte-
+identical at any --jobs), `--trace-out` the `cm5-serve-trace/1` Chrome
+trace (one track per worker), `--metrics-out` live JSON snapshots
+(rewritten every second under `--tcp`, final flush at shutdown; wall-
+clock, never diffed). `GET /metrics` on the `--tcp` listener serves
+Prometheus text. The flight recorder keeps the last `--flight-cap`
+spanned queries; erroring (and, with `--slo-ms`, slow) queries dump
+deterministic `cm5-flight/1` files into `--flight-dir`. `--trace-ring N`
+bounds each simulation's event ring; overflow counts surface as the
+deterministic `sim_trace_dropped` counter.
 `cm5 trace` reruns one schedule with the trace and rate sinks on and
 exports the observability views: `--out` writes Chrome Trace Format JSON
 (Perfetto / chrome://tracing), `--timeline` draws a per-node Gantt chart,
@@ -1655,10 +1746,19 @@ mod tests {
 
         let out = dir.join("responses.jsonl");
         let bench = dir.join("bench.json");
+        let spans = dir.join("spans.json");
+        let chrome = dir.join("trace.json");
+        let live = dir.join("live.json");
+        let flights = dir.join("flights");
         dispatch(&argv(&format!(
-            "serve --replay {trace_s} --jobs 2 --out {} --bench-json {}",
+            "serve --replay {trace_s} --jobs 2 --out {} --bench-json {} \
+             --spans-out {} --trace-out {} --metrics-out {} --flight-dir {} --slo-ms 0",
             out.to_str().unwrap(),
-            bench.to_str().unwrap()
+            bench.to_str().unwrap(),
+            spans.to_str().unwrap(),
+            chrome.to_str().unwrap(),
+            live.to_str().unwrap(),
+            flights.to_str().unwrap(),
         )))
         .unwrap();
         let responses = std::fs::read_to_string(&out).unwrap();
@@ -1666,7 +1766,16 @@ mod tests {
         assert!(responses.contains("\"ok\":true"));
         let merged = std::fs::read_to_string(&bench).unwrap();
         assert!(merged.contains("\"serve_replay\""));
-        assert!(merged.contains("cm5-bench-sim-perf/2"));
+        assert!(merged.contains("cm5-bench-sim-perf/3"));
+        let spans = std::fs::read_to_string(&spans).unwrap();
+        assert!(spans.contains("cm5-serve-spans/1"), "{spans}");
+        assert_eq!(spans.matches("\"seq\"").count(), 20);
+        let chrome = std::fs::read_to_string(&chrome).unwrap();
+        assert!(chrome.contains("cm5-serve-trace/1"), "{chrome}");
+        let live = std::fs::read_to_string(&live).unwrap();
+        assert!(live.contains("\"uptime_secs\""), "{live}");
+        // --slo-ms 0 trips the flight recorder on every query.
+        assert_eq!(std::fs::read_dir(&flights).unwrap().count(), 20);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1842,7 +1951,7 @@ mod tests {
         let path_s = path.to_str().unwrap();
         dispatch(&argv(&format!("bench --quick --json {path_s}"))).unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
-        assert!(json.contains("cm5-bench-sim-perf/2"), "{json}");
+        assert!(json.contains("cm5-bench-sim-perf/3"), "{json}");
         assert!(json.contains("\"rex_128\""), "{json}");
         assert!(json.contains("\"solver\": \"incremental\""), "{json}");
         // Without --large the big cells must stay out of the artifact

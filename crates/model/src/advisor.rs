@@ -190,6 +190,19 @@ fn machine_fingerprint(params: &MachineParams, tree: &FatTree) -> u64 {
     h.finish()
 }
 
+/// How one [`Advisor::recommend_traced`] call interacted with the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// Whether this query was served from the memo (see
+    /// [`Advisor::recommend_traced`] for the concurrency caveat).
+    pub hit: bool,
+    /// Shard index the key routed to.
+    pub shard: usize,
+    /// Deterministic string form of the cache key (machine fingerprint +
+    /// quantized decision key) — equal strings ⇔ equal cache entries.
+    pub key: String,
+}
+
 /// Point-in-time statistics of one advisor cache shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ShardStats {
@@ -269,14 +282,38 @@ impl Advisor {
         params: &MachineParams,
         tree: &FatTree,
     ) -> Recommendation {
+        self.recommend_traced(workload, params, tree).0
+    }
+
+    /// [`Advisor::recommend`] plus the cache outcome, for telemetry.
+    ///
+    /// The recommendation is bit-identical to the untraced form; the
+    /// [`CacheOutcome`] reports which shard served the query, whether it
+    /// hit, and the cache key's deterministic string form (note the hit
+    /// flag itself is interleaving-dependent under concurrency — two
+    /// threads racing on a cold key both see a miss — so exporters that
+    /// need worker-count-independent output re-derive hit/miss from the
+    /// key stream instead).
+    pub fn recommend_traced(
+        &self,
+        workload: &Workload,
+        params: &MachineParams,
+        tree: &FatTree,
+    ) -> (Recommendation, CacheOutcome) {
         let key = DecisionKey::of(workload, params);
         let fp = machine_fingerprint(params, tree);
         let idx = self.shard_of(fp, &key);
+        let key_string = format!("{fp:016x}|{key:?}");
+        let outcome = move |hit| CacheOutcome {
+            hit,
+            shard: idx,
+            key: key_string,
+        };
         {
             let mut shard = self.shards[idx].lock().expect("advisor cache poisoned");
             shard.queries += 1;
             if let Some(hit) = shard.map.get(&(fp, key.clone())) {
-                return hit.clone();
+                return (hit.clone(), outcome(true));
             }
         }
         // Compute outside the lock: two threads racing on the same cold key
@@ -285,7 +322,7 @@ impl Advisor {
         let rec = Self::recommend_uncached(workload, params, tree);
         let mut shard = self.shards[idx].lock().expect("advisor cache poisoned");
         shard.map.insert((fp, key), rec.clone());
-        rec
+        (rec, outcome(false))
     }
 
     /// The issue-facing convenience form: recommend a scheduler for an

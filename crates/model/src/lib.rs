@@ -33,13 +33,13 @@ pub mod advisor;
 pub mod cost;
 pub mod stats;
 
-pub use advisor::{Advisor, DecisionKey, Recommendation, ShardStats};
+pub use advisor::{Advisor, CacheOutcome, DecisionKey, Recommendation, ShardStats};
 pub use cost::{predict, Algorithm, CostModel, Workload};
 pub use stats::PatternStats;
 
 /// Convenient glob import of the whole public surface.
 pub mod prelude {
-    pub use crate::advisor::{Advisor, DecisionKey, Recommendation, ShardStats};
+    pub use crate::advisor::{Advisor, CacheOutcome, DecisionKey, Recommendation, ShardStats};
     pub use crate::cost::{model_for, predict, Algorithm, CostModel, Workload};
     pub use crate::stats::PatternStats;
 }

@@ -14,6 +14,11 @@
 //!   `cm5-verify`'s static contention charging);
 //! * [`metrics`] — counters / gauges / log₂-bucket histograms snapshotted
 //!   from a run, with versioned JSON rendering;
+//! * [`prom`] — Prometheus text exposition for a metrics registry plus an
+//!   offline linter for the format;
+//! * [`svc`] — service telemetry: per-query request spans threaded through
+//!   `cm5-serve`, canonical + Chrome-trace exports, and the flight
+//!   recorder;
 //! * [`timeline`] — terminal Gantt charts and utilization sparklines;
 //! * [`schema`] — the shared `"schema"` version stamp used by every JSON
 //!   artifact in the workspace.
@@ -28,13 +33,20 @@
 pub mod chrome;
 pub mod links;
 pub mod metrics;
+pub mod prom;
 pub mod schema;
 pub mod span;
+pub mod svc;
 pub mod timeline;
 
 pub use chrome::{chrome_trace, chrome_trace_from_spans};
 pub use links::{link_usage, LevelUtilization, LinkPeak, LinkUsage};
 pub use metrics::{Histogram, Metrics, HISTOGRAM_BUCKETS};
+pub use prom::{lint_prometheus, prometheus_text};
 pub use schema::{schema_field, schema_id, SCHEMA_KEY};
 pub use span::{BlockedSpan, CollectiveSpan, MessageSpan, SpanStore, StepSpan};
+pub use svc::{
+    flight_json, spans_chrome_trace, spans_json, FlightRecorder, PhaseKind, PhaseSpan, QueryCtx,
+    QuerySpan,
+};
 pub use timeline::{render_sparklines, render_timeline};

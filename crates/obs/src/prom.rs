@@ -1,0 +1,295 @@
+//! Prometheus text exposition: rendering a [`Metrics`] registry and a tiny
+//! offline linter for the format.
+//!
+//! [`prometheus_text`] turns the registry into the classic text format
+//! (`# TYPE` headers, `cm5_`-prefixed sample lines, cumulative histogram
+//! buckets with `le` labels and a `+Inf` terminator) so a running service
+//! can expose `GET /metrics` without any dependency. [`lint_prometheus`]
+//! validates a scrape offline — CI uses it to prove the endpoint emits
+//! well-formed exposition, no Prometheus server required.
+
+use crate::metrics::{Histogram, Metrics};
+
+/// Largest `u64` that survives the `f64` round-trip Prometheus clients
+/// perform; log₂ bucket bounds are clamped to it.
+const MAX_SAFE: u64 = 1 << 53;
+
+/// Inclusive upper bound of log₂ bucket `k` (samples are integers, so the
+/// half-open `[2^(k-1), 2^k)` bucket has inclusive bound `2^k - 1`).
+fn bucket_le(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else if k >= 53 {
+        MAX_SAFE
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &Histogram) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (bucket, count) in h.nonzero() {
+        cumulative += count;
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+            bucket_le(bucket)
+        ));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", h.sum));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+}
+
+/// Render a registry in Prometheus text exposition format.
+///
+/// Metric names are the registry keys prefixed with `cm5_`; histograms
+/// render cumulative `_bucket{le="..."}` samples over the non-empty log₂
+/// buckets plus the mandatory `+Inf`/`_sum`/`_count` triple. Output order
+/// is the registry's (sorted), so the scrape is deterministic for a fixed
+/// registry state.
+pub fn prometheus_text(m: &Metrics) -> String {
+    let mut out = String::new();
+    for (k, v) in &m.counters {
+        out.push_str(&format!("# TYPE cm5_{k} counter\ncm5_{k} {v}\n"));
+    }
+    for (k, v) in &m.gauges {
+        out.push_str(&format!("# TYPE cm5_{k} gauge\ncm5_{k} {v:.6}\n"));
+    }
+    for (k, h) in &m.histograms {
+        render_histogram(&mut out, &format!("cm5_{k}"), h);
+    }
+    out
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_value(s: &str) -> bool {
+    matches!(s, "+Inf" | "-Inf" | "NaN") || s.parse::<f64>().is_ok()
+}
+
+/// Split `name{labels}` into the name and the optional label body.
+fn split_labels(sample: &str) -> Result<(&str, Option<&str>), String> {
+    match sample.find('{') {
+        None => Ok((sample, None)),
+        Some(open) => {
+            let rest = &sample[open + 1..];
+            let close = rest
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label brace in {sample:?}"))?;
+            if close + 1 != rest.len() {
+                return Err(format!("trailing junk after labels in {sample:?}"));
+            }
+            Ok((&sample[..open], Some(&rest[..close])))
+        }
+    }
+}
+
+/// Extract the `le` label value from a label body like `le="42"`.
+fn le_value(labels: &str) -> Result<String, String> {
+    for pair in labels.split(',') {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("malformed label pair {pair:?}"))?;
+        let v = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted label value in {pair:?}"))?;
+        if k.trim() == "le" {
+            return Ok(v.to_string());
+        }
+    }
+    Err(format!("histogram bucket without le label: {labels:?}"))
+}
+
+/// Validate Prometheus text exposition; returns the number of samples.
+///
+/// Checks performed: every sample line is `name[{labels}] value` with a
+/// legal metric name and numeric value; `# TYPE` lines are well-formed,
+/// name a known type, and are not repeated; metrics declared `histogram`
+/// expose only `_bucket`/`_sum`/`_count` samples, with `le`-labelled
+/// cumulative non-decreasing buckets ending in `le="+Inf"` whose count
+/// equals `_count`.
+pub fn lint_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    let mut declared: Vec<(String, String)> = Vec::new();
+    // Per-histogram running state: (last cumulative, saw +Inf, inf value).
+    let mut hist: Vec<(String, u64, Option<u64>)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(ty), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(at(format!("malformed TYPE line: {line:?}")));
+            };
+            if !valid_name(name) {
+                return Err(at(format!("bad metric name {name:?}")));
+            }
+            if !matches!(
+                ty,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(at(format!("unknown metric type {ty:?}")));
+            }
+            if declared.iter().any(|(n, _)| n == name) {
+                return Err(at(format!("duplicate TYPE for {name:?}")));
+            }
+            declared.push((name.to_string(), ty.to_string()));
+            if ty == "histogram" {
+                hist.push((name.to_string(), 0, None));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP / comments.
+        }
+        let (sample, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| at(format!("sample without value: {line:?}")))?;
+        if !valid_value(value) {
+            return Err(at(format!("bad sample value {value:?}")));
+        }
+        let (name, labels) = split_labels(sample.trim_end()).map_err(&at)?;
+        if !valid_name(name) {
+            return Err(at(format!("bad metric name {name:?}")));
+        }
+        samples += 1;
+        // Histogram shape checks for declared histograms.
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        let is_declared_hist =
+            |n: &str| declared.iter().any(|(dn, dt)| dn == n && dt == "histogram");
+        if is_declared_hist(name) && base == name {
+            return Err(at(format!(
+                "histogram {name:?} sample lacks _bucket/_sum/_count suffix"
+            )));
+        }
+        if name.ends_with("_bucket") && is_declared_hist(base) {
+            let le = le_value(labels.unwrap_or_default()).map_err(&at)?;
+            let v: u64 = value
+                .parse()
+                .map_err(|_| at(format!("non-integer bucket count {value:?}")))?;
+            let state = hist
+                .iter_mut()
+                .find(|(n, _, _)| n == base)
+                .expect("declared histogram has state");
+            if v < state.1 {
+                return Err(at(format!("bucket counts for {base:?} not cumulative")));
+            }
+            state.1 = v;
+            if le == "+Inf" {
+                state.2 = Some(v);
+            } else if state.2.is_some() {
+                return Err(at(format!("bucket after +Inf for {base:?}")));
+            }
+        }
+        if name.ends_with("_count") && is_declared_hist(base) {
+            let v: u64 = value
+                .parse()
+                .map_err(|_| at(format!("non-integer count {value:?}")))?;
+            let state = hist
+                .iter()
+                .find(|(n, _, _)| n == base)
+                .expect("declared histogram has state");
+            match state.2 {
+                None => return Err(at(format!("histogram {base:?} missing le=\"+Inf\""))),
+                Some(inf) if inf != v => {
+                    return Err(at(format!(
+                        "histogram {base:?}: +Inf bucket {inf} != _count {v}"
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics() -> Metrics {
+        let mut m = Metrics::default();
+        m.counters.insert("requests", 42);
+        m.gauges.insert("hit_rate", 0.5);
+        let mut h = Histogram::default();
+        for v in [0, 1, 3, 900, 1024] {
+            h.record(v);
+        }
+        m.histograms.insert("latency_ns", h);
+        m
+    }
+
+    #[test]
+    fn rendered_exposition_passes_the_linter() {
+        let text = prometheus_text(&sample_metrics());
+        assert!(text.contains("# TYPE cm5_requests counter\ncm5_requests 42\n"));
+        assert!(text.contains("cm5_hit_rate 0.500000"));
+        assert!(text.contains("cm5_latency_ns_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("cm5_latency_ns_sum 1928"));
+        let n = lint_prometheus(&text).expect("own exposition must lint clean");
+        assert!(n >= 8, "expected all samples counted, got {n}");
+    }
+
+    #[test]
+    fn bucket_bounds_are_inclusive_powers_of_two() {
+        assert_eq!(bucket_le(0), 0);
+        assert_eq!(bucket_le(1), 1);
+        assert_eq!(bucket_le(2), 3);
+        assert_eq!(bucket_le(11), 2047);
+        assert_eq!(bucket_le(64), MAX_SAFE);
+        let text = prometheus_text(&sample_metrics());
+        // 900 lands in bucket 10 → le="1023"; 1024 in bucket 11 → le="2047".
+        assert!(text.contains("le=\"1023\""));
+        assert!(text.contains("le=\"2047\""));
+    }
+
+    #[test]
+    fn linter_rejects_malformed_exposition() {
+        for (bad, why) in [
+            ("cm5 requests 42\n", "space in name"),
+            ("cm5_requests notanumber\n", "bad value"),
+            ("# TYPE cm5_x rainbow\ncm5_x 1\n", "unknown type"),
+            (
+                "# TYPE cm5_x counter\n# TYPE cm5_x counter\ncm5_x 1\n",
+                "duplicate TYPE",
+            ),
+            ("# TYPE cm5_h histogram\ncm5_h 1\n", "bare histogram sample"),
+            (
+                "# TYPE cm5_h histogram\ncm5_h_bucket{le=\"1\"} 5\ncm5_h_bucket{le=\"+Inf\"} 3\ncm5_h_count 3\n",
+                "non-cumulative buckets",
+            ),
+            (
+                "# TYPE cm5_h histogram\ncm5_h_bucket{le=\"+Inf\"} 3\ncm5_h_count 4\n",
+                "+Inf != count",
+            ),
+            (
+                "# TYPE cm5_h histogram\ncm5_h_count 4\n",
+                "missing +Inf",
+            ),
+        ] {
+            assert!(lint_prometheus(bad).is_err(), "linter accepted {why}: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn linter_accepts_labels_and_comments() {
+        let ok = "# HELP cm5_x a counter\n# TYPE cm5_x counter\ncm5_x{shard=\"3\"} 7\n";
+        assert_eq!(lint_prometheus(ok), Ok(1));
+    }
+}

@@ -13,6 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use cm5_obs::QuerySpan;
+
 use crate::service::Service;
 
 /// Outcome of one replay run.
@@ -20,6 +22,10 @@ use crate::service::Service;
 pub struct ReplayResult {
     /// One response line per input line, in input order.
     pub responses: Vec<String>,
+    /// One fully-typed query span per input line, in input order (their
+    /// wall-clock fields are host timing; every exported view quarantines
+    /// them — see [`cm5_obs::spans_json`]).
+    pub spans: Vec<QuerySpan>,
     /// Requests processed.
     pub requests: usize,
     /// Host wall-clock seconds for the whole replay (nondeterministic).
@@ -57,14 +63,15 @@ pub fn resolve_jobs(jobs: usize) -> usize {
 pub fn replay(service: &Service, input: &str, jobs: usize, qps: Option<f64>) -> ReplayResult {
     let lines: Vec<&str> = input.lines().filter(|l| !l.trim().is_empty()).collect();
     let jobs = resolve_jobs(jobs).max(1);
-    let slots: Vec<Mutex<Option<String>>> = (0..lines.len()).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(String, QuerySpan)>>> =
+        (0..lines.len()).map(|_| Mutex::new(None)).collect();
     let submitted = AtomicU64::new(0);
     let dequeued = AtomicU64::new(0);
     let start = Instant::now();
 
     crossbeam::thread::scope(|scope| {
         let (tx, rx) = crossbeam::channel::unbounded::<(usize, &str)>();
-        for _ in 0..jobs {
+        for worker in 0..jobs {
             let rx = rx.clone();
             let slots = &slots;
             let submitted = &submitted;
@@ -74,8 +81,9 @@ pub fn replay(service: &Service, input: &str, jobs: usize, qps: Option<f64>) -> 
                     let d = dequeued.fetch_add(1, Ordering::Relaxed) + 1;
                     let s = submitted.load(Ordering::Relaxed);
                     service.sample_queue_depth(s.saturating_sub(d) as usize);
-                    let response = service.handle_line(line);
-                    *slots[idx].lock().expect("slot poisoned") = Some(response);
+                    let (response, mut span) = service.handle_line_spanned(idx as u64, line);
+                    span.worker = worker;
+                    *slots[idx].lock().expect("slot poisoned") = Some((response, span));
                 }
             });
         }
@@ -97,17 +105,23 @@ pub fn replay(service: &Service, input: &str, jobs: usize, qps: Option<f64>) -> 
         drop(tx);
     });
 
-    let responses: Vec<String> = slots
+    let (responses, spans): (Vec<String>, Vec<QuerySpan>) = slots
         .into_iter()
         .map(|s| {
             s.into_inner()
                 .expect("slot poisoned")
                 .expect("every line produced a response")
         })
-        .collect();
+        .unzip();
+    // Observe the merged spans in input order — the flight recorder's ring
+    // and dumps then match a single-worker run byte for byte.
+    for span in &spans {
+        service.observe(span);
+    }
     ReplayResult {
         requests: responses.len(),
         responses,
+        spans,
         wall_secs: start.elapsed().as_secs_f64(),
     }
 }

@@ -92,6 +92,20 @@ pub enum Query {
     },
 }
 
+impl Query {
+    /// The wire-format kind string (`"exchange"`, `"tenants"`, …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::Exchange { .. } => "exchange",
+            Query::Broadcast { .. } => "broadcast",
+            Query::Irregular { .. } => "irregular",
+            Query::Pattern { .. } => "pattern",
+            Query::Workload { .. } => "workload",
+            Query::Tenants { .. } => "tenants",
+        }
+    }
+}
+
 /// One decoded request line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {

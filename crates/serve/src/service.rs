@@ -25,13 +25,14 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use cm5_core::prelude::*;
 use cm5_model::{Advisor, Algorithm, PatternStats, Recommendation, Workload};
-use cm5_obs::{schema_field, Histogram, Metrics};
+use cm5_obs::{schema_field, FlightRecorder, Histogram, Metrics, PhaseKind, QueryCtx, QuerySpan};
 use cm5_sim::tenant::{run_tenants_jobs, Placement, TenantSpec};
 use cm5_sim::{FatTree, MachineParams, OpProgram, SimReport, Simulation};
 use cm5_verify::{exchange_policy, irregular_policy, verify_programs, verify_schedule, Severity};
@@ -56,6 +57,22 @@ pub struct ServiceConfig {
     /// bit-identical across values, so this is purely a latency knob for
     /// large simulate-mode queries.
     pub sim_jobs: usize,
+    /// Record simulate-mode queries' event traces into a bounded ring of
+    /// this capacity ([`cm5_sim::Simulation::trace_capacity`]). Evictions
+    /// accumulate into the deterministic `sim_trace_dropped` counter;
+    /// tracing never changes simulated results. `None` (default) disables
+    /// tracing.
+    pub trace_ring: Option<usize>,
+    /// Flight-recorder ring capacity: how many recent fully-spanned
+    /// queries are retained.
+    pub flight_capacity: usize,
+    /// Latency SLO in milliseconds: queries at or above it (or erroring)
+    /// get dumped by the flight recorder. `0` dumps every query (the
+    /// deterministic-forcing mode tests use); `None` dumps errors only.
+    pub flight_slo_ms: Option<u64>,
+    /// Directory for flight-recorder dumps (`cm5-flight/1`). `None`
+    /// records the ring without writing dumps.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +81,10 @@ impl Default for ServiceConfig {
             params: MachineParams::cm5_1992(),
             shards: 8,
             sim_jobs: 1,
+            trace_ring: None,
+            flight_capacity: 64,
+            flight_slo_ms: None,
+            flight_dir: None,
         }
     }
 }
@@ -104,11 +125,6 @@ pub struct Timing {
 }
 
 impl Timing {
-    fn record(field: &Mutex<Histogram>, start: Instant) {
-        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        field.lock().expect("timing poisoned").record(ns);
-    }
-
     fn hist_json(h: &Mutex<Histogram>) -> Json {
         let h = h.lock().expect("timing poisoned");
         Json::Obj(vec![
@@ -124,27 +140,51 @@ impl Timing {
 pub struct Service {
     params: MachineParams,
     sim_jobs: usize,
+    trace_ring: Option<usize>,
     advisor: Advisor,
     verify_memo: Vec<Mutex<HashMap<u64, VerifySummary>>>,
     counters: Counters,
     predicted_ns: Mutex<Histogram>,
     sim_makespan_ns: Mutex<Histogram>,
+    sim_trace_dropped: AtomicU64,
+    spans_observed: AtomicU64,
     timing: Timing,
+    flight: Mutex<FlightRecorder>,
+    /// Service start instant: span `ts` offsets and uptime are relative
+    /// to it.
+    epoch: Instant,
+    /// Arrival-order sequence numbers for spans opened via
+    /// [`Service::handle_line`] (the replay pool supplies its own input
+    /// order instead).
+    arrival: AtomicU64,
 }
 
 impl Service {
     /// Build a service with `config.shards` cache/memo shards.
     pub fn new(config: ServiceConfig) -> Service {
         let shards = config.shards.max(1);
+        let mut flight = FlightRecorder::new(config.flight_capacity);
+        if let Some(ms) = config.flight_slo_ms {
+            flight = flight.slo_ms(ms);
+        }
+        if let Some(dir) = config.flight_dir {
+            flight = flight.dump_dir(dir);
+        }
         Service {
             params: config.params,
             sim_jobs: config.sim_jobs.max(1),
+            trace_ring: config.trace_ring,
             advisor: Advisor::with_shards(shards),
             verify_memo: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             counters: Counters::default(),
             predicted_ns: Mutex::new(Histogram::default()),
             sim_makespan_ns: Mutex::new(Histogram::default()),
+            sim_trace_dropped: AtomicU64::new(0),
+            spans_observed: AtomicU64::new(0),
             timing: Timing::default(),
+            flight: Mutex::new(flight),
+            epoch: Instant::now(),
+            arrival: AtomicU64::new(0),
         }
     }
 
@@ -160,10 +200,30 @@ impl Service {
 
     /// Handle one request line: parse, answer, render. Never panics on
     /// malformed input; errors become `ok:false` response lines.
+    ///
+    /// The query is fully spanned and observed immediately (arrival
+    /// order); batch callers that need worker-count-independent span
+    /// ordering use [`Service::handle_line_spanned`] +
+    /// [`Service::observe`] instead.
     pub fn handle_line(&self, line: &str) -> String {
-        let t0 = Instant::now();
+        let seq = self.arrival.fetch_add(1, Ordering::Relaxed);
+        let (out, span) = self.handle_line_spanned(seq, line);
+        self.observe(&span);
+        out
+    }
+
+    /// [`Service::handle_line`] with an explicit span sequence number,
+    /// returning the response line and the query's span tree without
+    /// observing it. The replay pool calls this from workers and observes
+    /// the spans in input order after the merge, so flight-recorder
+    /// contents and dumps are byte-identical at any worker count.
+    pub fn handle_line_spanned(&self, seq: u64, line: &str) -> (String, QuerySpan) {
+        let mut ctx = QueryCtx::new(seq, line, self.epoch);
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let out = match Request::parse_line(line) {
+        let t = ctx.start();
+        let parsed = Request::parse_line(line);
+        ctx.phase(PhaseKind::Parse, "", t);
+        match parsed {
             Err(e) => {
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
                 // Best-effort id recovery so the client can correlate.
@@ -171,26 +231,54 @@ impl Service {
                     .ok()
                     .and_then(|d| d.get("id").and_then(Json::as_u64))
                     .unwrap_or(0);
-                error_line(id, &e)
+                (error_line(id, &e), ctx.finish(id, "invalid", Err(e)))
             }
-            Ok(req) => match self.answer(&req) {
+            Ok(req) => match self.answer(&req, &mut ctx) {
                 Ok(fields) => {
                     self.counters.ok.fetch_add(1, Ordering::Relaxed);
-                    Json::Obj(fields).render()
+                    let t = ctx.start();
+                    let out = Json::Obj(fields).render();
+                    ctx.phase(PhaseKind::Render, "", t);
+                    (out, ctx.finish(req.id, req.query.kind(), Ok(())))
                 }
                 Err(e) => {
                     self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    error_line(req.id, &e)
+                    (
+                        error_line(req.id, &e),
+                        ctx.finish(req.id, req.query.kind(), Err(e)),
+                    )
                 }
             },
-        };
-        Timing::record(&self.timing.total_ns, t0);
-        out
+        }
+    }
+
+    /// Fold one finished span into the host-timing histograms and the
+    /// flight recorder. Dump IO failures are swallowed (telemetry must
+    /// never fail a query that already succeeded).
+    pub fn observe(&self, span: &QuerySpan) {
+        self.spans_observed.fetch_add(1, Ordering::Relaxed);
+        for p in &span.phases {
+            let field = match p.kind {
+                PhaseKind::Advise => Some(&self.timing.advise_ns),
+                PhaseKind::Verify => Some(&self.timing.verify_ns),
+                PhaseKind::Simulate => Some(&self.timing.simulate_ns),
+                PhaseKind::Parse | PhaseKind::Render => None,
+            };
+            if let Some(f) = field {
+                f.lock().expect("timing poisoned").record(p.dur_ns);
+            }
+        }
+        self.timing
+            .total_ns
+            .lock()
+            .expect("timing poisoned")
+            .record(span.total_ns);
+        let _ = self.flight.lock().expect("flight poisoned").observe(span);
     }
 
     /// Answer a parsed request: the response object's fields, or an error
     /// string.
-    fn answer(&self, req: &Request) -> Result<Vec<(String, Json)>, String> {
+    fn answer(&self, req: &Request, ctx: &mut QueryCtx) -> Result<Vec<(String, Json)>, String> {
         let mut fields = response_base(req.id, true);
         match &req.query {
             Query::Exchange { n, bytes } => {
@@ -199,13 +287,19 @@ impl Service {
                     n: *n,
                     bytes: *bytes,
                 };
-                let rec = self.advise(&w, *n);
+                let rec = self.advise(ctx, &w, *n);
                 if req.verify {
-                    fields.push(("verify".into(), self.verify_regular(req, &rec, *n, *bytes)?));
+                    fields.push((
+                        "verify".into(),
+                        self.verify_regular(ctx, req, &rec, *n, *bytes)?,
+                    ));
                 }
                 if req.simulate {
-                    let report = self
-                        .simulate_schedule(&self.pick_exchange(&rec)?.schedule(*n, *bytes), *n)?;
+                    let report = self.simulate_schedule(
+                        ctx,
+                        &self.pick_exchange(&rec)?.schedule(*n, *bytes),
+                        *n,
+                    )?;
                     fields.push(("simulated".into(), sim_json(&report)));
                 }
                 fields.push(("recommendation".into(), recommendation_json(&rec)));
@@ -216,7 +310,7 @@ impl Service {
                     n: *n,
                     bytes: *bytes,
                 };
-                let rec = self.advise(&w, *n);
+                let rec = self.advise(ctx, &w, *n);
                 let alg = match rec.algorithm {
                     Algorithm::Broadcast(b) => b,
                     other => return Err(format!("advisor returned non-broadcast pick {other}")),
@@ -225,13 +319,13 @@ impl Service {
                 if req.verify {
                     fields.push((
                         "verify".into(),
-                        self.verified(req, rec.algorithm.name(), || {
+                        self.verified(ctx, req, rec.algorithm.name(), || {
                             summarize(&verify_programs(&programs))
                         }),
                     ));
                 }
                 if req.simulate {
-                    let report = self.simulate_programs(&programs, *n)?;
+                    let report = self.simulate_programs(ctx, &programs, *n)?;
                     fields.push(("simulated".into(), sim_json(&report)));
                 }
                 fields.push(("recommendation".into(), recommendation_json(&rec)));
@@ -244,7 +338,7 @@ impl Service {
             } => {
                 self.counters.q_irregular.fetch_add(1, Ordering::Relaxed);
                 let pattern = Pattern::seeded_random(*n, *density, (*bytes).max(1), *seed);
-                self.answer_pattern(req, &pattern, &mut fields)?;
+                self.answer_pattern(ctx, req, &pattern, &mut fields)?;
             }
             Query::Pattern { text } => {
                 self.counters.q_pattern.fetch_add(1, Ordering::Relaxed);
@@ -256,12 +350,12 @@ impl Service {
                         crate::request::MAX_NODES
                     ));
                 }
-                self.answer_pattern(req, &pattern, &mut fields)?;
+                self.answer_pattern(ctx, req, &pattern, &mut fields)?;
             }
             Query::Workload { name, n } => {
                 self.counters.q_workload.fetch_add(1, Ordering::Relaxed);
                 let pattern = named_pattern(name, *n)?;
-                self.answer_pattern(req, &pattern, &mut fields)?;
+                self.answer_pattern(ctx, req, &pattern, &mut fields)?;
             }
             Query::Tenants {
                 shared_n,
@@ -270,7 +364,7 @@ impl Service {
             } => {
                 self.counters.q_tenants.fetch_add(1, Ordering::Relaxed);
                 let report =
-                    self.run_tenant_query(req, *shared_n, *placement, tenants, &mut fields)?;
+                    self.run_tenant_query(ctx, req, *shared_n, *placement, tenants, &mut fields)?;
                 fields.push(("tenants".into(), report));
             }
         }
@@ -280,6 +374,7 @@ impl Service {
     /// Classify + advise + verify + simulate an irregular pattern.
     fn answer_pattern(
         &self,
+        ctx: &mut QueryCtx,
         req: &Request,
         pattern: &Pattern,
         fields: &mut Vec<(String, Json)>,
@@ -288,7 +383,7 @@ impl Service {
         let tree = FatTree::new(n);
         let stats = PatternStats::of(pattern, &tree);
         let w = Workload::Irregular(stats.clone());
-        let rec = self.advise(&w, n);
+        let rec = self.advise(ctx, &w, n);
         let alg = match rec.algorithm {
             Algorithm::Irregular(a) => a,
             other => return Err(format!("advisor returned non-irregular pick {other}")),
@@ -298,7 +393,7 @@ impl Service {
             let schedule = alg.schedule(pattern);
             fields.push((
                 "verify".into(),
-                self.verified(req, rec.algorithm.name(), || {
+                self.verified(ctx, req, rec.algorithm.name(), || {
                     let mut opts = irregular_policy(alg);
                     opts.params = self.params.clone();
                     summarize(&verify_schedule(&schedule, Some(pattern), &opts))
@@ -306,18 +401,22 @@ impl Service {
             ));
         }
         if req.simulate {
-            let report = self.simulate_schedule(&alg.schedule(pattern), n)?;
+            let report = self.simulate_schedule(ctx, &alg.schedule(pattern), n)?;
             fields.push(("simulated".into(), sim_json(&report)));
         }
         fields.push(("recommendation".into(), recommendation_json(&rec)));
         Ok(())
     }
 
-    /// Advise one workload, recording the predicted time.
-    fn advise(&self, w: &Workload, n: usize) -> Recommendation {
-        let t0 = Instant::now();
-        let rec = self.advisor.recommend(w, &self.params, &FatTree::new(n));
-        Timing::record(&self.timing.advise_ns, t0);
+    /// Advise one workload, recording the predicted time and an advise
+    /// phase (carrying the cache key so exporters can derive hit/miss
+    /// deterministically).
+    fn advise(&self, ctx: &mut QueryCtx, w: &Workload, n: usize) -> Recommendation {
+        let t = ctx.start();
+        let (rec, outcome) = self
+            .advisor
+            .recommend_traced(w, &self.params, &FatTree::new(n));
+        ctx.phase_advise(rec.algorithm.name(), outcome.key, t);
         self.predicted_ns
             .lock()
             .expect("hist poisoned")
@@ -335,13 +434,14 @@ impl Service {
     /// Verify the recommended exchange schedule (memoized).
     fn verify_regular(
         &self,
+        ctx: &mut QueryCtx,
         req: &Request,
         rec: &Recommendation,
         n: usize,
         bytes: u64,
     ) -> Result<Json, String> {
         let alg = self.pick_exchange(rec)?;
-        Ok(self.verified(req, rec.algorithm.name(), || {
+        Ok(self.verified(ctx, req, rec.algorithm.name(), || {
             let mut opts = exchange_policy(alg);
             opts.params = self.params.clone();
             summarize(&verify_schedule(&alg.schedule(n, bytes), None, &opts))
@@ -352,7 +452,30 @@ impl Service {
     /// (query, algorithm) pair runs the verifier; identical queries queued
     /// behind it hit the memo, amortizing the batch. The memo key hashes
     /// the canonical query encoding, so it is interleaving-independent.
-    fn verified(&self, req: &Request, alg: &str, run: impl FnOnce() -> VerifySummary) -> Json {
+    ///
+    /// The verify phase covers the memo lookup too (hits record a
+    /// near-zero wall duration), so the span *shape* is the same whether
+    /// the memo hit or not — memo hits are interleaving-dependent and must
+    /// not change the exported span tree.
+    fn verified(
+        &self,
+        ctx: &mut QueryCtx,
+        req: &Request,
+        alg: &str,
+        run: impl FnOnce() -> VerifySummary,
+    ) -> Json {
+        let t = ctx.start();
+        let json = self.verified_inner(req, alg, run);
+        ctx.phase(PhaseKind::Verify, alg, t);
+        json
+    }
+
+    fn verified_inner(
+        &self,
+        req: &Request,
+        alg: &str,
+        run: impl FnOnce() -> VerifySummary,
+    ) -> Json {
         self.counters
             .verify_requests
             .fetch_add(1, Ordering::Relaxed);
@@ -373,9 +496,7 @@ impl Service {
         }
         // Run outside the lock (same determinism argument as the advisor:
         // racing duplicates compute the identical pure summary).
-        let t0 = Instant::now();
         let summary = run();
-        Timing::record(&self.timing.verify_ns, t0);
         let json = verify_json(&summary);
         shard.lock().expect("memo poisoned").insert(key, summary);
         json
@@ -390,20 +511,35 @@ impl Service {
         Ok(())
     }
 
-    fn simulate_schedule(&self, schedule: &Schedule, n: usize) -> Result<SimReport, String> {
+    fn simulate_schedule(
+        &self,
+        ctx: &mut QueryCtx,
+        schedule: &Schedule,
+        n: usize,
+    ) -> Result<SimReport, String> {
         self.check_sim_size(n)?;
-        self.simulate_programs(&lower(schedule), n)
+        self.simulate_programs(ctx, &lower(schedule), n)
     }
 
-    fn simulate_programs(&self, programs: &[OpProgram], n: usize) -> Result<SimReport, String> {
+    fn simulate_programs(
+        &self,
+        ctx: &mut QueryCtx,
+        programs: &[OpProgram],
+        n: usize,
+    ) -> Result<SimReport, String> {
         self.check_sim_size(n)?;
         self.counters.simulations.fetch_add(1, Ordering::Relaxed);
-        let t0 = Instant::now();
-        let report = Simulation::new(n, self.params.clone())
-            .sim_jobs(self.sim_jobs)
-            .run_ops(programs)
-            .map_err(|e| e.to_string())?;
-        Timing::record(&self.timing.simulate_ns, t0);
+        let t = ctx.start();
+        let mut sim = Simulation::new(n, self.params.clone()).sim_jobs(self.sim_jobs);
+        if let Some(cap) = self.trace_ring {
+            sim = sim.record_trace(true).trace_capacity(cap);
+        }
+        let report = sim.run_ops(programs).map_err(|e| e.to_string())?;
+        ctx.phase(PhaseKind::Simulate, &format!("n={n}"), t);
+        // Per-query drop counts are bit-identical across sim-jobs, so this
+        // sum is deterministic for a given request set.
+        self.sim_trace_dropped
+            .fetch_add(report.trace_dropped, Ordering::Relaxed);
         self.sim_makespan_ns
             .lock()
             .expect("hist poisoned")
@@ -415,6 +551,7 @@ impl Service {
     /// all tenants concurrently on the shared tree.
     fn run_tenant_query(
         &self,
+        ctx: &mut QueryCtx,
         req: &Request,
         shared_n: usize,
         placement: Placement,
@@ -429,7 +566,7 @@ impl Service {
                 n: t.n,
                 bytes: t.bytes,
             };
-            let rec = self.advise(&w, t.n);
+            let rec = self.advise(ctx, &w, t.n);
             let alg = self.pick_exchange(&rec)?;
             specs.push(TenantSpec {
                 name: t.name.clone(),
@@ -443,7 +580,7 @@ impl Service {
         if req.verify {
             fields.push((
                 "verify".into(),
-                self.verified(req, "tenants", || {
+                self.verified(ctx, req, "tenants", || {
                     // Verify the merged shared-tree programs: structure +
                     // blocking-semantics deadlock analysis.
                     let sizes: Vec<usize> = specs.iter().map(|s| s.programs.len()).collect();
@@ -461,10 +598,14 @@ impl Service {
             ));
         }
         self.counters.simulations.fetch_add(1, Ordering::Relaxed);
-        let t0 = Instant::now();
+        let t = ctx.start();
         let report = run_tenants_jobs(shared_n, placement, &specs, &self.params, self.sim_jobs)
             .map_err(|e| e.to_string())?;
-        Timing::record(&self.timing.simulate_ns, t0);
+        ctx.phase(
+            PhaseKind::Simulate,
+            &format!("tenants={} n={shared_n}", specs.len()),
+            t,
+        );
         self.sim_makespan_ns
             .lock()
             .expect("hist poisoned")
@@ -492,6 +633,10 @@ impl Service {
         m.counters
             .insert("verify_requests", get(&c.verify_requests));
         m.counters.insert("simulations", get(&c.simulations));
+        // Sum over queries of each simulation's own (bit-identical) drop
+        // count — order-independent, so deterministic at any worker count.
+        m.counters
+            .insert("sim_trace_dropped", get(&self.sim_trace_dropped));
 
         // Hit counts are derived, not sampled: `queries − distinct keys`
         // is a pure function of the request set, immune to which racing
@@ -529,6 +674,50 @@ impl Service {
             "sim_makespan_ns",
             self.sim_makespan_ns.lock().expect("hist poisoned").clone(),
         );
+        m
+    }
+
+    /// The live-health snapshot served at `GET /metrics` and written by
+    /// `--metrics-out`: the deterministic [`Service::metrics`] document
+    /// plus host-side state — uptime/qps, per-phase wall-clock latency
+    /// histograms, queue depth, and flight-recorder occupancy. Unlike
+    /// [`Service::metrics`], this snapshot contains real host timing and
+    /// is never byte-compared across runs.
+    pub fn live_metrics(&self) -> Metrics {
+        let mut m = self.metrics();
+        let uptime = self.epoch.elapsed().as_secs_f64();
+        let requests = self.counters.requests.load(Ordering::Relaxed);
+        m.gauges.insert("uptime_secs", uptime);
+        m.gauges.insert(
+            "qps",
+            if uptime > 0.0 {
+                requests as f64 / uptime
+            } else {
+                0.0
+            },
+        );
+        m.counters.insert(
+            "spans_observed",
+            self.spans_observed.load(Ordering::Relaxed),
+        );
+        {
+            let f = self.flight.lock().expect("flight poisoned");
+            m.counters.insert("flight_tripped", f.dumped());
+            m.counters.insert("flight_ring_evicted", f.dropped());
+            m.gauges
+                .insert("flight_ring_len", f.recent().count() as f64);
+        }
+        let hist = |h: &Mutex<Histogram>| h.lock().expect("timing poisoned").clone();
+        m.histograms
+            .insert("advise_wall_ns", hist(&self.timing.advise_ns));
+        m.histograms
+            .insert("verify_wall_ns", hist(&self.timing.verify_ns));
+        m.histograms
+            .insert("simulate_wall_ns", hist(&self.timing.simulate_ns));
+        m.histograms
+            .insert("request_total_ns", hist(&self.timing.total_ns));
+        m.histograms
+            .insert("queue_depth", hist(&self.timing.queue_depth));
         m
     }
 
@@ -570,6 +759,19 @@ impl Service {
                 .collect::<Vec<_>>()
                 .join(",")
         )
+    }
+
+    /// Clone the flight recorder's ring: the last N fully-spanned queries
+    /// in arrival order. This is what interactive-mode `--spans-out` /
+    /// `--trace-out` export at shutdown (replay mode exports the complete
+    /// span set from [`crate::replay`] instead).
+    pub fn recent_spans(&self) -> Vec<QuerySpan> {
+        self.flight
+            .lock()
+            .expect("flight poisoned")
+            .recent()
+            .cloned()
+            .collect()
     }
 
     /// Record one queue-depth sample (called by the replay pool).

@@ -2,15 +2,31 @@
 //! over a `std::net::TcpListener`. No external deps — plain std sockets,
 //! one thread per connection, newline-delimited requests in, newline-
 //! delimited responses out.
+//!
+//! Two extras on top of the line protocol:
+//!
+//! * a connection whose first line is an HTTP `GET` is answered as a
+//!   one-shot HTTP/1.0 exchange — `GET /metrics` serves the live registry
+//!   in Prometheus text exposition ([`cm5_obs::prometheus_text`]), so any
+//!   scraper or `curl` can watch a running service;
+//! * [`TcpHandle::shutdown`] is graceful: connection reads poll a shared
+//!   stop flag on a short timeout, and shutdown joins the accept loop
+//!   *and* every connection thread before returning, so callers can flush
+//!   final metrics/flight state knowing no request is still in flight.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use cm5_obs::prometheus_text;
+
 use crate::service::Service;
+
+/// How often blocked reads wake up to check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// A running TCP frontend. Dropping the handle does NOT stop the server;
 /// call [`TcpHandle::shutdown`].
@@ -19,15 +35,22 @@ pub struct TcpHandle {
     pub addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl TcpHandle {
-    /// Stop accepting connections and join the accept loop. In-flight
-    /// connections finish on their own threads.
+    /// Stop accepting connections, signal every open connection, and join
+    /// the accept loop plus all connection threads. On return no request
+    /// is in flight — metrics snapshots and flight-recorder state taken
+    /// after this are final.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conn registry poisoned"));
+        for c in conns {
+            let _ = c.join();
         }
     }
 }
@@ -42,14 +65,19 @@ pub fn spawn_tcp(service: Arc<Service>, addr: &str) -> std::io::Result<TcpHandle
     listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let conns2 = Arc::clone(&conns);
     let accept_thread = std::thread::spawn(move || {
         while !stop2.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => {
                     let service = Arc::clone(&service);
-                    std::thread::spawn(move || serve_connection(&service, stream));
+                    let stop = Arc::clone(&stop2);
+                    let handle =
+                        std::thread::spawn(move || serve_connection(&service, stream, &stop));
+                    conns2.lock().expect("conn registry poisoned").push(handle);
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
                 }
                 Err(_) => break,
@@ -60,27 +88,83 @@ pub fn spawn_tcp(service: Arc<Service>, addr: &str) -> std::io::Result<TcpHandle
         addr,
         stop,
         accept_thread: Some(accept_thread),
+        conns,
     })
 }
 
-fn serve_connection(service: &Service, stream: TcpStream) {
+fn serve_connection(service: &Service, stream: TcpStream, stop: &AtomicBool) {
+    // Short read timeouts let the connection notice shutdown while idle.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = service.handle_line(&line);
-        if writer.write_all(response.as_bytes()).is_err()
-            || writer.write_all(b"\n").is_err()
-            || writer.flush().is_err()
-        {
-            break;
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    loop {
+        // `read_line` appends, so a timeout mid-line keeps the partial
+        // data in `buf` and the retry completes it.
+        match reader.read_line(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => {
+                let line = std::mem::take(&mut buf);
+                let line = line.trim_end_matches(['\n', '\r']);
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if let Some(path) = line.strip_prefix("GET ") {
+                    serve_http(service, &mut reader, &mut writer, path);
+                    break;
+                }
+                let response = service.handle_line(line);
+                if writer.write_all(response.as_bytes()).is_err()
+                    || writer.write_all(b"\n").is_err()
+                    || writer.flush().is_err()
+                {
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
         }
     }
+}
+
+/// Answer one HTTP GET (first line already consumed; `path_and_version` is
+/// everything after `"GET "`). Only `/metrics` exists.
+fn serve_http(
+    service: &Service,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    path_and_version: &str,
+) {
+    // Drain request headers best-effort (until a blank line or timeout) so
+    // well-behaved clients see a clean close.
+    let mut header = String::new();
+    while let Ok(n) = reader.read_line(&mut header) {
+        if n == 0 || header.trim().is_empty() {
+            break;
+        }
+        header.clear();
+    }
+    let path = path_and_version
+        .split_whitespace()
+        .next()
+        .unwrap_or_default();
+    let (status, body) = if path == "/metrics" {
+        ("200 OK", prometheus_text(&service.live_metrics()))
+    } else {
+        ("404 Not Found", format!("no such path {path}\n"))
+    };
+    let _ = write!(
+        writer,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = writer.flush();
 }
 
 #[cfg(test)]
@@ -88,6 +172,8 @@ mod tests {
     use super::*;
     use crate::json::Json;
     use crate::service::ServiceConfig;
+    use std::io::Read;
+    use std::time::Instant;
 
     #[test]
     fn tcp_round_trip() {
@@ -113,5 +199,69 @@ mod tests {
 
         handle.shutdown();
         assert_eq!(service.metrics().counters["requests"], 2);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_lintable_prometheus_text() {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        let handle = spawn_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let addr = handle.addr;
+
+        // Issue a query first so histograms are non-trivial.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"{\"id\":1,\"query\":{\"kind\":\"exchange\",\"n\":16,\"bytes\":256}}\n")
+            .unwrap();
+        let mut line = String::new();
+        BufReader::new(conn).read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.contains("cm5_requests 1"), "{body}");
+        assert!(body.contains("# TYPE cm5_request_total_ns histogram"));
+        let samples = cm5_obs::lint_prometheus(body).expect("scrape must lint clean");
+        assert!(samples > 20, "suspiciously few samples: {samples}");
+
+        // Unknown paths 404.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /nope HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 404"), "{response}");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_idle_connections_promptly() {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        let handle = spawn_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let addr = handle.addr;
+
+        // Open a connection, send one request, then go idle WITHOUT
+        // closing — pre-graceful-shutdown this thread would be orphaned.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"{\"id\":3,\"query\":{\"kind\":\"exchange\",\"n\":8,\"bytes\":64}}\n")
+            .unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+
+        let t0 = Instant::now();
+        handle.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "shutdown took {:?} with an idle connection open",
+            t0.elapsed()
+        );
+        // The service state is final after shutdown: the snapshot is safe
+        // to flush.
+        assert_eq!(service.metrics().counters["requests"], 1);
+        drop(conn);
     }
 }

@@ -3,6 +3,9 @@
 //! * replaying the same recorded trace at any worker count produces a
 //!   byte-identical response stream AND byte-identical deterministic
 //!   metrics (host timing is quarantined in the separate timing doc);
+//! * the canonical span-tree export, the flight recorder's dumps, and the
+//!   simulator trace-ring drop accounting are equally worker-count-
+//!   independent — the whole telemetry layer obeys the same contract;
 //! * the request codec round-trips (`parse_line ∘ render_line` is the
 //!   identity) and rejects malformed input with errors, never panics;
 //! * every line the `cm5-bench` trace generator emits is accepted by the
@@ -15,21 +18,104 @@ use proptest::prelude::*;
 #[test]
 fn replay_is_byte_identical_at_any_worker_count() {
     let trace = generate_trace(TraceMix::Mixed, 80, 11);
-    let mut baseline: Option<(String, String)> = None;
+    let mut baseline: Option<(String, String, String)> = None;
     for jobs in [1usize, 4, 8] {
         let service = Service::new(ServiceConfig::default());
         let result = replay(&service, &trace, jobs, None);
         assert_eq!(result.requests, 80);
         let joined = result.responses.join("\n");
         let metrics = service.metrics().to_json();
+        let spans = cm5_obs::spans_json(&result.spans);
         match &baseline {
-            None => baseline = Some((joined, metrics)),
-            Some((r0, m0)) => {
+            None => baseline = Some((joined, metrics, spans)),
+            Some((r0, m0, s0)) => {
                 assert_eq!(&joined, r0, "response stream differs at jobs={jobs}");
                 assert_eq!(&metrics, m0, "metrics differ at jobs={jobs}");
+                assert_eq!(&spans, s0, "span trees differ at jobs={jobs}");
             }
         }
     }
+}
+
+/// A trace of simulate-mode exchange queries big enough to overflow a tiny
+/// per-simulation trace ring.
+fn simulate_heavy_trace(queries: usize) -> String {
+    (0..queries)
+        .map(|i| {
+            format!(
+                "{{\"id\":{i},\"query\":{{\"kind\":\"exchange\",\"n\":16,\"bytes\":{}}},\"simulate\":true}}\n",
+                256 + i * 64
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn trace_ring_drop_accounting_is_worker_count_independent() {
+    // Each n=16 PEX simulation emits hundreds of trace events; a ring of 8
+    // must drop most of them. The drop COUNT is part of each SimReport's
+    // bit-identity contract, so the summed counter is deterministic too.
+    let trace = simulate_heavy_trace(10);
+    let mut baseline: Option<u64> = None;
+    for jobs in [1usize, 4] {
+        let service = Service::new(ServiceConfig {
+            trace_ring: Some(8),
+            ..Default::default()
+        });
+        let result = replay(&service, &trace, jobs, None);
+        assert_eq!(result.requests, 10);
+        let metrics = service.metrics();
+        let dropped = metrics.counters["sim_trace_dropped"];
+        assert!(dropped > 0, "ring of 8 must overflow (jobs={jobs})");
+        match baseline {
+            None => baseline = Some(dropped),
+            Some(d0) => assert_eq!(dropped, d0, "drop count differs at jobs={jobs}"),
+        }
+        // The counter reaches scrapers: it is part of the /metrics body.
+        let prom = cm5_obs::prometheus_text(&service.live_metrics());
+        assert!(
+            prom.contains(&format!("cm5_sim_trace_dropped {dropped}")),
+            "{prom}"
+        );
+    }
+}
+
+#[test]
+fn flight_dumps_are_deterministic_across_worker_counts() {
+    // `flight_slo_ms: Some(0)` trips on every query, so the dump set is
+    // the whole trace; dump contents are wall-clock-free, so the files
+    // must be byte-identical at any worker count.
+    let trace = generate_trace(TraceMix::Mixed, 24, 7);
+    let base = std::env::temp_dir().join(format!("cm5_flight_det_{}", std::process::id()));
+    let mut baseline: Option<Vec<(String, String)>> = None;
+    for jobs in [1usize, 4] {
+        let dir = base.join(format!("jobs{jobs}"));
+        let service = Service::new(ServiceConfig {
+            flight_slo_ms: Some(0),
+            flight_dir: Some(dir.clone()),
+            ..Default::default()
+        });
+        let result = replay(&service, &trace, jobs, None);
+        assert_eq!(result.requests, 24);
+        let mut dumps: Vec<(String, String)> = std::fs::read_dir(&dir)
+            .expect("flight dir exists")
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read_to_string(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        dumps.sort();
+        assert_eq!(dumps.len(), 24, "slo-ms 0 dumps every query");
+        assert!(dumps.iter().all(|(_, body)| body.contains("cm5-flight/1")));
+        match &baseline {
+            None => baseline = Some(dumps),
+            Some(d0) => assert_eq!(&dumps, d0, "flight dumps differ at jobs={jobs}"),
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
 }
 
 #[test]
